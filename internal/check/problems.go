@@ -1,0 +1,214 @@
+package check
+
+import (
+	"weakestfd/internal/model"
+)
+
+// Decision records the value a process returned from a problem instance
+// (consensus, QC or NBAC) and the logical time at which it returned it.
+type Decision struct {
+	Process model.ProcessID
+	Value   any
+	Time    model.Time
+}
+
+// ConsensusOutcome is the observable outcome of one consensus instance.
+type ConsensusOutcome struct {
+	// Proposals holds the value proposed by each process that proposed.
+	Proposals map[model.ProcessID]any
+	// Decisions holds one entry per process that returned.
+	Decisions []Decision
+}
+
+// CheckConsensus validates the outcome against the consensus specification of
+// Section 4.1. Termination ("every correct process returns") is enforced only
+// when requireTermination is true, since safety-only runs may be cut short.
+func CheckConsensus(f *model.FailurePattern, o ConsensusOutcome, requireTermination bool) model.Verdict {
+	v := model.Ok()
+
+	// Uniform agreement: no two processes (correct or faulty) decide
+	// differently.
+	for i := 0; i < len(o.Decisions); i++ {
+		for j := i + 1; j < len(o.Decisions); j++ {
+			if o.Decisions[i].Value != o.Decisions[j].Value {
+				v = v.Merge(model.Fail("consensus agreement violated: %v decided %v but %v decided %v",
+					o.Decisions[i].Process, o.Decisions[i].Value, o.Decisions[j].Process, o.Decisions[j].Value))
+			}
+		}
+	}
+
+	// Validity: every decided value was proposed.
+	for _, d := range o.Decisions {
+		proposed := false
+		for _, p := range o.Proposals {
+			if p == d.Value {
+				proposed = true
+				break
+			}
+		}
+		if !proposed {
+			v = v.Merge(model.Fail("consensus validity violated: %v decided %v, which no process proposed", d.Process, d.Value))
+		}
+	}
+
+	if requireTermination {
+		v = v.Merge(checkAllCorrectDecided(f, o.Decisions, "consensus"))
+	}
+	return v
+}
+
+// QCDecision is a quittable-consensus return value: either Quit, or a regular
+// value.
+type QCDecision struct {
+	Quit  bool
+	Value any
+}
+
+// QCOutcome is the observable outcome of one quittable-consensus instance.
+type QCOutcome struct {
+	Proposals map[model.ProcessID]any
+	Decisions []Decision // Decision.Value must be a QCDecision
+}
+
+// CheckQC validates the outcome against the quittable-consensus specification
+// of Section 5: uniform agreement; validity clause (a) — a non-Quit decision
+// was proposed by some process; validity clause (b) — Quit may be returned
+// only if a failure occurred before the decision; and, optionally,
+// termination.
+func CheckQC(f *model.FailurePattern, o QCOutcome, requireTermination bool) model.Verdict {
+	v := model.Ok()
+
+	decisions := make([]QCDecision, len(o.Decisions))
+	for i, d := range o.Decisions {
+		qd, ok := d.Value.(QCDecision)
+		if !ok {
+			return model.Fail("qc: decision of %v has type %T, want QCDecision", d.Process, d.Value)
+		}
+		decisions[i] = qd
+	}
+
+	for i := 0; i < len(decisions); i++ {
+		for j := i + 1; j < len(decisions); j++ {
+			if decisions[i] != decisions[j] {
+				v = v.Merge(model.Fail("qc agreement violated: %v decided %v but %v decided %v",
+					o.Decisions[i].Process, decisions[i], o.Decisions[j].Process, decisions[j]))
+			}
+		}
+	}
+
+	for i, d := range decisions {
+		if d.Quit {
+			if !f.FailureOccurredBy(o.Decisions[i].Time) {
+				v = v.Merge(model.Fail("qc validity violated: %v decided Quit at time %d with no prior failure",
+					o.Decisions[i].Process, o.Decisions[i].Time))
+			}
+			continue
+		}
+		proposed := false
+		for _, p := range o.Proposals {
+			if p == d.Value {
+				proposed = true
+				break
+			}
+		}
+		if !proposed {
+			v = v.Merge(model.Fail("qc validity violated: %v decided %v, which no process proposed",
+				o.Decisions[i].Process, d.Value))
+		}
+	}
+
+	if requireTermination {
+		v = v.Merge(checkAllCorrectDecided(f, o.Decisions, "qc"))
+	}
+	return v
+}
+
+// Vote is an NBAC vote.
+type Vote bool
+
+// NBAC votes.
+const (
+	VoteYes Vote = true
+	VoteNo  Vote = false
+)
+
+// String implements fmt.Stringer.
+func (v Vote) String() string {
+	if v == VoteYes {
+		return "Yes"
+	}
+	return "No"
+}
+
+// NBACOutcome is the observable outcome of one NBAC instance. Decision values
+// must be bool: true for Commit, false for Abort.
+type NBACOutcome struct {
+	Votes     map[model.ProcessID]Vote
+	Decisions []Decision
+}
+
+// CheckNBAC validates the outcome against the NBAC specification of Section
+// 7.1: uniform agreement; validity clause (a) — Commit only if every process
+// voted Yes; validity clause (b) — Abort only if some process voted No or a
+// failure occurred before the decision; and, optionally, termination.
+func CheckNBAC(f *model.FailurePattern, o NBACOutcome, requireTermination bool) model.Verdict {
+	v := model.Ok()
+
+	commits := make([]bool, len(o.Decisions))
+	for i, d := range o.Decisions {
+		c, ok := d.Value.(bool)
+		if !ok {
+			return model.Fail("nbac: decision of %v has type %T, want bool", d.Process, d.Value)
+		}
+		commits[i] = c
+	}
+
+	for i := 0; i < len(commits); i++ {
+		for j := i + 1; j < len(commits); j++ {
+			if commits[i] != commits[j] {
+				v = v.Merge(model.Fail("nbac agreement violated: %v and %v decided differently",
+					o.Decisions[i].Process, o.Decisions[j].Process))
+			}
+		}
+	}
+
+	someNo := false
+	for _, vote := range o.Votes {
+		if vote == VoteNo {
+			someNo = true
+		}
+	}
+	allYes := !someNo && len(o.Votes) == f.N()
+
+	for i, c := range commits {
+		if c {
+			if !allYes {
+				v = v.Merge(model.Fail("nbac validity violated: %v decided Commit but not all processes voted Yes", o.Decisions[i].Process))
+			}
+		} else {
+			if !someNo && !f.FailureOccurredBy(o.Decisions[i].Time) {
+				v = v.Merge(model.Fail("nbac validity violated: %v decided Abort at time %d with all-Yes votes and no prior failure",
+					o.Decisions[i].Process, o.Decisions[i].Time))
+			}
+		}
+	}
+
+	if requireTermination {
+		v = v.Merge(checkAllCorrectDecided(f, o.Decisions, "nbac"))
+	}
+	return v
+}
+
+func checkAllCorrectDecided(f *model.FailurePattern, decisions []Decision, problem string) model.Verdict {
+	v := model.Ok()
+	decided := model.NewProcessSet()
+	for _, d := range decisions {
+		decided.Add(d.Process)
+	}
+	for _, p := range f.Correct().Slice() {
+		if !decided.Contains(p) {
+			v = v.Merge(model.Fail("%s termination violated: correct process %v never returned", problem, p))
+		}
+	}
+	return v
+}

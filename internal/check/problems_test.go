@@ -1,0 +1,245 @@
+package check
+
+import (
+	"testing"
+
+	"weakestfd/internal/model"
+)
+
+func patternWithCrash(n int, p model.ProcessID, t model.Time) *model.FailurePattern {
+	f := model.NewFailurePattern(n)
+	f.Crash(p, t)
+	return f
+}
+
+func TestCheckConsensusValid(t *testing.T) {
+	f := model.NewFailurePattern(3)
+	o := ConsensusOutcome{
+		Proposals: map[model.ProcessID]any{0: 0, 1: 1, 2: 1},
+		Decisions: []Decision{
+			{Process: 0, Value: 1, Time: 10},
+			{Process: 1, Value: 1, Time: 11},
+			{Process: 2, Value: 1, Time: 12},
+		},
+	}
+	if v := CheckConsensus(f, o, true); !v.OK {
+		t.Fatalf("valid consensus outcome rejected: %v", v)
+	}
+}
+
+func TestCheckConsensusAgreementViolation(t *testing.T) {
+	f := model.NewFailurePattern(2)
+	o := ConsensusOutcome{
+		Proposals: map[model.ProcessID]any{0: 0, 1: 1},
+		Decisions: []Decision{
+			{Process: 0, Value: 0, Time: 10},
+			{Process: 1, Value: 1, Time: 11},
+		},
+	}
+	if v := CheckConsensus(f, o, false); v.OK {
+		t.Fatalf("disagreement accepted")
+	}
+}
+
+func TestCheckConsensusValidityViolation(t *testing.T) {
+	f := model.NewFailurePattern(2)
+	o := ConsensusOutcome{
+		Proposals: map[model.ProcessID]any{0: 0, 1: 0},
+		Decisions: []Decision{{Process: 0, Value: 1, Time: 10}},
+	}
+	if v := CheckConsensus(f, o, false); v.OK {
+		t.Fatalf("unproposed decision accepted")
+	}
+}
+
+func TestCheckConsensusTermination(t *testing.T) {
+	f := patternWithCrash(3, 2, 5)
+	o := ConsensusOutcome{
+		Proposals: map[model.ProcessID]any{0: 1, 1: 1},
+		Decisions: []Decision{{Process: 0, Value: 1, Time: 10}},
+	}
+	// p1 is correct and never decided: termination fails, safety passes.
+	if v := CheckConsensus(f, o, true); v.OK {
+		t.Fatalf("missing decision of correct process accepted")
+	}
+	if v := CheckConsensus(f, o, false); !v.OK {
+		t.Fatalf("safety-only check failed: %v", v)
+	}
+}
+
+func TestCheckQCValid(t *testing.T) {
+	f := model.NewFailurePattern(3)
+	o := QCOutcome{
+		Proposals: map[model.ProcessID]any{0: 0, 1: 1, 2: 0},
+		Decisions: []Decision{
+			{Process: 0, Value: QCDecision{Value: 0}, Time: 5},
+			{Process: 1, Value: QCDecision{Value: 0}, Time: 6},
+			{Process: 2, Value: QCDecision{Value: 0}, Time: 7},
+		},
+	}
+	if v := CheckQC(f, o, true); !v.OK {
+		t.Fatalf("valid qc outcome rejected: %v", v)
+	}
+}
+
+func TestCheckQCQuitRequiresFailure(t *testing.T) {
+	noFailure := model.NewFailurePattern(2)
+	o := QCOutcome{
+		Proposals: map[model.ProcessID]any{0: 1, 1: 1},
+		Decisions: []Decision{
+			{Process: 0, Value: QCDecision{Quit: true}, Time: 10},
+			{Process: 1, Value: QCDecision{Quit: true}, Time: 11},
+		},
+	}
+	if v := CheckQC(noFailure, o, false); v.OK {
+		t.Fatalf("Quit with no failure accepted")
+	}
+
+	withFailure := patternWithCrash(3, 2, 3)
+	o2 := QCOutcome{
+		Proposals: map[model.ProcessID]any{0: 1, 1: 1},
+		Decisions: []Decision{
+			{Process: 0, Value: QCDecision{Quit: true}, Time: 10},
+			{Process: 1, Value: QCDecision{Quit: true}, Time: 11},
+		},
+	}
+	if v := CheckQC(withFailure, o2, true); !v.OK {
+		t.Fatalf("Quit after failure rejected: %v", v)
+	}
+
+	// Quit decided before the failure happened is invalid even if a failure
+	// occurs later.
+	lateFailure := patternWithCrash(3, 2, 50)
+	if v := CheckQC(lateFailure, o2, false); v.OK {
+		t.Fatalf("Quit decided before the failure accepted")
+	}
+}
+
+func TestCheckQCAgreementAndValidity(t *testing.T) {
+	f := patternWithCrash(3, 2, 1)
+	disagree := QCOutcome{
+		Proposals: map[model.ProcessID]any{0: 0, 1: 1},
+		Decisions: []Decision{
+			{Process: 0, Value: QCDecision{Value: 0}, Time: 5},
+			{Process: 1, Value: QCDecision{Quit: true}, Time: 6},
+		},
+	}
+	if v := CheckQC(f, disagree, false); v.OK {
+		t.Fatalf("qc disagreement accepted")
+	}
+	unproposed := QCOutcome{
+		Proposals: map[model.ProcessID]any{0: 0, 1: 0},
+		Decisions: []Decision{{Process: 0, Value: QCDecision{Value: 1}, Time: 5}},
+	}
+	if v := CheckQC(f, unproposed, false); v.OK {
+		t.Fatalf("qc unproposed value accepted")
+	}
+	wrongType := QCOutcome{
+		Decisions: []Decision{{Process: 0, Value: 42, Time: 5}},
+	}
+	if v := CheckQC(f, wrongType, false); v.OK {
+		t.Fatalf("qc wrong decision type accepted")
+	}
+}
+
+func TestCheckNBACCommitRequiresAllYes(t *testing.T) {
+	f := model.NewFailurePattern(3)
+	allYes := NBACOutcome{
+		Votes: map[model.ProcessID]Vote{0: VoteYes, 1: VoteYes, 2: VoteYes},
+		Decisions: []Decision{
+			{Process: 0, Value: true, Time: 10},
+			{Process: 1, Value: true, Time: 11},
+			{Process: 2, Value: true, Time: 12},
+		},
+	}
+	if v := CheckNBAC(f, allYes, true); !v.OK {
+		t.Fatalf("all-yes commit rejected: %v", v)
+	}
+
+	oneNo := NBACOutcome{
+		Votes:     map[model.ProcessID]Vote{0: VoteYes, 1: VoteNo, 2: VoteYes},
+		Decisions: []Decision{{Process: 0, Value: true, Time: 10}},
+	}
+	if v := CheckNBAC(f, oneNo, false); v.OK {
+		t.Fatalf("commit despite a No vote accepted")
+	}
+
+	// Commit with a missing vote (process never voted) is also invalid.
+	missingVote := NBACOutcome{
+		Votes:     map[model.ProcessID]Vote{0: VoteYes, 1: VoteYes},
+		Decisions: []Decision{{Process: 0, Value: true, Time: 10}},
+	}
+	if v := CheckNBAC(f, missingVote, false); v.OK {
+		t.Fatalf("commit with missing vote accepted")
+	}
+}
+
+func TestCheckNBACAbortNeedsReason(t *testing.T) {
+	noFailure := model.NewFailurePattern(2)
+	abortNoReason := NBACOutcome{
+		Votes: map[model.ProcessID]Vote{0: VoteYes, 1: VoteYes},
+		Decisions: []Decision{
+			{Process: 0, Value: false, Time: 10},
+			{Process: 1, Value: false, Time: 11},
+		},
+	}
+	if v := CheckNBAC(noFailure, abortNoReason, false); v.OK {
+		t.Fatalf("abort with all-yes votes and no failure accepted")
+	}
+
+	withNo := NBACOutcome{
+		Votes: map[model.ProcessID]Vote{0: VoteYes, 1: VoteNo},
+		Decisions: []Decision{
+			{Process: 0, Value: false, Time: 10},
+			{Process: 1, Value: false, Time: 11},
+		},
+	}
+	if v := CheckNBAC(noFailure, withNo, true); !v.OK {
+		t.Fatalf("abort justified by a No vote rejected: %v", v)
+	}
+
+	withCrash := patternWithCrash(2, 1, 5)
+	abortAfterCrash := NBACOutcome{
+		Votes:     map[model.ProcessID]Vote{0: VoteYes},
+		Decisions: []Decision{{Process: 0, Value: false, Time: 10}},
+	}
+	if v := CheckNBAC(withCrash, abortAfterCrash, true); !v.OK {
+		t.Fatalf("abort justified by a crash rejected: %v", v)
+	}
+}
+
+func TestCheckNBACAgreementAndTermination(t *testing.T) {
+	f := model.NewFailurePattern(2)
+	disagree := NBACOutcome{
+		Votes: map[model.ProcessID]Vote{0: VoteYes, 1: VoteYes},
+		Decisions: []Decision{
+			{Process: 0, Value: true, Time: 10},
+			{Process: 1, Value: false, Time: 11},
+		},
+	}
+	if v := CheckNBAC(f, disagree, false); v.OK {
+		t.Fatalf("nbac disagreement accepted")
+	}
+
+	partial := NBACOutcome{
+		Votes: map[model.ProcessID]Vote{0: VoteYes, 1: VoteYes},
+		Decisions: []Decision{
+			{Process: 0, Value: true, Time: 10},
+		},
+	}
+	if v := CheckNBAC(f, partial, true); v.OK {
+		t.Fatalf("nbac missing decision accepted under termination")
+	}
+	wrongType := NBACOutcome{
+		Decisions: []Decision{{Process: 0, Value: "Commit", Time: 10}},
+	}
+	if v := CheckNBAC(f, wrongType, false); v.OK {
+		t.Fatalf("nbac wrong decision type accepted")
+	}
+}
+
+func TestVoteString(t *testing.T) {
+	if VoteYes.String() != "Yes" || VoteNo.String() != "No" {
+		t.Fatalf("vote strings wrong")
+	}
+}

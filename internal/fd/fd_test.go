@@ -1,0 +1,285 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weakestfd/internal/model"
+)
+
+// fakeClock is a settable TimeSource.
+type fakeClock struct{ t model.Time }
+
+func (c *fakeClock) Now() model.Time { return c.t }
+
+func TestOracleSigmaTracksVisibleAlive(t *testing.T) {
+	pattern := model.NewFailurePattern(4)
+	clock := &fakeClock{}
+	sigma := &OracleSigma{Pattern: pattern, Clock: clock}
+
+	if got := sigma.QuorumAt(0); !got.Equal(model.AllProcesses(4)) {
+		t.Fatalf("initial quorum = %v", got)
+	}
+	pattern.Crash(2, 10)
+	clock.t = 9
+	if got := sigma.QuorumAt(1); !got.Contains(2) {
+		t.Fatalf("quorum before crash time should still contain p2: %v", got)
+	}
+	clock.t = 10
+	if got := sigma.QuorumAt(1); got.Contains(2) {
+		t.Fatalf("quorum after crash contains crashed process: %v", got)
+	}
+}
+
+func TestOracleSigmaSuspicionDelay(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	clock := &fakeClock{}
+	sigma := &OracleSigma{Pattern: pattern, Clock: clock, SuspicionDelay: 5}
+	pattern.Crash(0, 10)
+	clock.t = 12
+	if got := sigma.QuorumAt(1); !got.Contains(0) {
+		t.Fatalf("crash visible before suspicion delay elapsed: %v", got)
+	}
+	clock.t = 15
+	if got := sigma.QuorumAt(1); got.Contains(0) {
+		t.Fatalf("crash still hidden after suspicion delay: %v", got)
+	}
+}
+
+// Property: any two OracleSigma outputs intersect and eventually equal the
+// correct set, for random crash patterns that keep at least one process
+// correct — the two clauses of Σ's specification.
+func TestQuickOracleSigmaSpec(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := newRand(seed)
+		n := 2 + rng.Intn(5)
+		pattern := model.NewFailurePattern(n)
+		clock := &fakeClock{}
+		// Crash up to n-1 processes at random times in [1, 50].
+		crashes := rng.Intn(n)
+		for i := 0; i < crashes; i++ {
+			pattern.Crash(model.ProcessID(i), model.Time(1+rng.Intn(50)))
+		}
+		sigma := &OracleSigma{Pattern: pattern, Clock: clock, SuspicionDelay: model.Time(rng.Intn(5))}
+		hist := model.NewHistory()
+		for _, tick := range []model.Time{0, 5, 10, 20, 40, 80, 200} {
+			clock.t = tick
+			for p := 0; p < n; p++ {
+				hist.Record(model.ProcessID(p), tick, sigma.QuorumAt(model.ProcessID(p)))
+			}
+		}
+		return model.CheckSigma(pattern, hist, model.DefaultCheckOptions()).OK
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleOmegaConvergesToLowestCorrect(t *testing.T) {
+	pattern := model.NewFailurePattern(4)
+	clock := &fakeClock{}
+	omega := &OracleOmega{Pattern: pattern, Clock: clock}
+
+	if got := omega.LeaderAt(3); got != 0 {
+		t.Fatalf("initial leader = %v", got)
+	}
+	pattern.Crash(0, 5)
+	pattern.Crash(1, 8)
+	clock.t = 20
+	for p := 0; p < 4; p++ {
+		if got := omega.LeaderAt(model.ProcessID(p)); got != 2 {
+			t.Fatalf("leader at %d = %v, want p2", p, got)
+		}
+	}
+}
+
+func TestOracleOmegaAllCrashed(t *testing.T) {
+	pattern := model.NewFailurePattern(2)
+	clock := &fakeClock{t: 100}
+	pattern.Crash(0, 1)
+	pattern.Crash(1, 1)
+	omega := &OracleOmega{Pattern: pattern, Clock: clock}
+	_ = omega.LeaderAt(0) // must not panic; value unconstrained
+}
+
+func TestQuickOracleOmegaSpec(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := newRand(seed)
+		n := 2 + rng.Intn(5)
+		pattern := model.NewFailurePattern(n)
+		clock := &fakeClock{}
+		crashes := rng.Intn(n)
+		for i := 0; i < crashes; i++ {
+			pattern.Crash(model.ProcessID(rng.Intn(n)), model.Time(1+rng.Intn(50)))
+		}
+		if pattern.Correct().IsEmpty() {
+			return true
+		}
+		omega := &OracleOmega{Pattern: pattern, Clock: clock, SuspicionDelay: model.Time(rng.Intn(4))}
+		hist := model.NewHistory()
+		for _, tick := range []model.Time{0, 10, 30, 60, 200} {
+			clock.t = tick
+			for p := 0; p < n; p++ {
+				hist.Record(model.ProcessID(p), tick, omega.LeaderAt(model.ProcessID(p)))
+			}
+		}
+		return model.CheckOmega(pattern, hist, model.DefaultCheckOptions()).OK
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleFS(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	clock := &fakeClock{}
+	fs := &OracleFS{Pattern: pattern, Clock: clock, DetectionDelay: 3}
+
+	if fs.SignalAt(0) != model.Green {
+		t.Fatalf("green expected before any failure")
+	}
+	pattern.Crash(1, 10)
+	clock.t = 11
+	if fs.SignalAt(0) != model.Green {
+		t.Fatalf("red before detection delay elapsed")
+	}
+	clock.t = 13
+	if fs.SignalAt(0) != model.Red {
+		t.Fatalf("green after detection delay elapsed")
+	}
+}
+
+func TestOraclePsiOmegaSigmaBranch(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	clock := &fakeClock{}
+	psi := &OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 10, Policy: PreferFSOnFailure}
+
+	if got := psi.ValueAt(0); got.Phase != model.PsiBottom {
+		t.Fatalf("before switch: %v", got)
+	}
+	if psi.Mode() != model.PsiBottom {
+		t.Fatalf("Mode before switch = %v", psi.Mode())
+	}
+	clock.t = 10
+	got := psi.ValueAt(0)
+	if got.Phase != model.PsiOmegaSigma {
+		t.Fatalf("no failure: expected (Ω,Σ) regime, got %v", got)
+	}
+	// A failure after the decision must not flip the regime.
+	pattern.Crash(2, 11)
+	clock.t = 20
+	if got := psi.ValueAt(1); got.Phase != model.PsiOmegaSigma {
+		t.Fatalf("regime flipped after decision: %v", got)
+	}
+	if psi.Mode() != model.PsiOmegaSigma {
+		t.Fatalf("Mode = %v", psi.Mode())
+	}
+}
+
+func TestOraclePsiFSBranch(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	clock := &fakeClock{}
+	psi := &OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 10, Policy: PreferFSOnFailure}
+	pattern.Crash(0, 5)
+	clock.t = 12
+	got := psi.ValueAt(1)
+	if got.Phase != model.PsiFS || got.FS != model.Red {
+		t.Fatalf("expected FS:red, got %v", got)
+	}
+	if psi.Mode() != model.PsiFS {
+		t.Fatalf("Mode = %v", psi.Mode())
+	}
+}
+
+func TestOraclePsiPreferOmegaSigmaEvenAfterFailure(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	clock := &fakeClock{}
+	psi := &OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 0, Policy: PreferOmegaSigma}
+	pattern.Crash(0, 1)
+	clock.t = 10
+	if got := psi.ValueAt(2); got.Phase != model.PsiOmegaSigma {
+		t.Fatalf("PreferOmegaSigma policy switched to %v", got)
+	}
+}
+
+// Property: OraclePsi histories always validate against the Ψ specification.
+func TestQuickOraclePsiSpec(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := newRand(seed)
+		n := 2 + rng.Intn(4)
+		pattern := model.NewFailurePattern(n)
+		clock := &fakeClock{}
+		crashes := rng.Intn(n)
+		for i := 0; i < crashes; i++ {
+			pattern.Crash(model.ProcessID(i), model.Time(1+rng.Intn(30)))
+		}
+		policy := PreferOmegaSigma
+		if rng.Intn(2) == 0 {
+			policy = PreferFSOnFailure
+		}
+		psi := &OraclePsi{
+			Pattern:     pattern,
+			Clock:       clock,
+			SwitchAfter: model.Time(rng.Intn(40)),
+			Policy:      policy,
+		}
+		hist := model.NewHistory()
+		for _, tick := range []model.Time{0, 5, 15, 35, 60, 200} {
+			clock.t = tick
+			for p := 0; p < n; p++ {
+				hist.Record(model.ProcessID(p), tick, psi.ValueAt(model.ProcessID(p)))
+			}
+		}
+		return model.CheckPsi(pattern, hist, model.DefaultCheckOptions()).OK
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundModulesRecordHistories(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	clock := &fakeClock{t: 7}
+	omegaHist, sigmaHist := model.NewHistory(), model.NewHistory()
+
+	pair := NewBoundOmegaSigma(1,
+		&OracleOmega{Pattern: pattern, Clock: clock},
+		&OracleSigma{Pattern: pattern, Clock: clock},
+		clock, omegaHist, sigmaHist)
+
+	if got := pair.Leader(); got != 0 {
+		t.Fatalf("Leader = %v", got)
+	}
+	if got := pair.Quorum(); !got.Equal(model.AllProcesses(3)) {
+		t.Fatalf("Quorum = %v", got)
+	}
+	if omegaHist.Len() != 1 || sigmaHist.Len() != 1 {
+		t.Fatalf("histories not recorded: %d, %d", omegaHist.Len(), sigmaHist.Len())
+	}
+	s := omegaHist.Samples()[0]
+	if s.Process != 1 || s.Time != 7 {
+		t.Fatalf("sample = %+v", s)
+	}
+
+	fsHist, psiHist := model.NewHistory(), model.NewHistory()
+	bfs := BoundFS{Proc: 2, Src: &OracleFS{Pattern: pattern, Clock: clock}, Clock: clock, Hist: fsHist}
+	if bfs.Signal() != model.Green {
+		t.Fatalf("Signal = %v", bfs.Signal())
+	}
+	bpsi := BoundPsi{Proc: 0, Src: &OraclePsi{Pattern: pattern, Clock: clock}, Clock: clock, Hist: psiHist}
+	if bpsi.Value().Phase != model.PsiOmegaSigma {
+		t.Fatalf("Value = %v", bpsi.Value())
+	}
+	if fsHist.Len() != 1 || psiHist.Len() == 0 {
+		t.Fatalf("fs/psi histories not recorded")
+	}
+}
+
+func TestBoundModulesWithoutHistory(t *testing.T) {
+	pattern := model.NewFailurePattern(2)
+	clock := &fakeClock{}
+	b := BoundOmega{Proc: 0, Src: &OracleOmega{Pattern: pattern, Clock: clock}, Clock: clock}
+	if b.Leader() != 0 {
+		t.Fatalf("Leader wrong")
+	}
+}

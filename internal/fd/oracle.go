@@ -1,0 +1,194 @@
+package fd
+
+import (
+	"sync"
+
+	"weakestfd/internal/model"
+)
+
+// Oracle-backed detectors. Each reads the live failure pattern maintained by
+// the runtime (crashes are recorded there the moment they are injected) and
+// is therefore an exact realisation of the corresponding formal definition.
+// An optional suspicion delay postpones the moment a crash becomes visible to
+// the detector, exercising the "eventually ..." clauses of the specifications
+// without ever violating the perpetual ones.
+
+// OracleSigma is the quorum detector Σ: it outputs the set of processes whose
+// crash (if any) is not yet visible. Every output contains every correct
+// process, so any two outputs intersect (as long as at least one process is
+// correct, which every environment in this module guarantees), and once all
+// crashes are visible the output is exactly the set of correct processes.
+type OracleSigma struct {
+	Pattern *model.FailurePattern
+	Clock   TimeSource
+	// SuspicionDelay is how many logical ticks after a crash the crashed
+	// process keeps appearing in quorums. Zero means crashes are visible
+	// immediately.
+	SuspicionDelay model.Time
+}
+
+// QuorumAt implements SigmaSource.
+func (o *OracleSigma) QuorumAt(model.ProcessID) model.ProcessSet {
+	return visibleAlive(o.Pattern, o.Clock.Now(), o.SuspicionDelay)
+}
+
+// OracleOmega is the leader detector Ω: it outputs the lowest-id process whose
+// crash is not yet visible. Eventually that is the lowest-id correct process
+// at every process.
+type OracleOmega struct {
+	Pattern        *model.FailurePattern
+	Clock          TimeSource
+	SuspicionDelay model.Time
+}
+
+// LeaderAt implements OmegaSource.
+func (o *OracleOmega) LeaderAt(model.ProcessID) model.ProcessID {
+	alive := visibleAlive(o.Pattern, o.Clock.Now(), o.SuspicionDelay)
+	if leader, ok := alive.Min(); ok {
+		return leader
+	}
+	// All processes crashed: the output is unconstrained by the spec
+	// (there are no correct processes); return process 0.
+	return 0
+}
+
+// OracleFS is the failure-signal detector: green until a crash has occurred
+// (and has become visible after DetectionDelay ticks), red permanently
+// afterwards.
+type OracleFS struct {
+	Pattern *model.FailurePattern
+	Clock   TimeSource
+	// DetectionDelay is how many logical ticks after the first crash the
+	// signal turns red. Zero means immediately.
+	DetectionDelay model.Time
+}
+
+// SignalAt implements FSSource.
+func (o *OracleFS) SignalAt(model.ProcessID) model.FSValue {
+	first, ok := o.Pattern.FirstCrashTime()
+	if ok && first+o.DetectionDelay <= o.Clock.Now() {
+		return model.Red
+	}
+	return model.Green
+}
+
+// PsiPolicy selects which regime OraclePsi switches to when it leaves ⊥.
+type PsiPolicy int
+
+const (
+	// PreferOmegaSigma always switches to the (Ω, Σ) regime.
+	PreferOmegaSigma PsiPolicy = iota
+	// PreferFSOnFailure switches to the FS regime if a failure has occurred
+	// by the switch time, and to (Ω, Σ) otherwise.
+	PreferFSOnFailure
+)
+
+// OraclePsi is the detector Ψ of Section 6.1. Every process outputs ⊥ until
+// the logical clock passes SwitchAfter; the first query after that point
+// fixes the regime for all processes — FS if the policy is PreferFSOnFailure
+// and a failure has already occurred, (Ω, Σ) otherwise — as the specification
+// requires (the FS regime is legitimate only after a failure, and all
+// processes must make the same choice even though they may switch at
+// different times).
+type OraclePsi struct {
+	Pattern     *model.FailurePattern
+	Clock       TimeSource
+	SwitchAfter model.Time
+	Policy      PsiPolicy
+
+	// Underlying regimes. If nil, oracle detectors with no suspicion delay
+	// over the same pattern and clock are used.
+	Omega OmegaSource
+	Sigma SigmaSource
+	FS    FSSource
+
+	mu      sync.Mutex
+	decided bool
+	mode    model.PsiPhase
+}
+
+func (o *OraclePsi) omega() OmegaSource {
+	if o.Omega != nil {
+		return o.Omega
+	}
+	return &OracleOmega{Pattern: o.Pattern, Clock: o.Clock}
+}
+
+func (o *OraclePsi) sigma() SigmaSource {
+	if o.Sigma != nil {
+		return o.Sigma
+	}
+	return &OracleSigma{Pattern: o.Pattern, Clock: o.Clock}
+}
+
+func (o *OraclePsi) fs() FSSource {
+	if o.FS != nil {
+		return o.FS
+	}
+	return &OracleFS{Pattern: o.Pattern, Clock: o.Clock}
+}
+
+// ValueAt implements PsiSource.
+func (o *OraclePsi) ValueAt(p model.ProcessID) model.PsiValue {
+	now := o.Clock.Now()
+	if now < o.SwitchAfter {
+		return model.PsiValue{Phase: model.PsiBottom}
+	}
+	o.mu.Lock()
+	if !o.decided {
+		o.decided = true
+		if o.Policy == PreferFSOnFailure && o.Pattern.FailureOccurredBy(now) {
+			o.mode = model.PsiFS
+		} else {
+			o.mode = model.PsiOmegaSigma
+		}
+	}
+	mode := o.mode
+	o.mu.Unlock()
+
+	switch mode {
+	case model.PsiFS:
+		return model.PsiValue{Phase: model.PsiFS, FS: o.fs().SignalAt(p)}
+	default:
+		return model.PsiValue{
+			Phase: model.PsiOmegaSigma,
+			OS: model.OmegaSigmaValue{
+				Leader: o.omega().LeaderAt(p),
+				Quorum: o.sigma().QuorumAt(p),
+			},
+		}
+	}
+}
+
+// Mode returns the regime Ψ has committed to, or PsiBottom if it has not left
+// ⊥ yet at any process.
+func (o *OraclePsi) Mode() model.PsiPhase {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.decided {
+		return model.PsiBottom
+	}
+	return o.mode
+}
+
+// visibleAlive returns the processes whose crash is not yet visible at time
+// now given the suspicion delay.
+func visibleAlive(pattern *model.FailurePattern, now, delay model.Time) model.ProcessSet {
+	alive := model.NewProcessSet()
+	n := pattern.N()
+	for i := 0; i < n; i++ {
+		p := model.ProcessID(i)
+		ct := pattern.CrashTime(p)
+		if ct == model.NeverCrashes || ct+delay > now {
+			alive.Add(p)
+		}
+	}
+	return alive
+}
+
+var (
+	_ SigmaSource = (*OracleSigma)(nil)
+	_ OmegaSource = (*OracleOmega)(nil)
+	_ FSSource    = (*OracleFS)(nil)
+	_ PsiSource   = (*OraclePsi)(nil)
+)

@@ -1,0 +1,7 @@
+package fd
+
+import "math/rand"
+
+// newRand returns a deterministic PRNG for property tests seeded from a
+// quick-check-generated value.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,315 @@
+// Package fdimpl contains message-passing implementations of the failure
+// detectors used in the paper, built only from communication over the
+// asynchronous runtime (internal/net):
+//
+//   - MajoritySigma: the Introduction's "Σ ex nihilo" construction — each
+//     process periodically sends join-quorum messages and adopts any majority
+//     of responders as its quorum. It is a correct Σ exactly in
+//     majority-correct environments, which is the paper's point: with a
+//     correct majority Σ comes for free, so the (Ω, Σ) result generalises the
+//     classical majority-only result.
+//   - HeartbeatOmega: a timeout-based Ω that elects the lowest-id process
+//     that is still heartbeating. It converges when message delays are
+//     eventually bounded (true of the in-memory runtime), a partial-synchrony
+//     assumption the asynchronous model itself does not grant.
+//   - HeartbeatFS: a timeout-based failure signal that turns red permanently
+//     once any process stops heartbeating. Its accuracy (never red without a
+//     crash) also rests on the partial-synchrony assumption; the oracle FS in
+//     internal/fd is the assumption-free reference.
+//
+// All three run a background goroutine per process; callers must Stop them
+// (or close the network) when done.
+package fdimpl
+
+import (
+	"sync"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+)
+
+// MajoritySigma is a message-based Σ for majority-correct environments.
+type MajoritySigma struct {
+	ep       *net.Endpoint
+	interval time.Duration
+
+	mu     sync.Mutex
+	quorum model.ProcessSet
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+const sigmaInstance = "fdimpl.sigma"
+
+// StartMajoritySigma starts the join-quorum protocol at ep's process, probing
+// every interval. The initial quorum is the full process set (trivially
+// intersecting with everything).
+func StartMajoritySigma(ep *net.Endpoint, interval time.Duration) *MajoritySigma {
+	s := &MajoritySigma{
+		ep:       ep,
+		interval: interval,
+		quorum:   model.AllProcesses(ep.N()),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Quorum implements fd.Sigma: it returns the most recent majority of
+// responders (or the full set before the first round completes).
+func (s *MajoritySigma) Quorum() model.ProcessSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quorum.Clone()
+}
+
+// Stop terminates the background protocol.
+func (s *MajoritySigma) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+type sigmaProbe struct{ Round int }
+type sigmaAck struct{ Round int }
+
+func (s *MajoritySigma) run() {
+	defer close(s.done)
+	inbox := s.ep.Subscribe(sigmaInstance)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+
+	round := 0
+	acked := model.NewProcessSet(s.ep.ID())
+	majority := s.ep.N()/2 + 1
+	s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
+
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.ep.Context().Done():
+			return
+		case <-ticker.C:
+			round++
+			acked = model.NewProcessSet(s.ep.ID())
+			s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
+		case msg := <-inbox:
+			switch msg.Type {
+			case "probe":
+				probe := msg.Payload.(sigmaProbe)
+				s.ep.Send(msg.From, sigmaInstance, "ack", sigmaAck{Round: probe.Round})
+			case "ack":
+				ack := msg.Payload.(sigmaAck)
+				if ack.Round != round {
+					continue
+				}
+				acked.Add(msg.From)
+				if acked.Len() >= majority {
+					s.mu.Lock()
+					s.quorum = acked.Clone()
+					s.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// HeartbeatOmega is a timeout-based Ω: the leader is the lowest-id process
+// that has heartbeated within the timeout (the local process always trusts
+// itself).
+type HeartbeatOmega struct {
+	ep       *net.Endpoint
+	interval time.Duration
+	timeout  time.Duration
+
+	mu     sync.Mutex
+	leader model.ProcessID
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+const omegaInstance = "fdimpl.omega"
+
+// StartHeartbeatOmega starts heartbeating at ep's process. timeout should be
+// several times the heartbeat interval plus the maximum expected message
+// delay.
+func StartHeartbeatOmega(ep *net.Endpoint, interval, timeout time.Duration) *HeartbeatOmega {
+	o := &HeartbeatOmega{
+		ep:       ep,
+		interval: interval,
+		timeout:  timeout,
+		leader:   0,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go o.run()
+	return o
+}
+
+// Leader implements fd.Omega.
+func (o *HeartbeatOmega) Leader() model.ProcessID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.leader
+}
+
+// Stop terminates the background protocol.
+func (o *HeartbeatOmega) Stop() {
+	o.once.Do(func() { close(o.stop) })
+	<-o.done
+}
+
+func (o *HeartbeatOmega) run() {
+	defer close(o.done)
+	inbox := o.ep.Subscribe(omegaInstance)
+	ticker := time.NewTicker(o.interval)
+	defer ticker.Stop()
+
+	lastHeard := make(map[model.ProcessID]time.Time)
+	start := time.Now()
+	o.ep.Broadcast(omegaInstance, "hb", nil)
+
+	recompute := func() {
+		now := time.Now()
+		leader := o.ep.ID()
+		for i := 0; i < o.ep.N(); i++ {
+			p := model.ProcessID(i)
+			if p == o.ep.ID() {
+				// The local process always trusts itself; it is considered
+				// below via the initial value of leader.
+				continue
+			}
+			heard, ok := lastHeard[p]
+			alive := (ok && now.Sub(heard) <= o.timeout) || (!ok && now.Sub(start) <= o.timeout)
+			if alive && p < leader {
+				leader = p
+			}
+		}
+		o.mu.Lock()
+		o.leader = leader
+		o.mu.Unlock()
+	}
+
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-o.ep.Context().Done():
+			return
+		case <-ticker.C:
+			o.ep.Broadcast(omegaInstance, "hb", nil)
+			recompute()
+		case msg := <-inbox:
+			if msg.Type == "hb" {
+				lastHeard[msg.From] = time.Now()
+				recompute()
+			}
+		}
+	}
+}
+
+// HeartbeatFS is a timeout-based failure signal: once any process has been
+// silent for longer than the timeout (after an initial grace period), the
+// signal turns red permanently.
+type HeartbeatFS struct {
+	ep       *net.Endpoint
+	interval time.Duration
+	timeout  time.Duration
+
+	mu  sync.Mutex
+	red bool
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+const fsInstance = "fdimpl.fs"
+
+// StartHeartbeatFS starts heartbeating at ep's process.
+func StartHeartbeatFS(ep *net.Endpoint, interval, timeout time.Duration) *HeartbeatFS {
+	f := &HeartbeatFS{
+		ep:       ep,
+		interval: interval,
+		timeout:  timeout,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// Signal implements fd.FS.
+func (f *HeartbeatFS) Signal() model.FSValue {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.red {
+		return model.Red
+	}
+	return model.Green
+}
+
+// Stop terminates the background protocol.
+func (f *HeartbeatFS) Stop() {
+	f.once.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+func (f *HeartbeatFS) run() {
+	defer close(f.done)
+	inbox := f.ep.Subscribe(fsInstance)
+	ticker := time.NewTicker(f.interval)
+	defer ticker.Stop()
+
+	lastHeard := make(map[model.ProcessID]time.Time)
+	start := time.Now()
+	grace := 2 * f.timeout
+	f.ep.Broadcast(fsInstance, "hb", nil)
+
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-f.ep.Context().Done():
+			return
+		case <-ticker.C:
+			f.ep.Broadcast(fsInstance, "hb", nil)
+			now := time.Now()
+			if now.Sub(start) < grace {
+				continue
+			}
+			for i := 0; i < f.ep.N(); i++ {
+				p := model.ProcessID(i)
+				if p == f.ep.ID() {
+					continue
+				}
+				heard, ok := lastHeard[p]
+				if !ok {
+					heard = start.Add(grace)
+				}
+				if now.Sub(heard) > f.timeout {
+					f.mu.Lock()
+					f.red = true
+					f.mu.Unlock()
+				}
+			}
+		case msg := <-inbox:
+			if msg.Type == "hb" {
+				lastHeard[msg.From] = time.Now()
+			}
+		}
+	}
+}
+
+var (
+	_ fd.Sigma = (*MajoritySigma)(nil)
+	_ fd.Omega = (*HeartbeatOmega)(nil)
+	_ fd.FS    = (*HeartbeatFS)(nil)
+)

@@ -1,0 +1,102 @@
+package model
+
+import "fmt"
+
+// Environment is the set of failure patterns under which an algorithm is
+// required to work (Section 2 of the paper). An environment is represented
+// intentionally as a predicate: the paper quantifies over arbitrary
+// environments, and tests instantiate both the canned ones below and ad-hoc
+// predicates.
+type Environment interface {
+	// Allows reports whether the failure pattern belongs to the environment.
+	Allows(f *FailurePattern) bool
+	// Name returns a short human-readable identifier used in traces and
+	// experiment tables.
+	Name() string
+}
+
+// envFunc adapts a predicate to the Environment interface.
+type envFunc struct {
+	name string
+	fn   func(*FailurePattern) bool
+}
+
+func (e envFunc) Allows(f *FailurePattern) bool { return e.fn(f) }
+func (e envFunc) Name() string                  { return e.name }
+
+// EnvironmentFunc builds an Environment from a name and a predicate.
+func EnvironmentFunc(name string, fn func(*FailurePattern) bool) Environment {
+	return envFunc{name: name, fn: fn}
+}
+
+// AnyEnvironment admits every failure pattern except the one in which all
+// processes crash (the paper's problems are vacuous without at least one
+// correct process; every weakest-failure-detector statement presupposes it).
+func AnyEnvironment() Environment {
+	return envFunc{
+		name: "any",
+		fn: func(f *FailurePattern) bool {
+			return f.Correct().Len() >= 1
+		},
+	}
+}
+
+// MajorityCorrect admits failure patterns in which a strict majority of the
+// processes are correct. This is the environment of Attiya–Bar-Noy–Dolev and
+// of the original Chandra–Hadzilacos–Toueg weakest-failure-detector result.
+func MajorityCorrect() Environment {
+	return envFunc{
+		name: "majority-correct",
+		fn: func(f *FailurePattern) bool {
+			return f.Correct().Len()*2 > f.N()
+		},
+	}
+}
+
+// MaxFailures admits failure patterns with at most f faulty processes.
+func MaxFailures(f int) Environment {
+	return envFunc{
+		name: fmt.Sprintf("max-failures-%d", f),
+		fn: func(fp *FailurePattern) bool {
+			return fp.NumFaulty() <= f && fp.Correct().Len() >= 1
+		},
+	}
+}
+
+// FailureFree admits only the failure pattern with no crashes.
+func FailureFree() Environment {
+	return envFunc{
+		name: "failure-free",
+		fn:   func(f *FailurePattern) bool { return f.NumFaulty() == 0 },
+	}
+}
+
+// CrashesBefore admits failure patterns in which process p does not crash
+// after process q: either p is correct, or q crashes and p's crash time is not
+// earlier than q's. It illustrates the paper's example environment "process p
+// never fails before process q".
+func CrashesBefore(q, p ProcessID) Environment {
+	return envFunc{
+		name: fmt.Sprintf("%v-never-before-%v", p, q),
+		fn: func(f *FailurePattern) bool {
+			pt, qt := f.CrashTime(p), f.CrashTime(q)
+			if pt == NeverCrashes {
+				return true
+			}
+			return qt != NeverCrashes && qt <= pt
+		},
+	}
+}
+
+// MinorityCorrect admits failure patterns in which at least one but at most a
+// minority of processes are correct — the interesting regime where
+// majority-based constructions stop working and Sigma is genuinely needed.
+func MinorityCorrect() Environment {
+	return envFunc{
+		name: "minority-correct",
+		fn: func(f *FailurePattern) bool {
+			c := f.Correct().Len()
+			return c >= 1 && c*2 <= f.N()
+		},
+	}
+}

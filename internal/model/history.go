@@ -1,0 +1,146 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FSValue is the range of the failure-signal detector FS: green or red.
+type FSValue int
+
+// Values of FS.
+const (
+	Green FSValue = iota
+	Red
+)
+
+// String implements fmt.Stringer.
+func (v FSValue) String() string {
+	if v == Red {
+		return "red"
+	}
+	return "green"
+}
+
+// OmegaSigmaValue is a sample of the composed detector (Omega, Sigma): a
+// leader hint and a quorum.
+type OmegaSigmaValue struct {
+	Leader ProcessID
+	Quorum ProcessSet
+}
+
+// String implements fmt.Stringer.
+func (v OmegaSigmaValue) String() string {
+	return fmt.Sprintf("(leader=%v, quorum=%v)", v.Leader, v.Quorum)
+}
+
+// PsiPhase identifies which regime a Psi sample belongs to.
+type PsiPhase int
+
+// Phases of Psi: the initial ⊥ phase, the FS regime, and the (Omega, Sigma)
+// regime.
+const (
+	PsiBottom PsiPhase = iota
+	PsiFS
+	PsiOmegaSigma
+)
+
+// String implements fmt.Stringer.
+func (p PsiPhase) String() string {
+	switch p {
+	case PsiBottom:
+		return "⊥"
+	case PsiFS:
+		return "FS"
+	case PsiOmegaSigma:
+		return "(Ω,Σ)"
+	default:
+		return fmt.Sprintf("PsiPhase(%d)", int(p))
+	}
+}
+
+// PsiValue is a sample of the detector Psi. Exactly one regime is meaningful,
+// selected by Phase: Bottom carries no data, FS carries an FSValue, and
+// OmegaSigma carries an OmegaSigmaValue.
+type PsiValue struct {
+	Phase PsiPhase
+	FS    FSValue
+	OS    OmegaSigmaValue
+}
+
+// String implements fmt.Stringer.
+func (v PsiValue) String() string {
+	switch v.Phase {
+	case PsiBottom:
+		return "⊥"
+	case PsiFS:
+		return "FS:" + v.FS.String()
+	case PsiOmegaSigma:
+		return "ΩΣ:" + v.OS.String()
+	default:
+		return fmt.Sprintf("PsiValue(%d)", int(v.Phase))
+	}
+}
+
+// Sample is one recorded failure-detector output: process p saw value V at
+// (logical) time T. The concrete type of Value depends on the detector:
+// ProcessID for Omega, ProcessSet for Sigma, FSValue for FS, PsiValue for Psi,
+// OmegaSigmaValue for the pair.
+type Sample struct {
+	Process ProcessID
+	Time    Time
+	Value   any
+}
+
+// History is a finite record of failure-detector samples, the executable
+// counterpart of the paper's failure-detector history H : Π × T → R. Samples
+// are appended by the runtime or the simulator as processes query their
+// detector modules; the specification checkers in spec.go consume it.
+//
+// A History is safe for concurrent use.
+type History struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Record appends a sample.
+func (h *History) Record(p ProcessID, t Time, v any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, Sample{Process: p, Time: t, Value: v})
+}
+
+// Len returns the number of recorded samples.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Samples returns a copy of all samples in recording order.
+func (h *History) Samples() []Sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Sample, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// ByProcess returns, for each process, its samples sorted by time (stable in
+// recording order for equal times).
+func (h *History) ByProcess() map[ProcessID][]Sample {
+	all := h.Samples()
+	out := make(map[ProcessID][]Sample)
+	for _, s := range all {
+		out[s.Process] = append(out[s.Process], s)
+	}
+	for p := range out {
+		ss := out[p]
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].Time < ss[j].Time })
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessSetBasics(t *testing.T) {
+	s := NewProcessSet(1, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s.Add(2)
+	if !s.Contains(2) {
+		t.Fatalf("Add failed")
+	}
+	s.Remove(5)
+	if s.Contains(5) {
+		t.Fatalf("Remove failed")
+	}
+	if got := s.String(); got != "{p1,p2,p3}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestProcessSetZeroValueUsable(t *testing.T) {
+	var s ProcessSet
+	if !s.IsEmpty() || s.Contains(0) || s.Len() != 0 {
+		t.Fatalf("zero set not empty")
+	}
+	s.Add(7)
+	if !s.Contains(7) {
+		t.Fatalf("Add on zero value failed")
+	}
+	var r ProcessSet
+	r.Remove(3) // must not panic
+}
+
+func TestAllProcesses(t *testing.T) {
+	s := AllProcesses(4)
+	want := []ProcessID{0, 1, 2, 3}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProcessSetAlgebra(t *testing.T) {
+	a := NewProcessSet(0, 1, 2)
+	b := NewProcessSet(2, 3)
+	if got := a.Union(b); got.Len() != 4 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewProcessSet(2)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewProcessSet(0, 1)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Errorf("Intersects = false")
+	}
+	if a.Intersects(NewProcessSet(9)) {
+		t.Errorf("Intersects with disjoint = true")
+	}
+	if !NewProcessSet(1, 2).SubsetOf(a) {
+		t.Errorf("SubsetOf = false")
+	}
+	if NewProcessSet(1, 9).SubsetOf(a) {
+		t.Errorf("SubsetOf = true for non-subset")
+	}
+}
+
+func TestProcessSetCloneIndependence(t *testing.T) {
+	a := NewProcessSet(1, 2)
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Fatalf("Clone aliases original")
+	}
+}
+
+func TestProcessSetMin(t *testing.T) {
+	if _, ok := NewProcessSet().Min(); ok {
+		t.Fatalf("Min on empty returned ok")
+	}
+	if m, ok := NewProcessSet(4, 2, 9).Min(); !ok || m != 2 {
+		t.Fatalf("Min = %v, %v", m, ok)
+	}
+}
+
+// randomSet builds a pseudo-random set over 0..universe-1 from raw int64 seeds,
+// used by the quick-check properties below.
+func randomSet(seed int64, universe int) ProcessSet {
+	r := rand.New(rand.NewSource(seed))
+	s := NewProcessSet()
+	n := r.Intn(universe + 1)
+	for i := 0; i < n; i++ {
+		s.Add(ProcessID(r.Intn(universe)))
+	}
+	return s
+}
+
+func TestQuickSetUnionContainsBoth(t *testing.T) {
+	prop := func(s1, s2 int64) bool {
+		a, b := randomSet(s1, 10), randomSet(s2, 10)
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) && u.Len() <= a.Len()+b.Len()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetIntersectSymmetricAndSound(t *testing.T) {
+	prop := func(s1, s2 int64) bool {
+		a, b := randomSet(s1, 10), randomSet(s2, 10)
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if !i1.Equal(i2) {
+			return false
+		}
+		if i1.IsEmpty() == a.Intersects(b) && !(i1.IsEmpty() && !a.Intersects(b)) {
+			return false
+		}
+		return i1.SubsetOf(a) && i1.SubsetOf(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetMinusDisjointFromSubtrahend(t *testing.T) {
+	prop := func(s1, s2 int64) bool {
+		a, b := randomSet(s1, 10), randomSet(s2, 10)
+		d := a.Minus(b)
+		return d.SubsetOf(a) && !d.Intersects(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

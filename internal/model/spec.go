@@ -1,0 +1,256 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Verdict is the result of checking a recorded failure-detector history (or a
+// problem execution) against a formal specification. OK is true when no
+// violation was found; Violations lists human-readable reasons otherwise.
+type Verdict struct {
+	OK         bool
+	Violations []string
+}
+
+// Ok returns a passing verdict.
+func Ok() Verdict { return Verdict{OK: true} }
+
+// Fail returns a failing verdict with one formatted violation.
+func Fail(format string, args ...any) Verdict {
+	return Verdict{OK: false, Violations: []string{fmt.Sprintf(format, args...)}}
+}
+
+// Merge combines v with other: the result is OK only if both are, and carries
+// the union of the violations.
+func (v Verdict) Merge(other Verdict) Verdict {
+	return Verdict{
+		OK:         v.OK && other.OK,
+		Violations: append(append([]string{}, v.Violations...), other.Violations...),
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v.OK {
+		return "OK"
+	}
+	return fmt.Sprintf("FAIL(%d violations): %v", len(v.Violations), v.Violations)
+}
+
+// CheckOptions tunes the finite-history interpretation of the specifications.
+type CheckOptions struct {
+	// RequireEventual, when true (the default used by Default-constructed
+	// options), makes the checkers enforce the "eventually ..." clauses by
+	// examining the last sample of each correct process. Runs that were cut
+	// short before detectors stabilised can disable it to check only the
+	// perpetual (safety) clauses.
+	RequireEventual bool
+}
+
+// DefaultCheckOptions enforces both perpetual and eventual clauses.
+func DefaultCheckOptions() CheckOptions { return CheckOptions{RequireEventual: true} }
+
+// SafetyOnlyCheckOptions enforces only the perpetual (safety) clauses.
+func SafetyOnlyCheckOptions() CheckOptions { return CheckOptions{RequireEventual: false} }
+
+// CheckSigma validates a history of ProcessSet samples against the quorum
+// failure detector Sigma:
+//
+//   - Intersection: any two samples, at any processes and times, intersect.
+//   - Completeness: eventually every sample at a correct process contains only
+//     correct processes (checked on the last sample of each correct process).
+func CheckSigma(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	v := Ok()
+	samples := h.Samples()
+	sets := make([]ProcessSet, 0, len(samples))
+	for _, s := range samples {
+		set, ok := s.Value.(ProcessSet)
+		if !ok {
+			return Fail("sigma: sample at %v time %d has type %T, want ProcessSet", s.Process, s.Time, s.Value)
+		}
+		sets = append(sets, set)
+	}
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			if !sets[i].Intersects(sets[j]) {
+				v = v.Merge(Fail("sigma intersection violated: sample %d at %v (%v) and sample %d at %v (%v) are disjoint",
+					i, samples[i].Process, sets[i], j, samples[j].Process, sets[j]))
+			}
+		}
+	}
+	if opts.RequireEventual {
+		correct := f.Correct()
+		byProc := h.ByProcess()
+		for _, p := range correct.Slice() {
+			ss := byProc[p]
+			if len(ss) == 0 {
+				continue
+			}
+			last := ss[len(ss)-1].Value.(ProcessSet)
+			if !last.SubsetOf(correct) {
+				v = v.Merge(Fail("sigma completeness violated: last quorum of correct %v is %v, not a subset of correct %v",
+					p, last, correct))
+			}
+		}
+	}
+	return v
+}
+
+// CheckOmega validates a history of ProcessID samples against the leader
+// failure detector Omega: eventually all correct processes output the id of
+// the same correct process (checked on the last sample of each correct
+// process).
+func CheckOmega(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	for _, s := range h.Samples() {
+		if _, ok := s.Value.(ProcessID); !ok {
+			return Fail("omega: sample at %v time %d has type %T, want ProcessID", s.Process, s.Time, s.Value)
+		}
+	}
+	if !opts.RequireEventual {
+		return Ok()
+	}
+	v := Ok()
+	correct := f.Correct()
+	byProc := h.ByProcess()
+	var leader ProcessID
+	haveLeader := false
+	for _, p := range correct.Slice() {
+		ss := byProc[p]
+		if len(ss) == 0 {
+			continue
+		}
+		last := ss[len(ss)-1].Value.(ProcessID)
+		if !correct.Contains(last) {
+			v = v.Merge(Fail("omega violated: correct %v finally trusts faulty %v", p, last))
+		}
+		if !haveLeader {
+			leader, haveLeader = last, true
+		} else if last != leader {
+			v = v.Merge(Fail("omega violated: correct processes disagree on final leader (%v vs %v)", leader, last))
+		}
+	}
+	return v
+}
+
+// CheckFS validates a history of FSValue samples against the failure-signal
+// detector FS:
+//
+//   - Accuracy: a sample is red at time t only if a failure occurred by t.
+//   - Completeness: if some process is faulty, eventually every correct
+//     process outputs red permanently (checked on last samples).
+func CheckFS(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	v := Ok()
+	for _, s := range h.Samples() {
+		val, ok := s.Value.(FSValue)
+		if !ok {
+			return Fail("fs: sample at %v time %d has type %T, want FSValue", s.Process, s.Time, s.Value)
+		}
+		if val == Red && !f.FailureOccurredBy(s.Time) {
+			v = v.Merge(Fail("fs accuracy violated: %v saw red at time %d but no failure had occurred", s.Process, s.Time))
+		}
+	}
+	if opts.RequireEventual && !f.Faulty().IsEmpty() {
+		byProc := h.ByProcess()
+		for _, p := range f.Correct().Slice() {
+			ss := byProc[p]
+			if len(ss) == 0 {
+				continue
+			}
+			if ss[len(ss)-1].Value.(FSValue) != Red {
+				v = v.Merge(Fail("fs completeness violated: failure occurred but correct %v finally outputs green", p))
+			}
+		}
+	}
+	return v
+}
+
+// CheckOmegaSigma validates a history of OmegaSigmaValue samples by splitting
+// it into its Omega and Sigma components and checking each.
+func CheckOmegaSigma(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	omegaH, sigmaH := NewHistory(), NewHistory()
+	for _, s := range h.Samples() {
+		val, ok := s.Value.(OmegaSigmaValue)
+		if !ok {
+			return Fail("omegasigma: sample at %v time %d has type %T, want OmegaSigmaValue", s.Process, s.Time, s.Value)
+		}
+		omegaH.Record(s.Process, s.Time, val.Leader)
+		sigmaH.Record(s.Process, s.Time, val.Quorum)
+	}
+	return CheckOmega(f, omegaH, opts).Merge(CheckSigma(f, sigmaH, opts))
+}
+
+// CheckPsi validates a history of PsiValue samples against the detector Psi
+// (Section 6.1):
+//
+//   - Each process's stream is a (possibly empty) ⊥-prefix followed by samples
+//     all of one regime, FS or (Omega, Sigma); it never mixes regimes or
+//     returns to ⊥.
+//   - All processes that leave ⊥ choose the same regime.
+//   - The FS regime may be chosen only if a failure occurred by the time of
+//     the first non-⊥ sample.
+//   - The embedded sub-histories validate against FS, respectively
+//     (Omega, Sigma).
+func CheckPsi(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	v := Ok()
+	byProc := h.ByProcess()
+	fsH, osH := NewHistory(), NewHistory()
+	chosen := PsiBottom
+	chosenBy := ProcessID(-1)
+	for p, ss := range byProc {
+		phase := PsiBottom
+		for _, s := range ss {
+			val, ok := s.Value.(PsiValue)
+			if !ok {
+				return Fail("psi: sample at %v time %d has type %T, want PsiValue", s.Process, s.Time, s.Value)
+			}
+			switch val.Phase {
+			case PsiBottom:
+				if phase != PsiBottom {
+					v = v.Merge(Fail("psi violated: %v returned to ⊥ at time %d after leaving it", p, s.Time))
+				}
+			case PsiFS, PsiOmegaSigma:
+				if phase != PsiBottom && phase != val.Phase {
+					v = v.Merge(Fail("psi violated: %v switched regimes from %v to %v at time %d", p, phase, val.Phase, s.Time))
+				}
+				if phase == PsiBottom {
+					phase = val.Phase
+					if val.Phase == PsiFS && !f.FailureOccurredBy(s.Time) {
+						v = v.Merge(Fail("psi violated: %v entered FS regime at time %d with no prior failure", p, s.Time))
+					}
+					if chosen == PsiBottom {
+						chosen, chosenBy = val.Phase, p
+					} else if chosen != val.Phase {
+						v = v.Merge(Fail("psi violated: %v chose %v but %v chose %v", p, val.Phase, chosenBy, chosen))
+					}
+				}
+				if val.Phase == PsiFS {
+					fsH.Record(s.Process, s.Time, val.FS)
+				} else {
+					osH.Record(s.Process, s.Time, val.OS)
+				}
+			default:
+				v = v.Merge(Fail("psi: unknown phase %v at %v time %d", val.Phase, p, s.Time))
+			}
+		}
+	}
+	if opts.RequireEventual {
+		// Every correct process with samples must eventually leave ⊥.
+		for _, p := range f.Correct().Slice() {
+			ss := byProc[p]
+			if len(ss) == 0 {
+				continue
+			}
+			last := ss[len(ss)-1].Value.(PsiValue)
+			if last.Phase == PsiBottom {
+				v = v.Merge(Fail("psi violated: correct %v never left ⊥", p))
+			}
+		}
+	}
+	switch chosen {
+	case PsiFS:
+		v = v.Merge(CheckFS(f, fsH, opts))
+	case PsiOmegaSigma:
+		v = v.Merge(CheckOmegaSigma(f, osH, opts))
+	}
+	return v
+}

@@ -1,0 +1,275 @@
+package model
+
+import (
+	"testing"
+)
+
+func twoCrashPattern() *FailurePattern {
+	f := NewFailurePattern(3)
+	f.Crash(2, 50)
+	return f
+}
+
+func TestCheckSigmaAccepts(t *testing.T) {
+	f := twoCrashPattern() // correct = {0,1}
+	h := NewHistory()
+	h.Record(0, 10, NewProcessSet(0, 1, 2))
+	h.Record(1, 20, NewProcessSet(1, 2))
+	h.Record(2, 30, NewProcessSet(0, 1, 2))
+	h.Record(0, 100, NewProcessSet(0, 1))
+	h.Record(1, 110, NewProcessSet(0, 1))
+	if v := CheckSigma(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("valid sigma history rejected: %v", v)
+	}
+}
+
+func TestCheckSigmaIntersectionViolation(t *testing.T) {
+	f := NewFailurePattern(4)
+	h := NewHistory()
+	h.Record(0, 1, NewProcessSet(0, 1))
+	h.Record(1, 2, NewProcessSet(2, 3))
+	if v := CheckSigma(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("disjoint quorums accepted")
+	}
+}
+
+func TestCheckSigmaCompletenessViolation(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 10, NewProcessSet(0, 2)) // final quorum of correct p0 contains faulty p2
+	h.Record(1, 10, NewProcessSet(0, 1))
+	if v := CheckSigma(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("incomplete sigma history accepted")
+	}
+	if v := CheckSigma(f, h, SafetyOnlyCheckOptions()); !v.OK {
+		t.Fatalf("safety-only check should pass: %v", v)
+	}
+}
+
+func TestCheckSigmaWrongType(t *testing.T) {
+	h := NewHistory()
+	h.Record(0, 1, "not a set")
+	if v := CheckSigma(NewFailurePattern(2), h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("wrong sample type accepted")
+	}
+}
+
+func TestCheckOmegaAccepts(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 1, ProcessID(2)) // early mistaken leader is fine
+	h.Record(0, 100, ProcessID(0))
+	h.Record(1, 100, ProcessID(0))
+	h.Record(2, 40, ProcessID(2)) // faulty process's output is unconstrained
+	if v := CheckOmega(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("valid omega history rejected: %v", v)
+	}
+}
+
+func TestCheckOmegaDisagreement(t *testing.T) {
+	f := NewFailurePattern(3)
+	h := NewHistory()
+	h.Record(0, 100, ProcessID(0))
+	h.Record(1, 100, ProcessID(1))
+	if v := CheckOmega(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("disagreeing final leaders accepted")
+	}
+}
+
+func TestCheckOmegaFaultyLeader(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 100, ProcessID(2))
+	h.Record(1, 100, ProcessID(2))
+	if v := CheckOmega(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("faulty final leader accepted")
+	}
+	if v := CheckOmega(f, h, SafetyOnlyCheckOptions()); !v.OK {
+		t.Fatalf("safety-only omega check should pass: %v", v)
+	}
+}
+
+func TestCheckFSAccepts(t *testing.T) {
+	f := twoCrashPattern() // crash at 50
+	h := NewHistory()
+	h.Record(0, 10, Green)
+	h.Record(1, 10, Green)
+	h.Record(0, 60, Red)
+	h.Record(1, 70, Red)
+	if v := CheckFS(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("valid fs history rejected: %v", v)
+	}
+}
+
+func TestCheckFSPrematureRed(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 10, Red) // before the crash at 50
+	if v := CheckFS(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("premature red accepted")
+	}
+}
+
+func TestCheckFSMissingRed(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 100, Green)
+	h.Record(1, 100, Green)
+	if v := CheckFS(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("missing eventual red accepted")
+	}
+	if v := CheckFS(f, h, SafetyOnlyCheckOptions()); !v.OK {
+		t.Fatalf("safety-only fs check should pass: %v", v)
+	}
+}
+
+func TestCheckFSNoFailureAllGreen(t *testing.T) {
+	f := NewFailurePattern(3)
+	h := NewHistory()
+	h.Record(0, 10, Green)
+	h.Record(1, 999, Green)
+	if v := CheckFS(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("all-green history without failures rejected: %v", v)
+	}
+}
+
+func TestCheckOmegaSigma(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 100, OmegaSigmaValue{Leader: 0, Quorum: NewProcessSet(0, 1)})
+	h.Record(1, 100, OmegaSigmaValue{Leader: 0, Quorum: NewProcessSet(0, 1)})
+	if v := CheckOmegaSigma(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("valid (omega,sigma) history rejected: %v", v)
+	}
+	bad := NewHistory()
+	bad.Record(0, 100, OmegaSigmaValue{Leader: 0, Quorum: NewProcessSet(0)})
+	bad.Record(1, 100, OmegaSigmaValue{Leader: 0, Quorum: NewProcessSet(1)})
+	if v := CheckOmegaSigma(f, bad, DefaultCheckOptions()); v.OK {
+		t.Fatalf("disjoint quorums accepted through pair checker")
+	}
+}
+
+func psiOS(leader ProcessID, quorum ProcessSet) PsiValue {
+	return PsiValue{Phase: PsiOmegaSigma, OS: OmegaSigmaValue{Leader: leader, Quorum: quorum}}
+}
+
+func psiFS(v FSValue) PsiValue { return PsiValue{Phase: PsiFS, FS: v} }
+
+func TestCheckPsiOmegaSigmaBranch(t *testing.T) {
+	f := NewFailurePattern(3) // no failures
+	h := NewHistory()
+	h.Record(0, 1, PsiValue{Phase: PsiBottom})
+	h.Record(1, 1, PsiValue{Phase: PsiBottom})
+	h.Record(2, 1, PsiValue{Phase: PsiBottom})
+	for _, p := range []ProcessID{0, 1, 2} {
+		h.Record(p, 100, psiOS(1, NewProcessSet(0, 1, 2)))
+	}
+	if v := CheckPsi(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("valid psi (omega,sigma) history rejected: %v", v)
+	}
+}
+
+func TestCheckPsiFSBranch(t *testing.T) {
+	f := twoCrashPattern() // crash at 50; correct = {0,1}
+	h := NewHistory()
+	h.Record(0, 1, PsiValue{Phase: PsiBottom})
+	h.Record(1, 1, PsiValue{Phase: PsiBottom})
+	h.Record(0, 60, psiFS(Red))
+	h.Record(1, 70, psiFS(Red))
+	if v := CheckPsi(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("valid psi FS history rejected: %v", v)
+	}
+}
+
+func TestCheckPsiFSWithoutFailureRejected(t *testing.T) {
+	f := NewFailurePattern(3)
+	h := NewHistory()
+	h.Record(0, 10, psiFS(Green))
+	if v := CheckPsi(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("FS regime without failure accepted")
+	}
+}
+
+func TestCheckPsiMixedChoiceRejected(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 60, psiFS(Red))
+	h.Record(1, 60, psiOS(0, NewProcessSet(0, 1)))
+	if v := CheckPsi(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("processes choosing different regimes accepted")
+	}
+}
+
+func TestCheckPsiRegimeSwitchRejected(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 60, psiFS(Red))
+	h.Record(0, 70, psiOS(0, NewProcessSet(0, 1)))
+	if v := CheckPsi(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("regime switch accepted")
+	}
+}
+
+func TestCheckPsiReturnToBottomRejected(t *testing.T) {
+	f := twoCrashPattern()
+	h := NewHistory()
+	h.Record(0, 60, psiFS(Red))
+	h.Record(0, 70, PsiValue{Phase: PsiBottom})
+	if v := CheckPsi(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("return to bottom accepted")
+	}
+}
+
+func TestCheckPsiStuckAtBottomRejectedEventually(t *testing.T) {
+	f := NewFailurePattern(2)
+	h := NewHistory()
+	h.Record(0, 10, PsiValue{Phase: PsiBottom})
+	h.Record(1, 10, psiOS(0, NewProcessSet(0, 1)))
+	if v := CheckPsi(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("correct process stuck at bottom accepted")
+	}
+	if v := CheckPsi(f, h, SafetyOnlyCheckOptions()); !v.OK {
+		t.Fatalf("safety-only psi check should pass: %v", v)
+	}
+}
+
+func TestVerdictMerge(t *testing.T) {
+	v := Ok().Merge(Fail("a")).Merge(Fail("b"))
+	if v.OK || len(v.Violations) != 2 {
+		t.Fatalf("Merge = %v", v)
+	}
+	if Ok().Merge(Ok()).String() != "OK" {
+		t.Fatalf("String of OK verdict wrong")
+	}
+}
+
+func TestHistoryByProcessSorted(t *testing.T) {
+	h := NewHistory()
+	h.Record(1, 30, Green)
+	h.Record(1, 10, Green)
+	h.Record(0, 20, Green)
+	by := h.ByProcess()
+	if len(by[1]) != 2 || by[1][0].Time != 10 || by[1][1].Time != 30 {
+		t.Fatalf("ByProcess not sorted: %v", by[1])
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestValueStringers(t *testing.T) {
+	if Green.String() != "green" || Red.String() != "red" {
+		t.Errorf("FSValue strings wrong")
+	}
+	if PsiBottom.String() != "⊥" || PsiFS.String() != "FS" || PsiOmegaSigma.String() != "(Ω,Σ)" {
+		t.Errorf("PsiPhase strings wrong")
+	}
+	v := PsiValue{Phase: PsiFS, FS: Red}
+	if v.String() != "FS:red" {
+		t.Errorf("PsiValue string = %q", v.String())
+	}
+	os := OmegaSigmaValue{Leader: 1, Quorum: NewProcessSet(1, 2)}
+	if os.String() != "(leader=p1, quorum={p1,p2})" {
+		t.Errorf("OmegaSigmaValue string = %q", os.String())
+	}
+}

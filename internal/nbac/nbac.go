@@ -1,0 +1,346 @@
+// Package nbac implements non-blocking atomic commit (NBAC, Section 7) and
+// the reductions the paper establishes between NBAC and quittable consensus:
+//
+//   - QCNBAC (Figure 4): given the failure-signal detector FS, any QC
+//     algorithm yields an NBAC algorithm — Theorem 8(a).
+//   - NBACQC (Figure 5): any NBAC algorithm yields a QC algorithm —
+//     half of Theorem 8(b).
+//   - FSFromNBAC: any NBAC algorithm implements FS, by running instances
+//     forever with Yes votes and turning red on the first Abort — the other
+//     half of Theorem 8(b).
+//   - TwoPC: a classical blocking two-phase-commit baseline used by the
+//     experiment harness to contrast "non-blocking" with what a
+//     coordinator-based protocol does under crashes.
+//
+// Together with the Ψ-based QC of internal/qc, QCNBAC gives the sufficiency
+// half of Corollary 10: (Ψ, FS) solves NBAC in any environment.
+package nbac
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/qc"
+	"weakestfd/internal/trace"
+)
+
+// Vote is a process's NBAC vote.
+type Vote bool
+
+// Votes.
+const (
+	VoteYes Vote = true
+	VoteNo  Vote = false
+)
+
+// String implements fmt.Stringer.
+func (v Vote) String() string {
+	if v == VoteYes {
+		return "Yes"
+	}
+	return "No"
+}
+
+// Outcome is an NBAC decision.
+type Outcome bool
+
+// Outcomes.
+const (
+	Commit Outcome = true
+	Abort  Outcome = false
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	if o == Commit {
+		return "Commit"
+	}
+	return "Abort"
+}
+
+// Protocol is a single-shot NBAC instance at one process.
+type Protocol interface {
+	Vote(ctx context.Context, v Vote) (Outcome, error)
+}
+
+// QCNBAC is the algorithm of Figure 4: NBAC from a QC instance and FS.
+type QCNBAC struct {
+	ep       *net.Endpoint
+	instance string
+	fs       fd.FS
+	qc       qc.QC
+	poll     time.Duration
+	metrics  *trace.Metrics
+}
+
+// Option configures the NBAC participants in this package.
+type Option func(*options)
+
+type options struct {
+	poll    time.Duration
+	metrics *trace.Metrics
+}
+
+// WithPollInterval sets how often blocked waits re-sample the failure
+// detector. Default 1ms.
+func WithPollInterval(d time.Duration) Option { return func(o *options) { o.poll = d } }
+
+// WithMetrics attaches a metrics sink.
+func WithMetrics(m *trace.Metrics) Option { return func(o *options) { o.metrics = m } }
+
+func buildOptions(opts []Option) options {
+	o := options{poll: time.Millisecond, metrics: trace.NewMetrics()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// NewQCNBAC creates the Figure 4 participant for the process behind ep: votes
+// are exchanged under the given instance name, failures are observed through
+// fs, and the agreement step delegates to the supplied QC instance.
+func NewQCNBAC(ep *net.Endpoint, instance string, fs fd.FS, quittable qc.QC, opts ...Option) *QCNBAC {
+	o := buildOptions(opts)
+	return &QCNBAC{
+		ep:       ep,
+		instance: "nbac." + instance,
+		fs:       fs,
+		qc:       quittable,
+		poll:     o.poll,
+		metrics:  o.metrics,
+	}
+}
+
+// Metrics returns the participant's metrics sink.
+func (a *QCNBAC) Metrics() *trace.Metrics { return a.metrics }
+
+type voteMsg struct {
+	Vote Vote
+}
+
+// Vote runs Figure 4 with vote v and returns Commit or Abort.
+func (a *QCNBAC) Vote(ctx context.Context, v Vote) (Outcome, error) {
+	a.metrics.Inc("vote")
+
+	// Line 1: send the vote to all.
+	a.ep.Broadcast(a.instance, "vote", voteMsg{Vote: v})
+
+	// Line 2: wait until either every process's vote arrived or FS is red.
+	votes := make(map[model.ProcessID]Vote, a.ep.N())
+	inbox := a.ep.Subscribe(a.instance)
+	ticker := time.NewTicker(a.poll)
+	defer ticker.Stop()
+	sawRed := false
+	for len(votes) < a.ep.N() {
+		if a.fs.Signal() == model.Red {
+			sawRed = true
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return Abort, fmt.Errorf("nbac vote: %w", ctx.Err())
+		case <-a.ep.Context().Done():
+			return Abort, fmt.Errorf("nbac vote: %w", a.ep.Context().Err())
+		case msg := <-inbox:
+			if msg.Type == "vote" {
+				votes[msg.From] = msg.Payload.(voteMsg).Vote
+			}
+		case <-ticker.C:
+			// A "nop" step while waiting; advance the logical clock so
+			// time-based detector behaviour (e.g. detection delays) makes
+			// progress even without message traffic.
+			a.ep.Clock().Tick()
+		}
+	}
+
+	// Lines 3-6: propose 1 only if every vote arrived and all are Yes.
+	proposal := 0
+	if !sawRed && len(votes) == a.ep.N() {
+		allYes := true
+		for _, vote := range votes {
+			if vote == VoteNo {
+				allYes = false
+				break
+			}
+		}
+		if allYes {
+			proposal = 1
+		}
+	}
+
+	// Line 7: agree through quittable consensus.
+	d, err := a.qc.Propose(ctx, proposal)
+	if err != nil {
+		return Abort, fmt.Errorf("nbac vote: %w", err)
+	}
+
+	// Lines 8-11: Commit only on a (non-Quit) decision of 1.
+	if !d.Quit && d.Value == 1 {
+		a.metrics.Inc("decided.commit")
+		return Commit, nil
+	}
+	a.metrics.Inc("decided.abort")
+	return Abort, nil
+}
+
+// NBACQC is the algorithm of Figure 5: quittable consensus from any NBAC
+// protocol. Proposals must be ints (the algorithm returns the smallest
+// proposal received, so values need a total order).
+type NBACQC struct {
+	ep       *net.Endpoint
+	instance string
+	nbac     Protocol
+	poll     time.Duration
+	metrics  *trace.Metrics
+}
+
+// NewNBACQC creates the Figure 5 participant for the process behind ep:
+// proposals are exchanged under the given instance name and the commit step
+// delegates to the supplied NBAC protocol.
+func NewNBACQC(ep *net.Endpoint, instance string, nbac Protocol, opts ...Option) *NBACQC {
+	o := buildOptions(opts)
+	return &NBACQC{
+		ep:       ep,
+		instance: "nbacqc." + instance,
+		nbac:     nbac,
+		poll:     o.poll,
+		metrics:  o.metrics,
+	}
+}
+
+// Metrics returns the participant's metrics sink.
+func (q *NBACQC) Metrics() *trace.Metrics { return q.metrics }
+
+type proposalMsg struct {
+	Value int
+}
+
+// Propose runs Figure 5 with proposal v (which must be an int).
+func (q *NBACQC) Propose(ctx context.Context, v qc.Value) (qc.Decision, error) {
+	q.metrics.Inc("propose")
+	value, ok := v.(int)
+	if !ok {
+		return qc.Decision{}, fmt.Errorf("nbac-based qc: proposal must be int, got %T", v)
+	}
+
+	// Line 1: send the proposal to all.
+	q.ep.Broadcast(q.instance, "proposal", proposalMsg{Value: value})
+
+	// Line 2: vote Yes in the NBAC instance.
+	outcome, err := q.nbac.Vote(ctx, VoteYes)
+	if err != nil {
+		return qc.Decision{}, fmt.Errorf("nbac-based qc: %w", err)
+	}
+
+	// Lines 3-4: Abort means a failure occurred (everyone voted Yes), so Quit
+	// is a legitimate QC decision.
+	if outcome == Abort {
+		q.metrics.Inc("decided.quit")
+		return qc.Decision{Quit: true}, nil
+	}
+
+	// Lines 5-7: Commit means every process voted, hence every process also
+	// broadcast its proposal; wait for all of them and return the smallest.
+	proposals := make(map[model.ProcessID]int, q.ep.N())
+	inbox := q.ep.Subscribe(q.instance)
+	for len(proposals) < q.ep.N() {
+		select {
+		case <-ctx.Done():
+			return qc.Decision{}, fmt.Errorf("nbac-based qc: %w", ctx.Err())
+		case <-q.ep.Context().Done():
+			return qc.Decision{}, fmt.Errorf("nbac-based qc: %w", q.ep.Context().Err())
+		case msg := <-inbox:
+			if msg.Type == "proposal" {
+				proposals[msg.From] = msg.Payload.(proposalMsg).Value
+			}
+		}
+	}
+	smallest := 0
+	first := true
+	for _, p := range proposals {
+		if first || p < smallest {
+			smallest = p
+			first = false
+		}
+	}
+	q.metrics.Inc("decided.value")
+	return qc.Decision{Value: smallest}, nil
+}
+
+// FSFromNBAC emulates the failure-signal detector FS from any NBAC protocol
+// (Theorem 8(b)): instances are run forever with Yes votes; the signal is
+// green until some instance aborts — which, with all-Yes votes, can happen
+// only if a failure occurred — and red permanently afterwards.
+type FSFromNBAC struct {
+	newInstance func(k int) Protocol
+	interval    time.Duration
+
+	mu  sync.Mutex
+	red bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// StartFSFromNBAC starts the emulation at this process. newInstance must
+// return this process's participant in the k-th NBAC instance; every process
+// of the system must run the emulation with a compatible factory so that the
+// instances line up. interval is the pause between successive instances.
+func StartFSFromNBAC(newInstance func(k int) Protocol, interval time.Duration) *FSFromNBAC {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &FSFromNBAC{
+		newInstance: newInstance,
+		interval:    interval,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+	}
+	go f.run(ctx)
+	return f
+}
+
+// Signal implements fd.FS.
+func (f *FSFromNBAC) Signal() model.FSValue {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.red {
+		return model.Red
+	}
+	return model.Green
+}
+
+// Stop terminates the emulation. The signal keeps its last value.
+func (f *FSFromNBAC) Stop() {
+	f.once.Do(f.cancel)
+	<-f.done
+}
+
+func (f *FSFromNBAC) run(ctx context.Context) {
+	defer close(f.done)
+	for k := 0; ; k++ {
+		outcome, err := f.newInstance(k).Vote(ctx, VoteYes)
+		if err != nil {
+			return // stopped or crashed
+		}
+		if outcome == Abort {
+			f.mu.Lock()
+			f.red = true
+			f.mu.Unlock()
+			return
+		}
+		timer := time.NewTimer(f.interval)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+var _ fd.FS = (*FSFromNBAC)(nil)

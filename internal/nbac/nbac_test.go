@@ -1,0 +1,428 @@
+package nbac
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"weakestfd/internal/check"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+)
+
+const testTimeout = 20 * time.Second
+
+// psiAndFS builds the standard oracle detector pair used by the NBAC stack.
+func psiAndFS(nw *net.Network, policy fd.PsiPolicy) (*fd.OraclePsi, *fd.OracleFS) {
+	psi := &fd.OraclePsi{Pattern: nw.Pattern(), Clock: nw.Clock(), SwitchAfter: 0, Policy: policy}
+	fs := &fd.OracleFS{Pattern: nw.Pattern(), Clock: nw.Clock()}
+	return psi, fs
+}
+
+// runNBAC has the listed processes vote concurrently and returns the recorded
+// outcome. Processes not present in votes never vote (e.g. because they are
+// crashed before the instance starts).
+func runNBAC(t *testing.T, nw *net.Network, participants []*QCNBAC, votes map[model.ProcessID]Vote, crashAfter []model.ProcessID) check.NBACOutcome {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+
+	outcome := check.NBACOutcome{Votes: map[model.ProcessID]check.Vote{}}
+	for p, v := range votes {
+		outcome.Votes[p] = check.Vote(v)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p, v := range votes {
+		wg.Add(1)
+		go func(p model.ProcessID, v Vote) {
+			defer wg.Done()
+			d, err := participants[int(p)].Vote(ctx, v)
+			end := nw.Clock().Now()
+			if err != nil {
+				if !nw.Crashed(p) {
+					t.Errorf("nbac vote by correct %v failed: %v", p, err)
+				}
+				return
+			}
+			mu.Lock()
+			outcome.Decisions = append(outcome.Decisions, check.Decision{Process: p, Value: bool(d == Commit), Time: end})
+			mu.Unlock()
+		}(p, v)
+	}
+	if len(crashAfter) > 0 {
+		time.Sleep(3 * time.Millisecond)
+		for _, p := range crashAfter {
+			nw.Crash(p)
+		}
+	}
+	wg.Wait()
+	return outcome
+}
+
+// Experiment E7: all processes vote Yes and nothing fails — the decision must
+// be Commit at every process.
+func TestNBACAllYesNoFailureCommits(t *testing.T) {
+	const n = 4
+	nw := net.NewNetwork(n, net.WithSeed(1))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferFSOnFailure)
+	group := NewPsiFSGroup(nw, "allyes", psi, fs)
+	defer group.Stop()
+
+	votes := map[model.ProcessID]Vote{}
+	for i := 0; i < n; i++ {
+		votes[model.ProcessID(i)] = VoteYes
+	}
+	outcome := runNBAC(t, nw, group.Participants, votes, nil)
+	if v := check.CheckNBAC(nw.Pattern(), outcome, true); !v.OK {
+		t.Fatalf("nbac spec violated: %v", v)
+	}
+	for _, d := range outcome.Decisions {
+		if d.Value != true {
+			t.Fatalf("process %v decided Abort although all voted Yes with no failure", d.Process)
+		}
+	}
+}
+
+// Experiment E7: a single No vote forces Abort.
+func TestNBACOneNoAborts(t *testing.T) {
+	const n = 4
+	nw := net.NewNetwork(n, net.WithSeed(2))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferFSOnFailure)
+	group := NewPsiFSGroup(nw, "oneno", psi, fs)
+	defer group.Stop()
+
+	votes := map[model.ProcessID]Vote{}
+	for i := 0; i < n; i++ {
+		votes[model.ProcessID(i)] = VoteYes
+	}
+	votes[2] = VoteNo
+	outcome := runNBAC(t, nw, group.Participants, votes, nil)
+	if v := check.CheckNBAC(nw.Pattern(), outcome, true); !v.OK {
+		t.Fatalf("nbac spec violated: %v", v)
+	}
+	for _, d := range outcome.Decisions {
+		if d.Value != false {
+			t.Fatalf("process %v decided Commit despite a No vote", d.Process)
+		}
+	}
+}
+
+// Experiment E7: a process crashes before voting; the survivors must not
+// block (that is the "non-blocking" in NBAC) and must abort.
+func TestNBACCrashBeforeVoteAbortsWithoutBlocking(t *testing.T) {
+	const n = 4
+	nw := net.NewNetwork(n, net.WithSeed(3))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferOmegaSigma)
+	group := NewPsiFSGroup(nw, "crash", psi, fs)
+	defer group.Stop()
+
+	// p3 crashes before the instance starts and never votes.
+	nw.Crash(3)
+
+	votes := map[model.ProcessID]Vote{}
+	for i := 0; i < n-1; i++ {
+		votes[model.ProcessID(i)] = VoteYes
+	}
+	outcome := runNBAC(t, nw, group.Participants, votes, nil)
+	if v := check.CheckNBAC(nw.Pattern(), outcome, true); !v.OK {
+		t.Fatalf("nbac spec violated: %v", v)
+	}
+	if len(outcome.Decisions) != n-1 {
+		t.Fatalf("expected %d decisions, got %d", n-1, len(outcome.Decisions))
+	}
+	for _, d := range outcome.Decisions {
+		if d.Value != false {
+			t.Fatalf("process %v decided Commit although a participant crashed before voting", d.Process)
+		}
+	}
+}
+
+// Experiment E7: same scenario but Ψ switches to its FS regime, so the
+// agreement step itself returns Quit; the outcome must still be a uniform
+// Abort.
+func TestNBACCrashWithPsiFSRegime(t *testing.T) {
+	const n = 3
+	nw := net.NewNetwork(n, net.WithSeed(4))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferFSOnFailure)
+	group := NewPsiFSGroup(nw, "fsregime", psi, fs)
+	defer group.Stop()
+
+	nw.Crash(2)
+
+	votes := map[model.ProcessID]Vote{0: VoteYes, 1: VoteYes}
+	outcome := runNBAC(t, nw, group.Participants, votes, nil)
+	if v := check.CheckNBAC(nw.Pattern(), outcome, true); !v.OK {
+		t.Fatalf("nbac spec violated: %v", v)
+	}
+	for _, d := range outcome.Decisions {
+		if d.Value != false {
+			t.Fatalf("process %v decided Commit in the FS regime", d.Process)
+		}
+	}
+}
+
+// Experiment E7: a crash that happens after every process has voted may still
+// lead to Commit (the QC step decides 1); whatever the outcome, it must be
+// uniform and valid.
+func TestNBACCrashAfterVotesStaysConsistent(t *testing.T) {
+	const n = 4
+	nw := net.NewNetwork(n, net.WithSeed(5))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferOmegaSigma)
+	group := NewPsiFSGroup(nw, "late", psi, fs)
+	defer group.Stop()
+
+	votes := map[model.ProcessID]Vote{}
+	for i := 0; i < n; i++ {
+		votes[model.ProcessID(i)] = VoteYes
+	}
+	outcome := runNBAC(t, nw, group.Participants, votes, []model.ProcessID{3})
+	if v := check.CheckNBAC(nw.Pattern(), outcome, false); !v.OK {
+		t.Fatalf("nbac spec violated: %v", v)
+	}
+	// All correct processes must have decided.
+	decided := model.NewProcessSet()
+	for _, d := range outcome.Decisions {
+		decided.Add(d.Process)
+	}
+	for _, p := range nw.Pattern().Correct().Slice() {
+		if !decided.Contains(p) {
+			t.Fatalf("correct process %v never decided", p)
+		}
+	}
+}
+
+// Experiment E7 (Figure 5 direction): QC obtained from NBAC decides the
+// smallest proposal when nothing fails.
+func TestQCFromNBACDecidesSmallestProposal(t *testing.T) {
+	const n = 3
+	nw := net.NewNetwork(n, net.WithSeed(6))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferFSOnFailure)
+	g := NewQCFromNBACGroup(nw, "qcround", psi, fs)
+	defer g.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+
+	proposals := map[model.ProcessID]int{0: 7, 1: 3, 2: 9}
+	outcome := check.QCOutcome{Proposals: map[model.ProcessID]any{}}
+	for p, v := range proposals {
+		outcome.Proposals[p] = v
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p := model.ProcessID(i)
+		wg.Add(1)
+		go func(p model.ProcessID) {
+			defer wg.Done()
+			d, err := g.Participants[int(p)].Propose(ctx, proposals[p])
+			end := nw.Clock().Now()
+			if err != nil {
+				t.Errorf("qc-from-nbac propose by %v failed: %v", p, err)
+				return
+			}
+			mu.Lock()
+			outcome.Decisions = append(outcome.Decisions, check.Decision{
+				Process: p,
+				Value:   check.QCDecision{Quit: d.Quit, Value: d.Value},
+				Time:    end,
+			})
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if v := check.CheckQC(nw.Pattern(), outcome, true); !v.OK {
+		t.Fatalf("qc spec violated: %v", v)
+	}
+	for _, d := range outcome.Decisions {
+		qd := d.Value.(check.QCDecision)
+		if qd.Quit || qd.Value != 3 {
+			t.Fatalf("process %v decided %v, want smallest proposal 3", d.Process, qd)
+		}
+	}
+}
+
+// Experiment E7 (Figure 5 direction): if a participant crashes before the
+// instance, the NBAC step aborts and the derived QC returns Quit — which is
+// valid because a failure occurred.
+func TestQCFromNBACQuitsOnFailure(t *testing.T) {
+	const n = 3
+	nw := net.NewNetwork(n, net.WithSeed(7))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferOmegaSigma)
+	g := NewQCFromNBACGroup(nw, "qcfail", psi, fs)
+	defer g.Stop()
+
+	nw.Crash(2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	decisions := make([]check.Decision, 0, 2)
+	var mu sync.Mutex
+	for i := 0; i < 2; i++ {
+		p := model.ProcessID(i)
+		wg.Add(1)
+		go func(p model.ProcessID) {
+			defer wg.Done()
+			d, err := g.Participants[int(p)].Propose(ctx, int(p)+1)
+			end := nw.Clock().Now()
+			if err != nil {
+				t.Errorf("propose by %v failed: %v", p, err)
+				return
+			}
+			mu.Lock()
+			decisions = append(decisions, check.Decision{Process: p, Value: check.QCDecision{Quit: d.Quit, Value: d.Value}, Time: end})
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	outcome := check.QCOutcome{
+		Proposals: map[model.ProcessID]any{0: 1, 1: 2},
+		Decisions: decisions,
+	}
+	if v := check.CheckQC(nw.Pattern(), outcome, true); !v.OK {
+		t.Fatalf("qc spec violated: %v", v)
+	}
+	for _, d := range decisions {
+		if !d.Value.(check.QCDecision).Quit {
+			t.Fatalf("process %v decided %v, want Quit", d.Process, d.Value)
+		}
+	}
+}
+
+func TestQCFromNBACRejectsNonIntProposal(t *testing.T) {
+	nw := net.NewNetwork(2, net.WithSeed(8))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferFSOnFailure)
+	g := NewQCFromNBACGroup(nw, "badtype", psi, fs)
+	defer g.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := g.Participants[0].Propose(ctx, "not an int"); err == nil {
+		t.Fatalf("non-int proposal accepted")
+	}
+}
+
+// Experiment E7 (FS emulation): with no failures the emulated FS stays green
+// across several instances; after a crash it eventually turns red.
+func TestFSFromNBACEmulation(t *testing.T) {
+	const n = 3
+	nw := net.NewNetwork(n, net.WithSeed(9))
+	defer nw.Close()
+	psi, fs := psiAndFS(nw, fd.PreferOmegaSigma)
+	emu := NewFSEmulationGroup(nw, "fsemu", psi, fs, 2*time.Millisecond)
+	defer emu.StopAll()
+
+	// Let a few all-Yes instances complete; the signal must stay green.
+	time.Sleep(100 * time.Millisecond)
+	for i, e := range emu.Emulators {
+		if e.Signal() != model.Green {
+			t.Fatalf("emulated FS at p%d red before any failure", i)
+		}
+	}
+
+	nw.Crash(2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if emu.Emulators[0].Signal() == model.Red && emu.Emulators[1].Signal() == model.Red {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("emulated FS did not turn red after the crash")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// The blocking 2PC baseline: commits in the failure-free case, blocks forever
+// when the coordinator crashes — in contrast with the QC-based NBAC under the
+// same failure pattern.
+func TestTwoPCCommitsWithoutFailure(t *testing.T) {
+	const n = 3
+	nw := net.NewNetwork(n, net.WithSeed(10))
+	defer nw.Close()
+	group := NewTwoPCGroup(nw, "ok", 0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, err := group[i].Vote(ctx, VoteYes)
+			if err != nil {
+				t.Errorf("2pc vote failed: %v", err)
+				return
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+	for i, o := range outcomes {
+		if o != Commit {
+			t.Fatalf("2pc outcome at p%d = %v, want Commit", i, o)
+		}
+	}
+}
+
+func TestTwoPCBlocksOnCoordinatorCrashWhileNBACDoesNot(t *testing.T) {
+	const n = 3
+	nw := net.NewNetwork(n, net.WithSeed(11))
+	defer nw.Close()
+	twopc := NewTwoPCGroup(nw, "blocked", 0)
+	psi, fs := psiAndFS(nw, fd.PreferOmegaSigma)
+	nbacGroup := NewPsiFSGroup(nw, "unblocked", psi, fs)
+	defer nbacGroup.Stop()
+
+	// The coordinator crashes before anyone votes.
+	nw.Crash(0)
+
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer shortCancel()
+	if _, err := twopc[1].Vote(shortCtx, VoteYes); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("2pc participant returned %v, want deadline exceeded", err)
+	}
+
+	// The NBAC stack under the same failure pattern terminates (with Abort).
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, err := nbacGroup.Participants[i].Vote(ctx, VoteYes)
+			if err != nil {
+				t.Errorf("nbac vote failed: %v", err)
+				return
+			}
+			if o != Abort {
+				t.Errorf("nbac outcome = %v, want Abort", o)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestVoteAndOutcomeStrings(t *testing.T) {
+	if VoteYes.String() != "Yes" || VoteNo.String() != "No" {
+		t.Fatalf("vote strings wrong")
+	}
+	if Commit.String() != "Commit" || Abort.String() != "Abort" {
+		t.Fatalf("outcome strings wrong")
+	}
+}

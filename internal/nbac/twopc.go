@@ -1,0 +1,99 @@
+package nbac
+
+import (
+	"context"
+	"fmt"
+
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/trace"
+)
+
+// TwoPC is the classical blocking two-phase commit: every participant sends
+// its vote to a fixed coordinator, the coordinator waits for all votes and
+// broadcasts Commit iff every vote was Yes, and every participant waits for
+// the coordinator's decision.
+//
+// TwoPC satisfies the agreement and validity clauses of atomic commit but not
+// the non-blocking termination clause: a single crash (of a participant
+// before voting, or of the coordinator before deciding) blocks every other
+// process forever. It is the baseline the experiment harness contrasts with
+// the (Ψ, FS)-based NBAC.
+type TwoPC struct {
+	ep          *net.Endpoint
+	instance    string
+	coordinator model.ProcessID
+	metrics     *trace.Metrics
+}
+
+// NewTwoPC creates the participant for the process behind ep, with the given
+// fixed coordinator.
+func NewTwoPC(ep *net.Endpoint, instance string, coordinator model.ProcessID, opts ...Option) *TwoPC {
+	o := buildOptions(opts)
+	return &TwoPC{
+		ep:          ep,
+		instance:    "twopc." + instance,
+		coordinator: coordinator,
+		metrics:     o.metrics,
+	}
+}
+
+// Metrics returns the participant's metrics sink.
+func (t *TwoPC) Metrics() *trace.Metrics { return t.metrics }
+
+type twopcDecision struct {
+	Outcome Outcome
+}
+
+// Vote runs the protocol with vote v. It blocks (until the context expires)
+// if any process crashes at an inconvenient time — that is the point of the
+// baseline.
+func (t *TwoPC) Vote(ctx context.Context, v Vote) (Outcome, error) {
+	t.metrics.Inc("vote")
+	inbox := t.ep.Subscribe(t.instance)
+
+	// Phase 1: every participant (including the coordinator) sends its vote
+	// to the coordinator.
+	t.ep.Send(t.coordinator, t.instance, "vote", voteMsg{Vote: v})
+
+	if t.ep.ID() == t.coordinator {
+		votes := make(map[model.ProcessID]Vote, t.ep.N())
+		for len(votes) < t.ep.N() {
+			select {
+			case <-ctx.Done():
+				return Abort, fmt.Errorf("2pc coordinator: %w", ctx.Err())
+			case <-t.ep.Context().Done():
+				return Abort, fmt.Errorf("2pc coordinator: %w", t.ep.Context().Err())
+			case msg := <-inbox:
+				if msg.Type == "vote" {
+					votes[msg.From] = msg.Payload.(voteMsg).Vote
+				}
+			}
+		}
+		outcome := Commit
+		for _, vote := range votes {
+			if vote == VoteNo {
+				outcome = Abort
+				break
+			}
+		}
+		// Phase 2: announce the decision.
+		t.ep.Broadcast(t.instance, "decision", twopcDecision{Outcome: outcome})
+	}
+
+	// Every participant waits for the coordinator's decision.
+	for {
+		select {
+		case <-ctx.Done():
+			return Abort, fmt.Errorf("2pc participant: %w", ctx.Err())
+		case <-t.ep.Context().Done():
+			return Abort, fmt.Errorf("2pc participant: %w", t.ep.Context().Err())
+		case msg := <-inbox:
+			if msg.Type == "decision" {
+				return msg.Payload.(twopcDecision).Outcome, nil
+			}
+		}
+	}
+}
+
+var _ Protocol = (*TwoPC)(nil)

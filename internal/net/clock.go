@@ -1,0 +1,26 @@
+package net
+
+import (
+	"sync/atomic"
+
+	"weakestfd/internal/model"
+)
+
+// Clock is the executable counterpart of the paper's discrete global clock:
+// a logical tick counter advanced by the runtime on every send and delivery.
+// Processes never read it to make protocol decisions (the model is
+// asynchronous); it is used to timestamp crash events and failure-detector
+// samples so that recorded histories can be checked against the formal
+// specifications.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current logical time.
+func (c *Clock) Now() model.Time { return model.Time(c.now.Load()) }
+
+// Tick advances the clock by one and returns the new time.
+func (c *Clock) Tick() model.Time { return model.Time(c.now.Add(1)) }

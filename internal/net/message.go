@@ -1,0 +1,26 @@
+package net
+
+import (
+	"fmt"
+
+	"weakestfd/internal/model"
+)
+
+// Message is the envelope carried by the in-memory network. Type is a
+// protocol-defined tag (e.g. "abd.read.req"); Payload is a protocol-defined
+// value. Instance lets independent protocol instances share one network
+// without seeing each other's traffic (the runtime does not interpret it
+// beyond routing; protocols filter on it).
+type Message struct {
+	From     model.ProcessID
+	To       model.ProcessID
+	Type     string
+	Instance string
+	Payload  any
+	SentAt   model.Time
+}
+
+// String implements fmt.Stringer.
+func (m Message) String() string {
+	return fmt.Sprintf("%v->%v %s/%s", m.From, m.To, m.Instance, m.Type)
+}

@@ -1,0 +1,336 @@
+// Package net is the asynchronous message-passing runtime used by the
+// protocol packages: an in-memory network of n processes connected by
+// reliable links with unbounded (randomised) delays, plus crash injection.
+//
+// It realises the system model of Section 2 of the paper: processes fail only
+// by crashing, links never lose or corrupt messages between processes that do
+// not crash, and there is no bound processes may rely on for message delay.
+// Crashes are recorded into a live model.FailurePattern, which is the ground
+// truth read by the oracle failure detectors in internal/fd and by the
+// specification checkers.
+package net
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weakestfd/internal/model"
+	"weakestfd/internal/trace"
+)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDelays sets the per-message delivery delay range. Delays are drawn
+// uniformly from [min, max]. The default is [0, 200µs], which is enough to
+// reorder messages aggressively without slowing tests down.
+func WithDelays(min, max time.Duration) Option {
+	return func(n *Network) {
+		n.minDelay, n.maxDelay = min, max
+	}
+}
+
+// WithSeed seeds the delay generator, making the injected delays reproducible
+// (goroutine scheduling remains a source of nondeterminism).
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithMetrics attaches a metrics sink; the network counts sent, delivered and
+// dropped messages into it.
+func WithMetrics(m *trace.Metrics) Option {
+	return func(n *Network) { n.metrics = m }
+}
+
+// WithLog attaches an event log; the network records crashes into it.
+func WithLog(l *trace.Log) Option {
+	return func(n *Network) { n.log = l }
+}
+
+// Network is an in-memory asynchronous network of n processes. Create one
+// with NewNetwork, hand each protocol participant its Endpoint, inject
+// crashes with Crash, and Close it when the run is over.
+type Network struct {
+	n        int
+	clock    *Clock
+	pattern  *model.FailurePattern
+	metrics  *trace.Metrics
+	log      *trace.Log
+	minDelay time.Duration
+	maxDelay time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	endpoints []*Endpoint
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// NewNetwork creates a network of n processes with no crashes yet.
+func NewNetwork(n int, opts ...Option) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("net: invalid process count %d", n))
+	}
+	nw := &Network{
+		n:        n,
+		clock:    NewClock(),
+		pattern:  model.NewFailurePattern(n),
+		metrics:  trace.NewMetrics(),
+		minDelay: 0,
+		maxDelay: 200 * time.Microsecond,
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(nw)
+	}
+	nw.endpoints = make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		nw.endpoints[i] = &Endpoint{
+			id:     model.ProcessID(i),
+			net:    nw,
+			ctx:    ctx,
+			cancel: cancel,
+			boxes:  make(map[string]*mailbox),
+		}
+	}
+	return nw
+}
+
+// N returns the number of processes.
+func (nw *Network) N() int { return nw.n }
+
+// Clock returns the network's logical clock.
+func (nw *Network) Clock() *Clock { return nw.clock }
+
+// Pattern returns the live failure pattern recording the crashes injected so
+// far. Oracle failure detectors and specification checkers read it.
+func (nw *Network) Pattern() *model.FailurePattern { return nw.pattern }
+
+// Metrics returns the network's metrics sink.
+func (nw *Network) Metrics() *trace.Metrics { return nw.metrics }
+
+// Endpoint returns process p's endpoint.
+func (nw *Network) Endpoint(p model.ProcessID) *Endpoint {
+	return nw.endpoints[int(p)]
+}
+
+// Crash kills process p: its crash is recorded in the failure pattern at the
+// current logical time, its context is cancelled, and no further messages are
+// delivered to or accepted from it. Crashing an already-crashed process is a
+// no-op.
+func (nw *Network) Crash(p model.ProcessID) {
+	ep := nw.endpoints[int(p)]
+	if ep.crashed.Swap(true) {
+		return
+	}
+	t := nw.clock.Tick()
+	nw.pattern.Crash(p, t)
+	nw.log.Append(t, p, "crash", "process crashed")
+	nw.metrics.Inc("crashes")
+	ep.cancel()
+}
+
+// Crashed reports whether p has crashed.
+func (nw *Network) Crashed(p model.ProcessID) bool {
+	return nw.endpoints[int(p)].crashed.Load()
+}
+
+// Alive returns the set of processes that have not crashed.
+func (nw *Network) Alive() model.ProcessSet {
+	s := model.NewProcessSet()
+	for i, ep := range nw.endpoints {
+		if !ep.crashed.Load() {
+			s.Add(model.ProcessID(i))
+		}
+	}
+	return s
+}
+
+// Close shuts the network down: all endpoints' contexts are cancelled, all
+// mailboxes stop, and in-flight delivery goroutines are awaited. A closed
+// network drops every subsequent send.
+func (nw *Network) Close() {
+	if nw.closed.Swap(true) {
+		return
+	}
+	for _, ep := range nw.endpoints {
+		ep.cancel()
+	}
+	nw.wg.Wait()
+	for _, ep := range nw.endpoints {
+		ep.closeBoxes()
+	}
+}
+
+func (nw *Network) delay() time.Duration {
+	if nw.maxDelay <= nw.minDelay {
+		return nw.minDelay
+	}
+	nw.rngMu.Lock()
+	defer nw.rngMu.Unlock()
+	return nw.minDelay + time.Duration(nw.rng.Int63n(int64(nw.maxDelay-nw.minDelay)+1))
+}
+
+// send enqueues an asynchronous delivery of msg. It is a no-op if the network
+// is closed or the sender has crashed.
+func (nw *Network) send(msg Message) {
+	if nw.closed.Load() || nw.Crashed(msg.From) {
+		nw.metrics.Inc("msgs.dropped")
+		return
+	}
+	if int(msg.To) < 0 || int(msg.To) >= nw.n {
+		panic(fmt.Sprintf("net: send to out-of-range process %v", msg.To))
+	}
+	msg.SentAt = nw.clock.Tick()
+	nw.metrics.Inc("msgs.sent")
+	nw.metrics.Inc("msgs.sent." + msg.Instance)
+	d := nw.delay()
+	nw.wg.Add(1)
+	go func() {
+		defer nw.wg.Done()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		if nw.closed.Load() || nw.Crashed(msg.To) {
+			nw.metrics.Inc("msgs.dropped")
+			return
+		}
+		nw.clock.Tick()
+		nw.metrics.Inc("msgs.delivered")
+		nw.endpoints[int(msg.To)].deliver(msg)
+	}()
+}
+
+// Endpoint is a process's connection to the network. A protocol participant
+// running at process p sends through it and subscribes to per-instance
+// message streams.
+type Endpoint struct {
+	id      model.ProcessID
+	net     *Network
+	ctx     context.Context
+	cancel  context.CancelFunc
+	crashed atomic.Bool
+
+	mu    sync.Mutex
+	boxes map[string]*mailbox
+}
+
+// ID returns the process identifier of this endpoint.
+func (ep *Endpoint) ID() model.ProcessID { return ep.id }
+
+// N returns the number of processes in the network.
+func (ep *Endpoint) N() int { return ep.net.n }
+
+// Context is cancelled when the process crashes or the network closes.
+// Protocol loops must select on it so that crashed processes stop taking
+// steps.
+func (ep *Endpoint) Context() context.Context { return ep.ctx }
+
+// Crashed reports whether this process has crashed.
+func (ep *Endpoint) Crashed() bool { return ep.crashed.Load() }
+
+// Clock returns the network's logical clock.
+func (ep *Endpoint) Clock() *Clock { return ep.net.clock }
+
+// Network returns the network this endpoint belongs to.
+func (ep *Endpoint) Network() *Network { return ep.net }
+
+// Send sends a message of the given instance and type to process "to".
+func (ep *Endpoint) Send(to model.ProcessID, instance, typ string, payload any) {
+	ep.net.send(Message{From: ep.id, To: to, Instance: instance, Type: typ, Payload: payload})
+}
+
+// Broadcast sends the message to every process, including the sender itself
+// (the paper's algorithms routinely "send to all" and rely on receiving their
+// own message).
+func (ep *Endpoint) Broadcast(instance, typ string, payload any) {
+	for i := 0; i < ep.net.n; i++ {
+		ep.Send(model.ProcessID(i), instance, typ, payload)
+	}
+}
+
+// Subscribe returns the channel of messages addressed to this process for the
+// given protocol instance. Messages that arrive before the first Subscribe
+// call are buffered, so subscribing after communication has started does not
+// lose messages. Each instance has a single stream; concurrent readers drain
+// it cooperatively.
+func (ep *Endpoint) Subscribe(instance string) <-chan Message {
+	return ep.box(instance).out
+}
+
+func (ep *Endpoint) box(instance string) *mailbox {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	b, ok := ep.boxes[instance]
+	if !ok {
+		b = newMailbox()
+		ep.boxes[instance] = b
+	}
+	return b
+}
+
+func (ep *Endpoint) deliver(msg Message) {
+	ep.box(msg.Instance).push(msg)
+}
+
+func (ep *Endpoint) closeBoxes() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for _, b := range ep.boxes {
+		b.stop()
+	}
+}
+
+// mailbox is an unbounded FIFO queue with a channel interface: push never
+// blocks the network's delivery goroutines and out delivers in FIFO order.
+type mailbox struct {
+	in   chan Message
+	out  chan Message
+	quit chan struct{}
+	once sync.Once
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		in:   make(chan Message, 16),
+		out:  make(chan Message),
+		quit: make(chan struct{}),
+	}
+	go m.pump()
+	return m
+}
+
+func (m *mailbox) push(msg Message) {
+	select {
+	case m.in <- msg:
+	case <-m.quit:
+	}
+}
+
+func (m *mailbox) stop() { m.once.Do(func() { close(m.quit) }) }
+
+func (m *mailbox) pump() {
+	var q []Message
+	for {
+		var out chan Message
+		var head Message
+		if len(q) > 0 {
+			out = m.out
+			head = q[0]
+		}
+		select {
+		case msg := <-m.in:
+			q = append(q, msg)
+		case out <- head:
+			q = q[1:]
+		case <-m.quit:
+			return
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package qc implements quittable consensus (QC, Section 5): like consensus,
+// except that processes may agree on the special value Quit when (and only
+// when) a failure has occurred.
+//
+// The package provides the sufficiency half of the paper's Theorem 5: the
+// algorithm of Figure 2, which solves QC in any environment given the failure
+// detector Ψ. Each process waits for its Ψ module to leave ⊥; if Ψ starts
+// behaving like FS (which it may do only after a failure), the process
+// returns Quit, otherwise Ψ behaves like (Ω, Σ) and the process runs the
+// (Ω, Σ)-based consensus of internal/consensus on its proposal.
+//
+// The converse construction — extracting Ψ from an arbitrary QC algorithm
+// (Figure 3) — lives in internal/extract. The reduction between QC and NBAC
+// (Figures 4 and 5) lives in internal/nbac.
+package qc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"weakestfd/internal/consensus"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/quorum"
+	"weakestfd/internal/trace"
+)
+
+// Value is a proposed or decided (non-Quit) value; it must be comparable.
+type Value = consensus.Value
+
+// Decision is the outcome of a QC instance: either Quit, or a regular decided
+// value.
+type Decision struct {
+	Quit  bool
+	Value Value
+}
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	if d.Quit {
+		return "Q"
+	}
+	return fmt.Sprintf("%v", d.Value)
+}
+
+// QC is a single-shot quittable-consensus instance at one process. Both the
+// Ψ-based algorithm of this package and the NBAC-based transformation in
+// internal/nbac satisfy it.
+type QC interface {
+	Propose(ctx context.Context, v Value) (Decision, error)
+}
+
+// PsiQC is the algorithm of Figure 2: quittable consensus from Ψ.
+type PsiQC struct {
+	ep      *net.Endpoint
+	psi     fd.Psi
+	cons    *consensus.BallotConsensus
+	poll    time.Duration
+	metrics *trace.Metrics
+}
+
+// Option configures a PsiQC participant.
+type Option func(*pqcOptions)
+
+type pqcOptions struct {
+	poll    time.Duration
+	metrics *trace.Metrics
+	consOps []consensus.Option
+}
+
+// WithPollInterval sets how often the ⊥-wait of line 1 of Figure 2 re-samples
+// Ψ. Default 1ms.
+func WithPollInterval(d time.Duration) Option { return func(o *pqcOptions) { o.poll = d } }
+
+// WithMetrics attaches a metrics sink.
+func WithMetrics(m *trace.Metrics) Option { return func(o *pqcOptions) { o.metrics = m } }
+
+// WithConsensusOptions forwards options to the embedded (Ω, Σ) consensus
+// participant.
+func WithConsensusOptions(opts ...consensus.Option) Option {
+	return func(o *pqcOptions) { o.consOps = opts }
+}
+
+// NewPsiQC creates the participant for the process behind ep in the QC
+// instance named by instance, using psi as its local Ψ module. The embedded
+// consensus participant extracts its Ω and Σ from Ψ's (Ω, Σ) regime, exactly
+// as line 6 of Figure 2 prescribes.
+func NewPsiQC(ep *net.Endpoint, instance string, psi fd.Psi, opts ...Option) *PsiQC {
+	o := pqcOptions{poll: time.Millisecond, metrics: trace.NewMetrics()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	adapter := psiOmegaSigma{self: ep.ID(), n: ep.N(), psi: psi}
+	cons := consensus.NewBallotConsensus(ep, "qc."+instance, adapter, quorum.SigmaGuard{Source: adapter}, o.consOps...)
+	return &PsiQC{
+		ep:      ep,
+		psi:     psi,
+		cons:    cons,
+		poll:    o.poll,
+		metrics: o.metrics,
+	}
+}
+
+// Metrics returns the participant's metrics sink.
+func (q *PsiQC) Metrics() *trace.Metrics { return q.metrics }
+
+// Stop shuts down the embedded consensus participant.
+func (q *PsiQC) Stop() { q.cons.Stop() }
+
+// Propose runs Figure 2 with proposal v.
+func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
+	q.metrics.Inc("propose")
+	ticker := time.NewTicker(q.poll)
+	defer ticker.Stop()
+
+	// Line 1: wait until Ψ leaves ⊥. Each iteration is a "nop" step of the
+	// paper's Figure 2, and like every step it advances the global logical
+	// clock (the runtime otherwise only ticks on message activity).
+	for {
+		val := q.psi.Value()
+		if val.Phase != model.PsiBottom {
+			break
+		}
+		q.ep.Clock().Tick()
+		select {
+		case <-ctx.Done():
+			return Decision{}, fmt.Errorf("qc propose: %w", ctx.Err())
+		case <-q.ep.Context().Done():
+			return Decision{}, fmt.Errorf("qc propose: %w", q.ep.Context().Err())
+		case <-ticker.C:
+		}
+	}
+
+	// Lines 2-4: if Ψ behaves like FS, a failure has occurred; return Quit.
+	if q.psi.Value().Phase == model.PsiFS {
+		q.metrics.Inc("decided.quit")
+		return Decision{Quit: true}, nil
+	}
+
+	// Lines 5-7: Ψ behaves like (Ω, Σ); run the (Ω, Σ) consensus.
+	d, err := q.cons.Propose(ctx, v)
+	if err != nil {
+		return Decision{}, fmt.Errorf("qc propose: %w", err)
+	}
+	q.metrics.Inc("decided.value")
+	return Decision{Value: d}, nil
+}
+
+// psiOmegaSigma adapts a Ψ module in its (Ω, Σ) regime to the Omega and Sigma
+// interfaces the consensus protocol needs. Before Ψ has switched (which only
+// happens if the adapter is queried outside Figure 2's order), it falls back
+// to trusting itself and the full process set — safe defaults that cannot
+// violate quorum intersection.
+type psiOmegaSigma struct {
+	self model.ProcessID
+	n    int
+	psi  fd.Psi
+}
+
+// Leader implements fd.Omega.
+func (a psiOmegaSigma) Leader() model.ProcessID {
+	v := a.psi.Value()
+	if v.Phase == model.PsiOmegaSigma {
+		return v.OS.Leader
+	}
+	return a.self
+}
+
+// Quorum implements fd.Sigma (and quorum.SigmaSource).
+func (a psiOmegaSigma) Quorum() model.ProcessSet {
+	v := a.psi.Value()
+	if v.Phase == model.PsiOmegaSigma {
+		return v.OS.Quorum
+	}
+	return model.AllProcesses(a.n)
+}
+
+var _ fd.OmegaSigma = psiOmegaSigma{}
+
+// Group is the set of Ψ-based QC participants of one instance, indexed by
+// process id.
+type Group []*PsiQC
+
+// Stop stops every participant.
+func (g Group) Stop() {
+	for _, q := range g {
+		q.Stop()
+	}
+}
+
+// NewPsiGroup builds a QC participant for every process of the network, each
+// bound to its module of the system-wide Ψ source.
+func NewPsiGroup(nw *net.Network, instance string, psi fd.PsiSource, opts ...Option) Group {
+	g := make(Group, nw.N())
+	for i := 0; i < nw.N(); i++ {
+		ep := nw.Endpoint(model.ProcessID(i))
+		bound := fd.BoundPsi{Proc: ep.ID(), Src: psi, Clock: nw.Clock()}
+		g[i] = NewPsiQC(ep, instance, bound, opts...)
+	}
+	return g
+}

@@ -1,0 +1,93 @@
+// Package quorum provides the quorum "guards" used by the register and
+// consensus protocols: predicates that decide when a set of acknowledging
+// processes is sufficient to complete a phase.
+//
+// The two main guards mirror the paper's two regimes:
+//
+//   - MajorityGuard waits for acknowledgements from a strict majority of the
+//     processes. It is the guard of the classical Attiya–Bar-Noy–Dolev
+//     register and the Chandra–Toueg consensus baseline; it guarantees
+//     intersection only in majority-correct environments.
+//   - SigmaGuard waits until the acknowledging set covers a quorum currently
+//     output by the failure detector Sigma. The intersection property of
+//     Sigma gives safety in any environment, and its completeness property
+//     gives termination (the quorum eventually contains only correct
+//     processes, all of which acknowledge).
+package quorum
+
+import (
+	"fmt"
+
+	"weakestfd/internal/model"
+)
+
+// Guard decides when a set of acknowledging processes suffices to complete a
+// quorum phase.
+type Guard interface {
+	// Satisfied reports whether acknowledgements from the given set of
+	// processes are sufficient to complete a quorum phase. Implementations
+	// may consult live state (e.g. re-read the failure detector), so callers
+	// should re-invoke Satisfied when either the acknowledging set grows or
+	// time passes.
+	Satisfied(acked model.ProcessSet) bool
+	// Name returns a short identifier for traces and experiment tables.
+	Name() string
+}
+
+// MajorityGuard is satisfied once more than half of the N processes have
+// acknowledged.
+type MajorityGuard struct {
+	N int
+}
+
+// Satisfied implements Guard.
+func (g MajorityGuard) Satisfied(acked model.ProcessSet) bool {
+	return 2*acked.Len() > g.N
+}
+
+// Name implements Guard.
+func (g MajorityGuard) Name() string { return fmt.Sprintf("majority(%d)", g.N) }
+
+// SigmaSource is the slice of the Sigma failure-detector interface the guard
+// needs: the quorum currently output at the guarding process.
+type SigmaSource interface {
+	Quorum() model.ProcessSet
+}
+
+// SigmaGuard is satisfied once the acknowledging set covers the quorum
+// currently output by Sigma at the guarding process.
+type SigmaGuard struct {
+	Source SigmaSource
+}
+
+// Satisfied implements Guard.
+func (g SigmaGuard) Satisfied(acked model.ProcessSet) bool {
+	return g.Source.Quorum().SubsetOf(acked)
+}
+
+// Name implements Guard.
+func (g SigmaGuard) Name() string { return "sigma" }
+
+// FixedGuard is satisfied once a fixed set of processes has acknowledged.
+// It is used by tests and by adversarial ablations.
+type FixedGuard struct {
+	Need model.ProcessSet
+}
+
+// Satisfied implements Guard.
+func (g FixedGuard) Satisfied(acked model.ProcessSet) bool { return g.Need.SubsetOf(acked) }
+
+// Name implements Guard.
+func (g FixedGuard) Name() string { return fmt.Sprintf("fixed%v", g.Need) }
+
+// AllGuard is satisfied only when all N processes have acknowledged; it is the
+// guard of the blocking two-phase-commit baseline.
+type AllGuard struct {
+	N int
+}
+
+// Satisfied implements Guard.
+func (g AllGuard) Satisfied(acked model.ProcessSet) bool { return acked.Len() >= g.N }
+
+// Name implements Guard.
+func (g AllGuard) Name() string { return fmt.Sprintf("all(%d)", g.N) }

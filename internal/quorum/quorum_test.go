@@ -1,0 +1,120 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"weakestfd/internal/model"
+)
+
+func TestMajorityGuard(t *testing.T) {
+	g := MajorityGuard{N: 5}
+	if g.Satisfied(model.NewProcessSet(0, 1)) {
+		t.Errorf("2/5 satisfied majority")
+	}
+	if !g.Satisfied(model.NewProcessSet(0, 1, 2)) {
+		t.Errorf("3/5 did not satisfy majority")
+	}
+	if g.Name() != "majority(5)" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestMajorityGuardEvenN(t *testing.T) {
+	g := MajorityGuard{N: 4}
+	if g.Satisfied(model.NewProcessSet(0, 1)) {
+		t.Errorf("2/4 satisfied majority (needs strict majority)")
+	}
+	if !g.Satisfied(model.NewProcessSet(0, 1, 2)) {
+		t.Errorf("3/4 did not satisfy majority")
+	}
+}
+
+type fixedSigma struct{ q model.ProcessSet }
+
+func (f fixedSigma) Quorum() model.ProcessSet { return f.q }
+
+func TestSigmaGuard(t *testing.T) {
+	g := SigmaGuard{Source: fixedSigma{q: model.NewProcessSet(1, 3)}}
+	if g.Satisfied(model.NewProcessSet(1)) {
+		t.Errorf("partial cover satisfied sigma guard")
+	}
+	if !g.Satisfied(model.NewProcessSet(1, 2, 3)) {
+		t.Errorf("superset did not satisfy sigma guard")
+	}
+	if g.Name() != "sigma" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestFixedAndAllGuards(t *testing.T) {
+	fg := FixedGuard{Need: model.NewProcessSet(0, 2)}
+	if fg.Satisfied(model.NewProcessSet(0, 1)) || !fg.Satisfied(model.NewProcessSet(0, 1, 2)) {
+		t.Errorf("FixedGuard wrong")
+	}
+	ag := AllGuard{N: 3}
+	if ag.Satisfied(model.NewProcessSet(0, 1)) || !ag.Satisfied(model.NewProcessSet(0, 1, 2)) {
+		t.Errorf("AllGuard wrong")
+	}
+	if fg.Name() == "" || ag.Name() == "" {
+		t.Errorf("names empty")
+	}
+}
+
+// Property: any two acknowledging sets that each satisfy a majority guard over
+// the same N intersect — the intersection property the register relies on.
+func TestQuickMajorityIntersection(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		g := MajorityGuard{N: n}
+		a, b := model.NewProcessSet(), model.NewProcessSet()
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				a.Add(model.ProcessID(i))
+			}
+			if r.Intn(2) == 0 {
+				b.Add(model.ProcessID(i))
+			}
+		}
+		if g.Satisfied(a) && g.Satisfied(b) {
+			return a.Intersects(b)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: growing the acknowledging set never unsatisfies a guard
+// (monotonicity), for the guards whose state is fixed.
+func TestQuickGuardMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		guards := []Guard{
+			MajorityGuard{N: n},
+			AllGuard{N: n},
+			FixedGuard{Need: model.NewProcessSet(model.ProcessID(r.Intn(n)))},
+			SigmaGuard{Source: fixedSigma{q: model.NewProcessSet(model.ProcessID(r.Intn(n)))}},
+		}
+		acked := model.NewProcessSet()
+		sat := make([]bool, len(guards))
+		for i := 0; i < n; i++ {
+			acked.Add(model.ProcessID(i))
+			for gi, g := range guards {
+				now := g.Satisfied(acked)
+				if sat[gi] && !now {
+					return false
+				}
+				sat[gi] = now
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

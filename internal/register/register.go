@@ -1,0 +1,367 @@
+// Package register implements fault-tolerant multi-writer multi-reader atomic
+// (linearizable) registers over the asynchronous message-passing runtime, in
+// the two regimes the paper contrasts:
+//
+//   - With the quorum failure detector Σ (Theorem 1, sufficiency direction):
+//     the Attiya–Bar-Noy–Dolev protocol with its "wait for a majority"
+//     replaced by "wait until the acknowledging set covers a quorum currently
+//     output by Σ". Σ's intersection property gives atomicity in any
+//     environment; its completeness property gives termination at correct
+//     processes.
+//   - With plain majorities (the classical ABD baseline): correct only in
+//     majority-correct environments; operations block forever once a majority
+//     has crashed, which experiment E2 demonstrates.
+//
+// Both are instances of the same generic protocol parameterised by a
+// quorum.Guard.
+//
+// Every operation follows the two-phase structure of ABD:
+//
+//	Write(v): query phase (collect timestamps from a quorum), then store phase
+//	          (push (maxTs+1, v) to a quorum).
+//	Read():   query phase (collect timestamp/value pairs from a quorum), then
+//	          write-back phase (push the freshest pair to a quorum) so that a
+//	          later read cannot observe an older value.
+//
+// The write path exposes the set of processes that acknowledged the store
+// phase (WriteTracked). This is the executable counterpart of the participant
+// sets Pi(k) of Figure 1, which the Σ-extraction construction in
+// internal/extract consumes.
+package register
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/quorum"
+	"weakestfd/internal/trace"
+)
+
+// Timestamp orders writes: sequence number first, writer id as tie-break, so
+// that concurrent writes by different processes are totally ordered.
+type Timestamp struct {
+	Seq    int64
+	Writer model.ProcessID
+}
+
+// Less reports whether t is strictly older than o.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Seq != o.Seq {
+		return t.Seq < o.Seq
+	}
+	return t.Writer < o.Writer
+}
+
+// String implements fmt.Stringer.
+func (t Timestamp) String() string { return fmt.Sprintf("%d.%v", t.Seq, t.Writer) }
+
+// Message types exchanged by the protocol.
+const (
+	msgGet    = "get"     // query phase request
+	msgGetAck = "get.ack" // query phase reply: timestamp and value
+	msgSet    = "set"     // store / write-back phase request
+	msgSetAck = "set.ack" // store phase acknowledgement
+)
+
+type getReq struct {
+	Op int64
+}
+
+type getAck[V any] struct {
+	Op  int64
+	Ts  Timestamp
+	Val V
+}
+
+type setReq[V any] struct {
+	Op  int64
+	Ts  Timestamp
+	Val V
+}
+
+type setAck struct {
+	Op int64
+}
+
+// Register is one process's handle on a replicated register. All processes
+// that share the same network and instance name form the replica group; every
+// one of them must create (and keep running) a Register for the protocol to
+// make progress, since each hosts a replica.
+//
+// A Register is safe for concurrent use by multiple goroutines of its
+// process.
+type Register[V any] struct {
+	ep       *net.Endpoint
+	instance string
+	guard    quorum.Guard
+	metrics  *trace.Metrics
+	poll     time.Duration
+
+	mu    sync.Mutex
+	ts    Timestamp
+	value V
+	opSeq int64
+	pend  map[int64]*pending[V]
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// pending tracks the acknowledgements of one in-flight phase.
+type pending[V any] struct {
+	acked   model.ProcessSet
+	bestTs  Timestamp
+	bestVal V
+	updated chan struct{}
+}
+
+// Option configures a Register.
+type Option func(*options)
+
+type options struct {
+	metrics *trace.Metrics
+	poll    time.Duration
+}
+
+// WithMetrics attaches a metrics sink counting operations and phases.
+func WithMetrics(m *trace.Metrics) Option {
+	return func(o *options) { o.metrics = m }
+}
+
+// WithPollInterval sets how often a blocked phase re-evaluates its quorum
+// guard even without new acknowledgements (needed with Σ, whose output can
+// change over time). The default is 1ms.
+func WithPollInterval(d time.Duration) Option {
+	return func(o *options) { o.poll = d }
+}
+
+// New creates the register replica and client handle for the process behind
+// ep, joining the replica group identified by instance. The guard decides
+// when a phase has gathered enough acknowledgements: quorum.MajorityGuard for
+// the classical ABD protocol, quorum.SigmaGuard for the Σ-based one.
+func New[V any](ep *net.Endpoint, instance string, guard quorum.Guard, opts ...Option) *Register[V] {
+	o := options{metrics: trace.NewMetrics(), poll: time.Millisecond}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	r := &Register[V]{
+		ep:       ep,
+		instance: "reg." + instance,
+		guard:    guard,
+		metrics:  o.metrics,
+		poll:     o.poll,
+		ts:       Timestamp{Seq: 0, Writer: -1},
+		pend:     make(map[int64]*pending[V]),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// Metrics returns the register's metrics sink.
+func (r *Register[V]) Metrics() *trace.Metrics { return r.metrics }
+
+// Stop shuts down the replica's message loop. The register group loses this
+// replica, exactly as if the process stopped participating.
+func (r *Register[V]) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// run is the single reader of the register's message stream: it serves the
+// replica role (answering get/set requests) and routes acknowledgements to
+// in-flight operations of the local process.
+func (r *Register[V]) run() {
+	defer close(r.done)
+	inbox := r.ep.Subscribe(r.instance)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.ep.Context().Done():
+			return
+		case msg := <-inbox:
+			r.handle(msg)
+		}
+	}
+}
+
+func (r *Register[V]) handle(msg net.Message) {
+	switch msg.Type {
+	case msgGet:
+		req := msg.Payload.(getReq)
+		r.mu.Lock()
+		ack := getAck[V]{Op: req.Op, Ts: r.ts, Val: r.value}
+		r.mu.Unlock()
+		r.ep.Send(msg.From, r.instance, msgGetAck, ack)
+
+	case msgSet:
+		req := msg.Payload.(setReq[V])
+		r.mu.Lock()
+		if r.ts.Less(req.Ts) {
+			r.ts = req.Ts
+			r.value = req.Val
+		}
+		r.mu.Unlock()
+		r.ep.Send(msg.From, r.instance, msgSetAck, setAck{Op: req.Op})
+
+	case msgGetAck:
+		ack := msg.Payload.(getAck[V])
+		r.mu.Lock()
+		if p, ok := r.pend[ack.Op]; ok {
+			p.acked.Add(msg.From)
+			if p.bestTs.Less(ack.Ts) {
+				p.bestTs = ack.Ts
+				p.bestVal = ack.Val
+			}
+			notify(p.updated)
+		}
+		r.mu.Unlock()
+
+	case msgSetAck:
+		ack := msg.Payload.(setAck)
+		r.mu.Lock()
+		if p, ok := r.pend[ack.Op]; ok {
+			p.acked.Add(msg.From)
+			notify(p.updated)
+		}
+		r.mu.Unlock()
+	}
+}
+
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// newPending registers a fresh in-flight phase and returns its id and state.
+func (r *Register[V]) newPending() (int64, *pending[V]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opSeq++
+	id := r.opSeq
+	p := &pending[V]{
+		acked:   model.NewProcessSet(),
+		bestTs:  Timestamp{Seq: -1, Writer: -1},
+		updated: make(chan struct{}, 1),
+	}
+	r.pend[id] = p
+	return id, p
+}
+
+func (r *Register[V]) dropPending(id int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pend, id)
+}
+
+// await blocks until the guard is satisfied by the phase's acknowledgement
+// set, the context is cancelled, or the process crashes. It returns the
+// acknowledging set on success.
+func (r *Register[V]) await(ctx context.Context, p *pending[V]) (model.ProcessSet, error) {
+	ticker := time.NewTicker(r.poll)
+	defer ticker.Stop()
+	for {
+		r.mu.Lock()
+		acked := p.acked.Clone()
+		r.mu.Unlock()
+		if r.guard.Satisfied(acked) {
+			return acked, nil
+		}
+		select {
+		case <-ctx.Done():
+			return model.NewProcessSet(), ctx.Err()
+		case <-r.ep.Context().Done():
+			return model.NewProcessSet(), r.ep.Context().Err()
+		case <-r.stop:
+			return model.NewProcessSet(), context.Canceled
+		case <-p.updated:
+		case <-ticker.C:
+		}
+	}
+}
+
+// queryPhase broadcasts a get request and waits for a quorum of replies,
+// returning the freshest timestamp/value seen and the acknowledging set.
+func (r *Register[V]) queryPhase(ctx context.Context) (Timestamp, V, model.ProcessSet, error) {
+	id, p := r.newPending()
+	defer r.dropPending(id)
+	r.metrics.Inc("phases.query")
+	r.ep.Broadcast(r.instance, msgGet, getReq{Op: id})
+	acked, err := r.await(ctx, p)
+	if err != nil {
+		var zero V
+		return Timestamp{}, zero, acked, err
+	}
+	r.mu.Lock()
+	ts, val := p.bestTs, p.bestVal
+	r.mu.Unlock()
+	return ts, val, acked, nil
+}
+
+// storePhase broadcasts a set request and waits for a quorum of
+// acknowledgements, returning the acknowledging set.
+func (r *Register[V]) storePhase(ctx context.Context, ts Timestamp, val V) (model.ProcessSet, error) {
+	id, p := r.newPending()
+	defer r.dropPending(id)
+	r.metrics.Inc("phases.store")
+	r.ep.Broadcast(r.instance, msgSet, setReq[V]{Op: id, Ts: ts, Val: val})
+	return r.await(ctx, p)
+}
+
+// Read performs an atomic read: it returns the freshest value covered by a
+// quorum and writes it back to a quorum before returning, so that any later
+// read observes a value at least as fresh.
+func (r *Register[V]) Read(ctx context.Context) (V, error) {
+	r.metrics.Inc("ops.read")
+	ts, val, _, err := r.queryPhase(ctx)
+	if err != nil {
+		var zero V
+		return zero, fmt.Errorf("register read (query phase): %w", err)
+	}
+	if ts.Seq < 0 {
+		// No replica had a value yet; normalise to the initial timestamp.
+		ts = Timestamp{Seq: 0, Writer: -1}
+		var zero V
+		val = zero
+	}
+	if _, err := r.storePhase(ctx, ts, val); err != nil {
+		var zero V
+		return zero, fmt.Errorf("register read (write-back phase): %w", err)
+	}
+	return val, nil
+}
+
+// Write performs an atomic write of val.
+func (r *Register[V]) Write(ctx context.Context, val V) error {
+	_, err := r.WriteTracked(ctx, val)
+	return err
+}
+
+// WriteTracked performs an atomic write and returns the set of processes that
+// acknowledged its store phase — the executable analogue of the participant
+// set Pi(k) of Figure 1. The set always contains at least one correct process
+// (a quorum acknowledged the value; if every acknowledger were faulty, a
+// later read served entirely by other processes could miss the value, which
+// the quorum intersection property forbids).
+func (r *Register[V]) WriteTracked(ctx context.Context, val V) (model.ProcessSet, error) {
+	r.metrics.Inc("ops.write")
+	ts, _, queryAcks, err := r.queryPhase(ctx)
+	if err != nil {
+		return model.NewProcessSet(), fmt.Errorf("register write (query phase): %w", err)
+	}
+	next := Timestamp{Seq: ts.Seq + 1, Writer: r.ep.ID()}
+	storeAcks, err := r.storePhase(ctx, next, val)
+	if err != nil {
+		return model.NewProcessSet(), fmt.Errorf("register write (store phase): %w", err)
+	}
+	return queryAcks.Union(storeAcks), nil
+}

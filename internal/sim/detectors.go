@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"weakestfd/internal/model"
+)
+
+// Simulated failure detectors: deterministic functions of the (static, planned)
+// failure pattern and the simulated time, handed to the Runner as
+// DetectorFunc values. They realise the same definitions as the oracle
+// detectors in internal/fd, specialised to the simulation's time base.
+
+// OmegaSigmaDetector returns a DetectorFunc producing model.OmegaSigmaValue
+// samples: the leader is the lowest-id process not yet crashed at the sample
+// time, the quorum is the set of processes not yet crashed. Both converge to
+// the correct processes, and any two quorums intersect as long as at least
+// one process is correct.
+func OmegaSigmaDetector(pattern *model.FailurePattern) DetectorFunc {
+	return func(_ model.ProcessID, t model.Time) any {
+		alive := pattern.AliveAt(t)
+		leader, ok := alive.Min()
+		if !ok {
+			leader = 0
+		}
+		return model.OmegaSigmaValue{Leader: leader, Quorum: alive}
+	}
+}
+
+// PsiDetector returns a DetectorFunc producing model.PsiValue samples
+// realising Ψ: ⊥ until switchAfter, then permanently either the FS regime
+// (only if preferFS is set and a failure occurred by switchAfter) or the
+// (Ω, Σ) regime. Because the regime is a deterministic function of the static
+// failure pattern, every process makes the same choice, as the specification
+// requires.
+func PsiDetector(pattern *model.FailurePattern, switchAfter model.Time, preferFS bool) DetectorFunc {
+	osDet := OmegaSigmaDetector(pattern)
+	return func(p model.ProcessID, t model.Time) any {
+		if t < switchAfter {
+			return model.PsiValue{Phase: model.PsiBottom}
+		}
+		if preferFS && pattern.FailureOccurredBy(switchAfter) {
+			sig := model.Green
+			if pattern.FailureOccurredBy(t) {
+				sig = model.Red
+			}
+			return model.PsiValue{Phase: model.PsiFS, FS: sig}
+		}
+		return model.PsiValue{Phase: model.PsiOmegaSigma, OS: osDet(p, t).(model.OmegaSigmaValue)}
+	}
+}
+
+// FSDetector returns a DetectorFunc producing model.FSValue samples: red
+// exactly once a failure has occurred.
+func FSDetector(pattern *model.FailurePattern) DetectorFunc {
+	return func(_ model.ProcessID, t model.Time) any {
+		if pattern.FailureOccurredBy(t) {
+			return model.Red
+		}
+		return model.Green
+	}
+}

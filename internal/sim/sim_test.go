@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"weakestfd/internal/model"
+)
+
+// echoAutomaton: every process sends its input to all once, and outputs the
+// number of distinct senders it has heard from. Used to test the kernel.
+type echoAutomaton struct{}
+
+type echoState struct {
+	input     any
+	sent      bool
+	heardFrom model.ProcessSet
+}
+
+func (echoAutomaton) InitialState(_ model.ProcessID, _ int, input any) State {
+	return echoState{input: input, heardFrom: model.NewProcessSet()}
+}
+
+func (echoAutomaton) Output(state State) (any, bool) {
+	s := state.(echoState)
+	if s.heardFrom.Len() > 0 {
+		return s.heardFrom.Len(), true
+	}
+	return nil, false
+}
+
+func (echoAutomaton) Step(ctx StepContext, state State, msg *Message, _ any) (State, []Message) {
+	s := state.(echoState)
+	s.heardFrom = s.heardFrom.Clone()
+	var out []Message
+	if !s.sent {
+		s.sent = true
+		for i := 0; i < ctx.N; i++ {
+			out = append(out, Message{From: ctx.Self, To: model.ProcessID(i), Type: "echo", Payload: s.input})
+		}
+	}
+	if msg != nil {
+		s.heardFrom.Add(msg.From)
+	}
+	return s, out
+}
+
+func TestConfigurationApplyAndBuffer(t *testing.T) {
+	a := echoAutomaton{}
+	cfg := NewConfiguration(a, 2, []any{"x", "y"})
+	if cfg.N() != 2 || len(cfg.Buffer) != 0 {
+		t.Fatalf("initial configuration wrong")
+	}
+	// p0 takes a λ step: it broadcasts its input.
+	cfg.Apply(a, Step{Process: 0, BufferIndex: -1})
+	if len(cfg.Buffer) != 2 {
+		t.Fatalf("buffer = %v", cfg.Buffer)
+	}
+	pending := cfg.PendingFor(1)
+	if len(pending) != 1 {
+		t.Fatalf("pending for p1 = %v", pending)
+	}
+	// p1 receives it.
+	idx := pending[0]
+	m := cfg.Buffer[idx]
+	cfg.Apply(a, Step{Process: 1, BufferIndex: idx, Msg: &m})
+	if out, ok := a.Output(cfg.States[1]); !ok || out.(int) != 1 {
+		t.Fatalf("output of p1 = %v, %v", out, ok)
+	}
+	// The consumed message is gone from the buffer; the only message still
+	// pending for p1 is its own broadcast (sent during its step).
+	remaining := cfg.PendingFor(1)
+	if len(remaining) != 1 || cfg.Buffer[remaining[0]].From != 1 {
+		t.Fatalf("pending for p1 after delivery = %v (buffer %v)", remaining, cfg.Buffer)
+	}
+}
+
+func TestConfigurationCloneIsIndependent(t *testing.T) {
+	a := echoAutomaton{}
+	cfg := NewConfiguration(a, 2, []any{"x", "y"})
+	cfg.Apply(a, Step{Process: 0, BufferIndex: -1})
+	snapshot := cfg.Clone()
+	bufLen := len(snapshot.Buffer)
+
+	pending := cfg.PendingFor(1)
+	m := cfg.Buffer[pending[0]]
+	cfg.Apply(a, Step{Process: 1, BufferIndex: pending[0], Msg: &m})
+
+	if len(snapshot.Buffer) != bufLen {
+		t.Fatalf("clone's buffer changed")
+	}
+	if _, ok := a.Output(snapshot.States[1]); ok {
+		t.Fatalf("clone's state changed")
+	}
+}
+
+func TestApplyPanicsOnStaleIndex(t *testing.T) {
+	a := echoAutomaton{}
+	cfg := NewConfiguration(a, 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("stale buffer index did not panic")
+		}
+	}()
+	cfg.Apply(a, Step{Process: 0, BufferIndex: 5})
+}
+
+func TestApplyPanicsOnWrongRecipient(t *testing.T) {
+	a := echoAutomaton{}
+	cfg := NewConfiguration(a, 2, []any{"x", "y"})
+	cfg.Apply(a, Step{Process: 0, BufferIndex: -1}) // p0 broadcasts
+	// Find a message addressed to p0 and try to deliver it to p1.
+	idx := cfg.PendingFor(0)[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("wrong-recipient delivery did not panic")
+		}
+	}()
+	cfg.Apply(a, Step{Process: 1, BufferIndex: idx})
+}
+
+func TestScheduleParticipants(t *testing.T) {
+	s := Schedule{{Process: 0}, {Process: 2}, {Process: 0}}
+	if got := s.Participants(); !got.Equal(model.NewProcessSet(0, 2)) {
+		t.Fatalf("Participants = %v", got)
+	}
+}
+
+// runConsensus runs the consensus automaton with a random scheduler under the
+// given pattern until every alive process decides (or steps run out) and
+// returns the decisions.
+func runConsensus(seed int64, n int, pattern *model.FailurePattern, inputs []any, maxSteps int) map[model.ProcessID]any {
+	a := ConsensusAutomaton{}
+	r := &Runner{
+		Automaton: a,
+		N:         n,
+		Inputs:    inputs,
+		Pattern:   pattern,
+		Detector:  OmegaSigmaDetector(pattern),
+	}
+	res := r.Run(seed, maxSteps, func(cfg *Configuration) bool {
+		outs := cfg.Outputs(a)
+		for _, p := range pattern.Correct().Slice() {
+			if _, ok := outs[p]; !ok {
+				return false
+			}
+		}
+		return len(outs) > 0
+	})
+	return res.Decided
+}
+
+func TestSimConsensusFailureFree(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	decided := runConsensus(1, 3, pattern, []any{0, 1, 1}, 20000)
+	if len(decided) != 3 {
+		t.Fatalf("only %d processes decided", len(decided))
+	}
+	first := decided[0]
+	for p, v := range decided {
+		if v != first {
+			t.Fatalf("disagreement: %v decided %v, p0 decided %v", p, v, first)
+		}
+	}
+	if first != 0 && first != 1 {
+		t.Fatalf("decision %v was never proposed", first)
+	}
+}
+
+func TestSimConsensusWithCrashes(t *testing.T) {
+	pattern := model.NewFailurePattern(4)
+	pattern.Crash(0, 50) // the initial leader crashes early
+	pattern.Crash(3, 200)
+	decided := runConsensus(7, 4, pattern, []any{10, 11, 12, 13}, 40000)
+	for _, p := range pattern.Correct().Slice() {
+		if _, ok := decided[p]; !ok {
+			t.Fatalf("correct process %v did not decide", p)
+		}
+	}
+	var vals []any
+	for _, v := range decided {
+		vals = append(vals, v)
+	}
+	for _, v := range vals {
+		if v != vals[0] {
+			t.Fatalf("disagreement among decisions: %v", vals)
+		}
+	}
+}
+
+// Property: over random seeds, crash patterns and proposals, the step-model
+// consensus never violates agreement or validity (termination is not asserted
+// here because adversarial random schedules may legitimately need more steps
+// than the bound).
+func TestQuickSimConsensusSafety(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		pattern := model.NewFailurePattern(n)
+		for i := 0; i < n-1; i++ {
+			if rng.Intn(3) == 0 {
+				pattern.Crash(model.ProcessID(i), model.Time(1+rng.Intn(300)))
+			}
+		}
+		inputs := make([]any, n)
+		proposed := map[any]bool{}
+		for i := range inputs {
+			inputs[i] = rng.Intn(3)
+			proposed[inputs[i]] = true
+		}
+		decided := runConsensus(rng.Int63(), n, pattern, inputs, 4000)
+		var prev any
+		first := true
+		for _, v := range decided {
+			if !proposed[v] {
+				return false // validity violated
+			}
+			if !first && v != prev {
+				return false // agreement violated
+			}
+			prev, first = v, false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimQCDecidesValueInOmegaSigmaRegime(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	a := QCAutomaton{}
+	r := &Runner{
+		Automaton: a,
+		N:         3,
+		Inputs:    []any{1, 0, 1},
+		Pattern:   pattern,
+		Detector:  PsiDetector(pattern, 10, true),
+	}
+	res := r.Run(3, 20000, func(cfg *Configuration) bool {
+		return len(cfg.Outputs(a)) == 3
+	})
+	if len(res.Decided) != 3 {
+		t.Fatalf("only %d processes decided", len(res.Decided))
+	}
+	for p, v := range res.Decided {
+		out := v.(QCOutcome)
+		if out.Quit {
+			t.Fatalf("%v decided Quit with no failure", p)
+		}
+		if out.Value != 0 && out.Value != 1 {
+			t.Fatalf("%v decided unproposed value %v", p, out.Value)
+		}
+	}
+}
+
+func TestSimQCQuitsInFSRegime(t *testing.T) {
+	pattern := model.NewFailurePattern(3)
+	pattern.Crash(2, 5) // before the Ψ switch point
+	a := QCAutomaton{}
+	r := &Runner{
+		Automaton: a,
+		N:         3,
+		Inputs:    []any{1, 0, 1},
+		Pattern:   pattern,
+		Detector:  PsiDetector(pattern, 10, true),
+	}
+	res := r.Run(4, 20000, func(cfg *Configuration) bool {
+		outs := cfg.Outputs(a)
+		return len(outs) >= 2
+	})
+	for p, v := range res.Decided {
+		if p == 2 {
+			continue
+		}
+		if !v.(QCOutcome).Quit {
+			t.Fatalf("%v decided %v, want Quit", p, v)
+		}
+	}
+	if len(res.Decided) < 2 {
+		t.Fatalf("correct processes did not decide")
+	}
+}
+
+// Property: the step-model QC never violates agreement and never quits
+// without a failure.
+func TestQuickSimQCSafety(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3
+		pattern := model.NewFailurePattern(n)
+		crashed := false
+		for i := 0; i < n-1; i++ {
+			if rng.Intn(3) == 0 {
+				pattern.Crash(model.ProcessID(i), model.Time(1+rng.Intn(100)))
+				crashed = true
+			}
+		}
+		a := QCAutomaton{}
+		r := &Runner{
+			Automaton: a,
+			N:         n,
+			Inputs:    []any{rng.Intn(2), rng.Intn(2), rng.Intn(2)},
+			Pattern:   pattern,
+			Detector:  PsiDetector(pattern, model.Time(rng.Intn(50)), rng.Intn(2) == 0),
+		}
+		res := r.Run(rng.Int63(), 3000, nil)
+		var prev QCOutcome
+		first := true
+		for _, v := range res.Decided {
+			out := v.(QCOutcome)
+			if out.Quit && !crashed {
+				return false
+			}
+			if !first && out != prev {
+				return false
+			}
+			prev, first = out, false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerRecordsSamplesAndClock(t *testing.T) {
+	pattern := model.NewFailurePattern(2)
+	clock := &Clock{}
+	hist := model.NewHistory()
+	r := &Runner{
+		Automaton:     echoAutomaton{},
+		N:             2,
+		Inputs:        []any{"a", "b"},
+		Pattern:       pattern,
+		Detector:      FSDetector(pattern),
+		Clock:         clock,
+		RecordSamples: hist,
+	}
+	res := r.Run(9, 50, nil)
+	if res.Steps != 50 {
+		t.Fatalf("Steps = %d", res.Steps)
+	}
+	if hist.Len() != 50 {
+		t.Fatalf("samples = %d", hist.Len())
+	}
+	if clock.Now() == 0 {
+		t.Fatalf("clock not advanced")
+	}
+	for _, s := range hist.Samples() {
+		if s.Value.(model.FSValue) != model.Green {
+			t.Fatalf("FS sample red without failures")
+		}
+	}
+}
+
+func TestRunnerStopsWhenAllCrashed(t *testing.T) {
+	pattern := model.NewFailurePattern(2)
+	pattern.Crash(0, 1)
+	pattern.Crash(1, 1)
+	r := &Runner{Automaton: echoAutomaton{}, N: 2, Pattern: pattern}
+	res := r.Run(1, 1000, nil)
+	if res.Steps != 0 {
+		t.Fatalf("steps taken with all processes crashed: %d", res.Steps)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{From: 0, To: 1, Type: "x"}
+	if m.String() != "p0->p1 x" {
+		t.Fatalf("String = %q", m.String())
+	}
+}

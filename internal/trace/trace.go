@@ -1,0 +1,136 @@
+// Package trace provides lightweight run instrumentation shared by the
+// protocol packages, the benchmark harness and cmd/experiments: monotonic
+// counters (message counts, rounds, retries) and an append-only event log.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"weakestfd/internal/model"
+)
+
+// Metrics is a set of named monotonic counters. The zero value is ready to
+// use. Metrics is safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Add increments the named counter by n.
+func (m *Metrics) Add(name string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += n
+}
+
+// Inc increments the named counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Get returns the current value of the named counter (zero if never touched).
+func (m *Metrics) Get(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (m *Metrics) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters sorted by name, e.g. "msgs.sent=12 rounds=3".
+func (m *Metrics) String() string {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, snap[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Event is one entry of a run's event log.
+type Event struct {
+	Time    model.Time
+	Process model.ProcessID
+	Kind    string
+	Detail  string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("[t=%d %v] %s: %s", e.Time, e.Process, e.Kind, e.Detail)
+}
+
+// Log is an append-only event log. The zero value is ready to use. Log is
+// safe for concurrent use. A nil *Log discards appended events, so protocol
+// code can trace unconditionally.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds an event to the log. Appending to a nil log is a no-op.
+func (l *Log) Append(t model.Time, p model.ProcessID, kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Time: t, Process: p, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of all events in append order. A nil log has none.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Filter returns the events of the given kind.
+func (l *Log) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMetricsBasics(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("msgs")
+	m.Add("msgs", 4)
+	m.Add("rounds", 2)
+	if got := m.Get("msgs"); got != 5 {
+		t.Fatalf("Get(msgs) = %d", got)
+	}
+	if got := m.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %d", got)
+	}
+	snap := m.Snapshot()
+	if snap["rounds"] != 2 || len(snap) != 2 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	if got := m.String(); got != "msgs=5 rounds=2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMetricsZeroValueAndConcurrency(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get("n"); got != 800 {
+		t.Fatalf("Get = %d, want 800", got)
+	}
+}
+
+func TestLog(t *testing.T) {
+	l := NewLog()
+	l.Append(1, 0, "send", "to %d", 2)
+	l.Append(2, 1, "recv", "from %d", 0)
+	l.Append(3, 1, "send", "to %d", 0)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	sends := l.Filter("send")
+	if len(sends) != 2 {
+		t.Fatalf("Filter(send) = %v", sends)
+	}
+	if got := l.Events()[0].String(); got != "[t=1 p0] send: to 2" {
+		t.Fatalf("Event.String = %q", got)
+	}
+}
+
+func TestNilLogIsDiscard(t *testing.T) {
+	var l *Log
+	l.Append(1, 0, "send", "x") // must not panic
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatalf("nil log not empty")
+	}
+}
