@@ -1,0 +1,3 @@
+module weakestfd
+
+go 1.24

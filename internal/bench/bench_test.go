@@ -1,0 +1,294 @@
+// Package bench holds the perf benchmarks of the runtime and the protocol
+// stack: consensus round-trips, NBAC, register operations and the raw
+// delivery path, each at several system sizes and in both scheduler modes.
+//
+// Run them with
+//
+//	go test ./internal/bench -bench . -benchmem
+//
+// and regenerate the committed BENCH_net.json snapshot with
+//
+//	BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"weakestfd/internal/consensus"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/nbac"
+	"weakestfd/internal/net"
+	"weakestfd/internal/register"
+)
+
+const benchTimeout = 30 * time.Second
+
+func oracleOmegaSigma(nw *net.Network) (*fd.OracleOmega, *fd.OracleSigma) {
+	return &fd.OracleOmega{Pattern: nw.Pattern(), Clock: nw.Clock()},
+		&fd.OracleSigma{Pattern: nw.Pattern(), Clock: nw.Clock()}
+}
+
+// consensusRoundTrip runs one full (Ω, Σ) ballot-consensus instance — network
+// setup, n concurrent proposers, all deciding — and returns an error if any
+// correct process failed to decide.
+func consensusRoundTrip(n int, opts ...net.Option) error {
+	nw := net.NewNetwork(n, opts...)
+	defer nw.Close()
+	omega, sigma := oracleOmegaSigma(nw)
+	group := consensus.NewOmegaSigmaGroup(nw, "bench", omega, sigma)
+	defer group.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), benchTimeout)
+	defer cancel()
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := group[i].Propose(ctx, i); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func benchConsensus(b *testing.B, n int, opts ...net.Option) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := consensusRoundTrip(n, opts...); err != nil {
+			b.Fatalf("consensus: %v", err)
+		}
+	}
+}
+
+func BenchmarkConsensus(b *testing.B) {
+	for _, n := range []int{3, 10, 50} {
+		b.Run(fmt.Sprintf("virtual/n=%d", n), func(b *testing.B) {
+			benchConsensus(b, n, net.WithSeed(1))
+		})
+	}
+	// The wall-clock-fidelity path the virtual-time scheduler replaced: same
+	// protocol, same [0, 200µs] delay range, but the delays are waited out.
+	b.Run("realtime/n=10", func(b *testing.B) {
+		benchConsensus(b, 10, net.WithSeed(1), net.WithRealTime())
+	})
+}
+
+func nbacRoundTrip(n int, opts ...net.Option) error {
+	nw := net.NewNetwork(n, opts...)
+	defer nw.Close()
+	psi := &fd.OraclePsi{Pattern: nw.Pattern(), Clock: nw.Clock(), SwitchAfter: 0, Policy: fd.PreferFSOnFailure}
+	fs := &fd.OracleFS{Pattern: nw.Pattern(), Clock: nw.Clock()}
+	group := nbac.NewPsiFSGroup(nw, "bench", psi, fs)
+	defer group.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), benchTimeout)
+	defer cancel()
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := group.Participants[i].Vote(ctx, nbac.VoteYes); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func BenchmarkNBAC(b *testing.B) {
+	for _, n := range []int{3, 10} {
+		b.Run(fmt.Sprintf("virtual/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := nbacRoundTrip(n, net.WithSeed(1)); err != nil {
+					b.Fatalf("nbac: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegisterOps measures one ABD write plus one read per iteration on
+// a long-lived Σ-based register group.
+func BenchmarkRegisterOps(b *testing.B) {
+	for _, n := range []int{3, 10, 50} {
+		b.Run(fmt.Sprintf("virtual/n=%d", n), func(b *testing.B) {
+			nw := net.NewNetwork(n, net.WithSeed(1))
+			defer nw.Close()
+			_, sigma := oracleOmegaSigma(nw)
+			group := register.NewSigmaGroup[int](nw, "bench", sigma)
+			defer group.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), benchTimeout)
+			defer cancel()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := group[0].Write(ctx, i); err != nil {
+					b.Fatalf("write: %v", err)
+				}
+				if _, err := group[1%n].Read(ctx); err != nil {
+					b.Fatalf("read: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSendDeliver measures the raw delivery path: one send through the
+// event queue into a drained mailbox per iteration. With the discrete-event
+// scheduler this must not allocate a goroutine (or anything else beyond
+// amortised ring/heap growth) per message.
+func BenchmarkSendDeliver(b *testing.B) {
+	nw := net.NewNetwork(2, net.WithSeed(1))
+	defer nw.Close()
+	inbox := nw.Endpoint(1).Subscribe("bench")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			<-inbox
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Endpoint(0).Send(1, "bench", "m", nil)
+	}
+	<-done
+}
+
+// ---- committed benchmark snapshot ----
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestEmitBenchJSON regenerates BENCH_net.json at the repo root so the perf
+// trajectory has committed data points. Gated behind BENCH_JSON=1 because it
+// runs the full benchmark matrix.
+func TestEmitBenchJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_net.json")
+	}
+	var results []benchResult
+	add := func(name string, fn func(b *testing.B)) *testing.BenchmarkResult {
+		r := testing.Benchmark(fn)
+		results = append(results, benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		t.Logf("%s: %v", name, r)
+		return &r
+	}
+
+	for _, n := range []int{3, 10, 50} {
+		n := n
+		add(fmt.Sprintf("Consensus/virtual/n=%d", n), func(b *testing.B) {
+			benchConsensus(b, n, net.WithSeed(1))
+		})
+	}
+	virtual := results[1] // n=10
+	real10 := add("Consensus/realtime/n=10", func(b *testing.B) {
+		benchConsensus(b, 10, net.WithSeed(1), net.WithRealTime())
+	})
+	for _, n := range []int{3, 10} {
+		n := n
+		add(fmt.Sprintf("NBAC/virtual/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := nbacRoundTrip(n, net.WithSeed(1)); err != nil {
+					b.Fatalf("nbac: %v", err)
+				}
+			}
+		})
+	}
+	for _, n := range []int{3, 10, 50} {
+		n := n
+		add(fmt.Sprintf("RegisterOps/virtual/n=%d", n), func(b *testing.B) {
+			nw := net.NewNetwork(n, net.WithSeed(1))
+			defer nw.Close()
+			_, sigma := oracleOmegaSigma(nw)
+			group := register.NewSigmaGroup[int](nw, "bench", sigma)
+			defer group.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), benchTimeout)
+			defer cancel()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := group[0].Write(ctx, i); err != nil {
+					b.Fatalf("write: %v", err)
+				}
+				if _, err := group[1%n].Read(ctx); err != nil {
+					b.Fatalf("read: %v", err)
+				}
+			}
+		})
+	}
+	add("SendDeliver/virtual", func(b *testing.B) {
+		nw := net.NewNetwork(2, net.WithSeed(1))
+		defer nw.Close()
+		inbox := nw.Endpoint(1).Subscribe("bench")
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < b.N; i++ {
+				<-inbox
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nw.Endpoint(0).Send(1, "bench", "m", nil)
+		}
+		<-done
+	})
+
+	speedup := float64(real10.NsPerOp()) / virtual.NsPerOp
+	out := struct {
+		GeneratedBy string        `json:"generated_by"`
+		GoVersion   string        `json:"go_version"`
+		DelayRange  string        `json:"delay_range"`
+		SpeedupN10  float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
+		Results     []benchResult `json:"results"`
+	}{
+		GeneratedBy: "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
+		GoVersion:   runtime.Version(),
+		DelayRange:  "[0, 200µs]",
+		SpeedupN10:  speedup,
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("../../BENCH_net.json", data, 0o644); err != nil {
+		t.Fatalf("write BENCH_net.json: %v", err)
+	}
+	t.Logf("consensus n=10 virtual-vs-realtime speedup: %.1fx", speedup)
+	if speedup < 10 {
+		t.Errorf("virtual-time speedup %.1fx is below the 10x acceptance bar", speedup)
+	}
+}

@@ -17,6 +17,14 @@
 //     crash) also rests on the partial-synchrony assumption; the oracle FS in
 //     internal/fd is the assumption-free reference.
 //
+// All intervals and timeouts are measured on the network's clock: virtual
+// time under the default virtual-time scheduler (where a heartbeat round
+// costs no wall-clock time), wall-clock time under net.WithRealTime. The
+// timers ride the network's event queue, whose backpressure keeps virtual
+// time from running ahead of the detector loops — that is what preserves the
+// partial-synchrony assumption these detectors need even when time is
+// simulated.
+//
 // All three run a background goroutine per process; callers must Stop them
 // (or close the network) when done.
 package fdimpl
@@ -34,6 +42,7 @@ import (
 type MajoritySigma struct {
 	ep       *net.Endpoint
 	interval time.Duration
+	ticker   *net.Timer
 
 	mu     sync.Mutex
 	quorum model.ProcessSet
@@ -46,16 +55,25 @@ type MajoritySigma struct {
 const sigmaInstance = "fdimpl.sigma"
 
 // StartMajoritySigma starts the join-quorum protocol at ep's process, probing
-// every interval. The initial quorum is the full process set (trivially
-// intersecting with everything).
+// every interval of virtual time. The initial quorum is the full process set
+// (trivially intersecting with everything).
+//
+// The probe ticker and the first probe are issued synchronously, before
+// Start returns: under the virtual-time scheduler the pending ticker is what
+// stops the clock from racing past this process while its loop goroutine is
+// still being scheduled. The loop consumes its instance exclusively through
+// Endpoint.TryRecv — do not Subscribe to it elsewhere. Start a whole
+// ensemble under Network.Freeze/Thaw for a simultaneous boot.
 func StartMajoritySigma(ep *net.Endpoint, interval time.Duration) *MajoritySigma {
 	s := &MajoritySigma{
 		ep:       ep,
 		interval: interval,
+		ticker:   ep.NewTicker(interval),
 		quorum:   model.AllProcesses(ep.N()),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: 0})
 	go s.run()
 	return s
 }
@@ -79,14 +97,40 @@ type sigmaAck struct{ Round int }
 
 func (s *MajoritySigma) run() {
 	defer close(s.done)
-	inbox := s.ep.Subscribe(sigmaInstance)
-	ticker := time.NewTicker(s.interval)
-	defer ticker.Stop()
+	defer s.ticker.Stop()
 
 	round := 0
-	acked := model.NewProcessSet(s.ep.ID())
+	acked := map[int]model.ProcessSet{}
 	majority := s.ep.N()/2 + 1
-	s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
+
+	handle := func(msg net.Message) {
+		switch msg.Type {
+		case "probe":
+			probe := msg.Payload.(sigmaProbe)
+			s.ep.Send(msg.From, sigmaInstance, "ack", sigmaAck{Round: probe.Round})
+		case "ack":
+			// Accept acks for the previous round too: a peer that answers a
+			// probe at its own next tick produces an ack that systematically
+			// reaches us one round late (all tickers share virtual
+			// deadlines), so an exact-round check would discard almost every
+			// ack and leave quorum formation to a scheduling race.
+			ack := msg.Payload.(sigmaAck)
+			if ack.Round < round-1 || ack.Round > round {
+				return
+			}
+			set, ok := acked[ack.Round]
+			if !ok {
+				set = model.NewProcessSet(s.ep.ID())
+				acked[ack.Round] = set
+			}
+			set.Add(msg.From)
+			if set.Len() >= majority {
+				s.mu.Lock()
+				s.quorum = set.Clone()
+				s.mu.Unlock()
+			}
+		}
+	}
 
 	for {
 		select {
@@ -94,27 +138,22 @@ func (s *MajoritySigma) run() {
 			return
 		case <-s.ep.Context().Done():
 			return
-		case <-ticker.C:
-			round++
-			acked = model.NewProcessSet(s.ep.ID())
-			s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
-		case msg := <-inbox:
-			switch msg.Type {
-			case "probe":
-				probe := msg.Payload.(sigmaProbe)
-				s.ep.Send(msg.From, sigmaInstance, "ack", sigmaAck{Round: probe.Round})
-			case "ack":
-				ack := msg.Payload.(sigmaAck)
-				if ack.Round != round {
-					continue
+		case <-s.ticker.C:
+			// Drain synchronously before advancing the round: TryRecv reads
+			// the mailbox ring directly, so everything the dispatcher has
+			// delivered up to this tick is processed first. Holding the tick
+			// back also holds virtual time back (see net.Timer), pacing
+			// rounds by processing progress.
+			for {
+				msg, ok := s.ep.TryRecv(sigmaInstance)
+				if !ok {
+					break
 				}
-				acked.Add(msg.From)
-				if acked.Len() >= majority {
-					s.mu.Lock()
-					s.quorum = acked.Clone()
-					s.mu.Unlock()
-				}
+				handle(msg)
 			}
+			delete(acked, round-1)
+			round++
+			s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
 		}
 	}
 }
@@ -126,6 +165,8 @@ type HeartbeatOmega struct {
 	ep       *net.Endpoint
 	interval time.Duration
 	timeout  time.Duration
+	ticker   *net.Timer
+	start    time.Duration
 
 	mu     sync.Mutex
 	leader model.ProcessID
@@ -139,16 +180,22 @@ const omegaInstance = "fdimpl.omega"
 
 // StartHeartbeatOmega starts heartbeating at ep's process. timeout should be
 // several times the heartbeat interval plus the maximum expected message
-// delay.
+// delay, all in virtual time. Setup (ticker, first heartbeat) happens
+// synchronously, before Start returns; the loop consumes its instance
+// exclusively through Endpoint.TryRecv — do not Subscribe to it elsewhere.
+// Start a whole ensemble under Network.Freeze/Thaw for a simultaneous boot.
 func StartHeartbeatOmega(ep *net.Endpoint, interval, timeout time.Duration) *HeartbeatOmega {
 	o := &HeartbeatOmega{
 		ep:       ep,
 		interval: interval,
 		timeout:  timeout,
+		ticker:   ep.NewTicker(interval),
+		start:    ep.VirtualNow(),
 		leader:   0,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	ep.Broadcast(omegaInstance, "hb", nil)
 	go o.run()
 	return o
 }
@@ -168,16 +215,11 @@ func (o *HeartbeatOmega) Stop() {
 
 func (o *HeartbeatOmega) run() {
 	defer close(o.done)
-	inbox := o.ep.Subscribe(omegaInstance)
-	ticker := time.NewTicker(o.interval)
-	defer ticker.Stop()
+	defer o.ticker.Stop()
 
-	lastHeard := make(map[model.ProcessID]time.Time)
-	start := time.Now()
-	o.ep.Broadcast(omegaInstance, "hb", nil)
+	lastHeard := make(map[model.ProcessID]time.Duration)
 
-	recompute := func() {
-		now := time.Now()
+	recompute := func(now time.Duration) {
 		leader := o.ep.ID()
 		for i := 0; i < o.ep.N(); i++ {
 			p := model.ProcessID(i)
@@ -187,7 +229,7 @@ func (o *HeartbeatOmega) run() {
 				continue
 			}
 			heard, ok := lastHeard[p]
-			alive := (ok && now.Sub(heard) <= o.timeout) || (!ok && now.Sub(start) <= o.timeout)
+			alive := (ok && now-heard <= o.timeout) || (!ok && now-o.start <= o.timeout)
 			if alive && p < leader {
 				leader = p
 			}
@@ -203,14 +245,22 @@ func (o *HeartbeatOmega) run() {
 			return
 		case <-o.ep.Context().Done():
 			return
-		case <-ticker.C:
-			o.ep.Broadcast(omegaInstance, "hb", nil)
-			recompute()
-		case msg := <-inbox:
-			if msg.Type == "hb" {
-				lastHeard[msg.From] = time.Now()
-				recompute()
+		case now := <-o.ticker.C:
+			// Drain synchronously before recomputing: TryRecv reads the
+			// mailbox ring directly, so freshness reflects everything the
+			// dispatcher has delivered up to this tick, and holding the tick
+			// back holds virtual time back.
+			for {
+				msg, ok := o.ep.TryRecv(omegaInstance)
+				if !ok {
+					break
+				}
+				if msg.Type == "hb" {
+					lastHeard[msg.From] = now
+				}
 			}
+			o.ep.Broadcast(omegaInstance, "hb", nil)
+			recompute(now)
 		}
 	}
 }
@@ -222,6 +272,8 @@ type HeartbeatFS struct {
 	ep       *net.Endpoint
 	interval time.Duration
 	timeout  time.Duration
+	ticker   *net.Timer
+	start    time.Duration
 
 	mu  sync.Mutex
 	red bool
@@ -233,15 +285,22 @@ type HeartbeatFS struct {
 
 const fsInstance = "fdimpl.fs"
 
-// StartHeartbeatFS starts heartbeating at ep's process.
+// StartHeartbeatFS starts heartbeating at ep's process. Setup (ticker, first
+// heartbeat) happens synchronously, before Start returns; the loop consumes
+// its instance exclusively through Endpoint.TryRecv — do not Subscribe to it
+// elsewhere. Start a whole ensemble under Network.Freeze/Thaw for a
+// simultaneous boot.
 func StartHeartbeatFS(ep *net.Endpoint, interval, timeout time.Duration) *HeartbeatFS {
 	f := &HeartbeatFS{
 		ep:       ep,
 		interval: interval,
 		timeout:  timeout,
+		ticker:   ep.NewTicker(interval),
+		start:    ep.VirtualNow(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	ep.Broadcast(fsInstance, "hb", nil)
 	go f.run()
 	return f
 }
@@ -264,14 +323,10 @@ func (f *HeartbeatFS) Stop() {
 
 func (f *HeartbeatFS) run() {
 	defer close(f.done)
-	inbox := f.ep.Subscribe(fsInstance)
-	ticker := time.NewTicker(f.interval)
-	defer ticker.Stop()
+	defer f.ticker.Stop()
 
-	lastHeard := make(map[model.ProcessID]time.Time)
-	start := time.Now()
+	lastHeard := make(map[model.ProcessID]time.Duration)
 	grace := 2 * f.timeout
-	f.ep.Broadcast(fsInstance, "hb", nil)
 
 	for {
 		select {
@@ -279,10 +334,23 @@ func (f *HeartbeatFS) run() {
 			return
 		case <-f.ep.Context().Done():
 			return
-		case <-ticker.C:
+		case now := <-f.ticker.C:
+			// Drain synchronously before the timeout check: TryRecv reads
+			// the mailbox ring directly, so the check runs against every
+			// heartbeat the dispatcher has delivered up to this tick. The
+			// signal is sticky, so a single stale window would falsely turn
+			// it red forever — this is the path that must not race.
+			for {
+				msg, ok := f.ep.TryRecv(fsInstance)
+				if !ok {
+					break
+				}
+				if msg.Type == "hb" {
+					lastHeard[msg.From] = now
+				}
+			}
 			f.ep.Broadcast(fsInstance, "hb", nil)
-			now := time.Now()
-			if now.Sub(start) < grace {
+			if now-f.start < grace {
 				continue
 			}
 			for i := 0; i < f.ep.N(); i++ {
@@ -292,17 +360,13 @@ func (f *HeartbeatFS) run() {
 				}
 				heard, ok := lastHeard[p]
 				if !ok {
-					heard = start.Add(grace)
+					heard = f.start + grace
 				}
-				if now.Sub(heard) > f.timeout {
+				if now-heard > f.timeout {
 					f.mu.Lock()
 					f.red = true
 					f.mu.Unlock()
 				}
-			}
-		case msg := <-inbox:
-			if msg.Type == "hb" {
-				lastHeard[msg.From] = time.Now()
 			}
 		}
 	}

@@ -26,10 +26,14 @@ func TestMajoritySigmaConvergesToCorrectMajority(t *testing.T) {
 	nw := net.NewNetwork(n, net.WithSeed(1))
 	defer nw.Close()
 
+	// Boot the ensemble atomically so virtual time cannot race ahead of
+	// processes whose detector is not up yet.
+	nw.Freeze()
 	sigmas := make([]*MajoritySigma, n)
 	for i := 0; i < n; i++ {
 		sigmas[i] = StartMajoritySigma(nw.Endpoint(model.ProcessID(i)), 5*time.Millisecond)
 	}
+	nw.Thaw()
 	defer func() {
 		for _, s := range sigmas[:4] { // sigma[4] belongs to a crashed process; its goroutine exits via context
 			s.Stop()
@@ -83,10 +87,12 @@ func TestHeartbeatOmegaElectsLowestCorrect(t *testing.T) {
 	nw := net.NewNetwork(n, net.WithSeed(3))
 	defer nw.Close()
 
+	nw.Freeze()
 	omegas := make([]*HeartbeatOmega, n)
 	for i := 0; i < n; i++ {
 		omegas[i] = StartHeartbeatOmega(nw.Endpoint(model.ProcessID(i)), 3*time.Millisecond, 40*time.Millisecond)
 	}
+	nw.Thaw()
 	defer func() {
 		for i := 1; i < n; i++ {
 			omegas[i].Stop()
@@ -127,10 +133,15 @@ func TestHeartbeatFSTurnsRedOnlyAfterCrash(t *testing.T) {
 	nw := net.NewNetwork(n, net.WithSeed(4))
 	defer nw.Close()
 
+	// An FS ensemble must boot atomically: if virtual time runs while a
+	// process's detector is not started yet, its silence is indistinguishable
+	// from a crash and the signal would (correctly, but unhelpfully) turn red.
+	nw.Freeze()
 	fss := make([]*HeartbeatFS, n)
 	for i := 0; i < n; i++ {
 		fss[i] = StartHeartbeatFS(nw.Endpoint(model.ProcessID(i)), 3*time.Millisecond, 40*time.Millisecond)
 	}
+	nw.Thaw()
 	defer func() {
 		for i := 0; i < 2; i++ {
 			fss[i].Stop()

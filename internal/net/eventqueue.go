@@ -1,0 +1,338 @@
+package net
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// eventKind discriminates the two things the scheduler delivers: message
+// deliveries and timer fires.
+type eventKind uint8
+
+const (
+	evMessage eventKind = iota
+	evTimer
+)
+
+// event is one pending delivery in the scheduler's priority queue, ordered by
+// (at, seq): at is the virtual-nanosecond delivery time, seq the enqueue
+// sequence number that breaks ties FIFO.
+type event struct {
+	at   int64
+	seq  uint64
+	kind eventKind
+	msg  Message
+	tm   *Timer
+}
+
+// splitmix64 is the cheap, statistically solid PRNG used to draw message
+// delays. It lives inside the event queue and is only touched under the
+// queue's lock, so there is no separate RNG mutex on the send path.
+type splitmix64 struct{ x uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// eventQueue is the discrete-event core of the network: a min-heap of
+// (at, seq, event) drained by a single dispatcher goroutine.
+//
+// In virtual-time mode (the default) the queue never waits in wall-clock
+// time: popping an event advances the virtual clock to the event's timestamp,
+// so a 200µs injected delay reorders messages exactly as it would in real
+// time but costs nothing. Message events are stamped now+delay, so a delay
+// larger than a timer deadline really does land after that timer fires —
+// delay distributions keep their adversarial meaning. During a Freeze the
+// clock is still, so a frozen batch shares one base time and its delivery
+// order is exactly the order obtained by sorting (delay, enqueue-seq) —
+// deterministic given a seed, independent of goroutine scheduling. Timer
+// events carry absolute
+// virtual deadlines and are what actually moves the virtual clock forward.
+//
+// In real-time mode (WithRealTime) the same dispatcher waits on the wall
+// clock until the earliest event's deadline, preserving wall-clock fidelity
+// without the old goroutine-per-message cost.
+type eventQueue struct {
+	mu   sync.Mutex
+	heap []event // min-heap by (at, seq); hand-rolled to avoid interface boxing
+	seq  uint64
+	rng  splitmix64
+	vnow int64 // virtual now (ns); written under mu by the dispatcher
+
+	minDelay, maxDelay int64 // message delay range, ns
+
+	realtime bool
+	epoch    time.Time // wall time of virtual zero (real-time mode)
+
+	held   bool // dispatch paused by Network.Freeze
+	closed bool
+
+	vnowAtomic  atomic.Int64  // mirror of vnow for lock-free reads
+	outstanding atomic.Int64  // timer fires handed out but not yet consumed
+	notify      chan struct{} // poked on push
+	consumed    chan struct{} // poked when an outstanding fire is consumed
+	quit        chan struct{} // closed on close()
+}
+
+func newEventQueue(seed int64, minDelay, maxDelay time.Duration, realtime bool) *eventQueue {
+	q := &eventQueue{
+		rng:      splitmix64{x: uint64(seed)},
+		minDelay: int64(minDelay),
+		maxDelay: int64(maxDelay),
+		realtime: realtime,
+		notify:   make(chan struct{}, 1),
+		consumed: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+	}
+	if realtime {
+		q.epoch = time.Now()
+	}
+	return q
+}
+
+// virtualNow returns the current virtual time. In real-time mode it is the
+// wall-clock time elapsed since the network was created.
+func (q *eventQueue) virtualNow() time.Duration {
+	if q.realtime {
+		return time.Since(q.epoch)
+	}
+	return time.Duration(q.vnowAtomic.Load())
+}
+
+// drawDelay samples a delivery delay from [minDelay, maxDelay]. Caller holds
+// q.mu.
+func (q *eventQueue) drawDelay() int64 {
+	if q.maxDelay <= q.minDelay {
+		return q.minDelay
+	}
+	span := uint64(q.maxDelay-q.minDelay) + 1
+	return q.minDelay + int64(q.rng.next()%span)
+}
+
+// pushMessage enqueues a message delivery at now+delay. It reports false if
+// the queue is already closed. The delay is drawn under the queue lock, so
+// enqueue order determines RNG consumption order; during a Freeze the virtual
+// clock is necessarily still, so a frozen batch shares one base time and its
+// delivery order is exactly the (delay, seq) sort.
+func (q *eventQueue) pushMessage(msg Message) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	at := q.drawDelay()
+	if q.realtime {
+		at += int64(time.Since(q.epoch))
+	} else {
+		at += q.vnow
+	}
+	q.seq++
+	q.heapPush(event{at: at, seq: q.seq, kind: evMessage, msg: msg})
+	q.mu.Unlock()
+	q.poke(q.notify)
+	return true
+}
+
+// scheduleTimer enqueues a timer fire at the absolute virtual time at.
+func (q *eventQueue) scheduleTimer(t *Timer, at int64) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.seq++
+	q.heapPush(event{at: at, seq: q.seq, kind: evTimer, tm: t})
+	q.mu.Unlock()
+	q.poke(q.notify)
+}
+
+func (q *eventQueue) poke(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// fireDone records that a previously handed-out timer fire has been consumed
+// (or abandoned), allowing the dispatcher to advance virtual time again.
+func (q *eventQueue) fireDone() {
+	q.outstanding.Add(-1)
+	q.poke(q.consumed)
+}
+
+// gapYields is how many scheduler yields the dispatcher grants runnable
+// goroutines before letting virtual time jump forward over an empty stretch.
+// It bounds the window in which a reactive send (e.g. an ack a protocol
+// goroutine is about to issue) could be leapfrogged by a later timer.
+const gapYields = 4
+
+// pop blocks until the next event is due and returns it, advancing virtual
+// time to the event's timestamp. It returns ok=false once the queue closes.
+// pop must only be called by the single dispatcher goroutine.
+func (q *eventQueue) pop() (event, bool) {
+	yields := 0
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return event{}, false
+		}
+		if q.held {
+			q.mu.Unlock()
+			select {
+			case <-q.notify:
+			case <-q.quit:
+				return event{}, false
+			}
+			continue
+		}
+		if len(q.heap) == 0 {
+			q.mu.Unlock()
+			select {
+			case <-q.notify:
+			case <-q.quit:
+				return event{}, false
+			}
+			continue
+		}
+		head := q.heap[0]
+		if head.at > q.vnow {
+			if q.realtime {
+				wait := time.Duration(head.at) - time.Since(q.epoch)
+				if wait > 0 {
+					q.mu.Unlock()
+					tm := time.NewTimer(wait)
+					select {
+					case <-tm.C:
+					case <-q.notify:
+					case <-q.quit:
+						tm.Stop()
+						return event{}, false
+					}
+					tm.Stop()
+					continue
+				}
+			} else if head.kind == evTimer {
+				// Virtual time is about to jump to a timer deadline. First
+				// wait for every timer fire already handed out to be
+				// consumed — a process still reacting to "now" must not be
+				// outrun by the clock — then yield a few times so runnable
+				// goroutines can schedule earlier events (e.g. the ack a
+				// process is just about to send, which would sort before
+				// this deadline). Message events need no such pause: a
+				// message popping at now+delay cannot leapfrog anything a
+				// running goroutine would still schedule, because later
+				// sends are stamped from the later clock.
+				if q.outstanding.Load() > 0 {
+					q.mu.Unlock()
+					select {
+					case <-q.consumed:
+					case <-q.notify:
+					case <-q.quit:
+						return event{}, false
+					}
+					continue
+				}
+				if yields < gapYields {
+					yields++
+					q.mu.Unlock()
+					runtime.Gosched()
+					continue
+				}
+			}
+		}
+		q.heapPopHead()
+		if head.at > q.vnow {
+			q.vnow = head.at
+			q.vnowAtomic.Store(head.at)
+		}
+		q.mu.Unlock()
+		return head, true
+	}
+}
+
+// setHeld pauses or resumes dispatch; see Network.Freeze.
+func (q *eventQueue) setHeld(held bool) {
+	q.mu.Lock()
+	q.held = held
+	q.mu.Unlock()
+	if !held {
+		q.poke(q.notify)
+	}
+}
+
+// close shuts the queue down and returns the number of message events it
+// discarded, so the caller can keep sent == delivered + dropped balanced.
+func (q *eventQueue) close() int {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0
+	}
+	q.closed = true
+	dropped := 0
+	for _, ev := range q.heap {
+		if ev.kind == evMessage {
+			dropped++
+		}
+	}
+	q.heap = nil
+	q.mu.Unlock()
+	close(q.quit)
+	return dropped
+}
+
+// --- min-heap on []event, ordered by (at, seq) ---
+//
+// Hand-rolled instead of container/heap so events stay values in the backing
+// slice: no interface boxing, hence no per-message allocation on the delivery
+// path.
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) heapPush(ev event) {
+	q.heap = append(q.heap, ev)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) heapPopHead() {
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap[n] = event{} // release payload reference
+	q.heap = q.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

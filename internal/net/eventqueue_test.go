@@ -1,0 +1,202 @@
+package net
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// deliveryOrder sends k messages as one frozen batch from p0 to p1 on a
+// fresh network with the given seed and returns the payload order in which
+// they came out. Freeze makes the batch atomic: the dispatcher sorts the
+// whole batch instead of racing the sender for a prefix of it.
+func deliveryOrder(t *testing.T, seed int64, k int) []int {
+	t.Helper()
+	nw := NewNetwork(2, WithSeed(seed))
+	defer nw.Close()
+	inbox := nw.Endpoint(1).Subscribe("order")
+	nw.Freeze()
+	for i := 0; i < k; i++ {
+		nw.Endpoint(0).Send(1, "order", "n", i)
+	}
+	nw.Thaw()
+	got := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		select {
+		case msg := <-inbox:
+			got = append(got, msg.Payload.(int))
+		case <-time.After(5 * time.Second):
+			t.Fatalf("received only %d/%d messages", len(got), k)
+		}
+	}
+	return got
+}
+
+// The virtual-time scheduler's contract: the delivery order of a serially
+// enqueued batch is exactly the stable sort of (sampled delay, enqueue-seq).
+// The old goroutine-per-message path could not promise this for any seed.
+func TestVirtualDeliveryOrderIsSortedByDelayThenSeq(t *testing.T) {
+	const k = 500
+	for _, seed := range []int64{1, 7, 42, 99, 123456789} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Replay the RNG to reconstruct the delays the network drew.
+			rng := splitmix64{x: uint64(seed)}
+			minD, maxD := int64(0), int64(200*time.Microsecond)
+			span := uint64(maxD-minD) + 1
+			type exp struct {
+				delay int64
+				seq   int
+			}
+			exps := make([]exp, k)
+			for i := range exps {
+				exps[i] = exp{delay: minD + int64(rng.next()%span), seq: i}
+			}
+			sort.SliceStable(exps, func(a, b int) bool {
+				if exps[a].delay != exps[b].delay {
+					return exps[a].delay < exps[b].delay
+				}
+				return exps[a].seq < exps[b].seq
+			})
+			want := make([]int, k)
+			for i, e := range exps {
+				want[i] = e.seq
+			}
+
+			got := deliveryOrder(t, seed, k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("delivery order diverges from (delay, seq) sort at %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// Two runs of the same seeded scenario must produce identical delivery
+// orders: the virtual-time scheduler is deterministic where the old
+// sleep-based path depended on the whims of the goroutine scheduler.
+func TestVirtualDeliveryOrderIsDeterministic(t *testing.T) {
+	const k = 400
+	for _, seed := range []int64{3, 2024} {
+		a := deliveryOrder(t, seed, k)
+		b := deliveryOrder(t, seed, k)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: runs diverge at position %d: %d vs %d", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// The delivery path must not spawn a goroutine per message: after thousands
+// of in-flight sends the goroutine count stays within a small constant of the
+// baseline (dispatcher + one forwarder per mailbox).
+func TestNoGoroutinePerMessage(t *testing.T) {
+	nw := NewNetwork(2, WithDelays(0, 100*time.Microsecond))
+	defer nw.Close()
+	nw.Endpoint(1).Subscribe("flood") // create the mailbox and its forwarder
+	baseline := runtime.NumGoroutine()
+	const k = 5000
+	for i := 0; i < k; i++ {
+		nw.Endpoint(0).Send(1, "flood", "n", i)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+3 {
+		t.Fatalf("goroutines grew from %d to %d with %d in-flight messages", baseline, g, k)
+	}
+}
+
+// Closing a network with messages still queued must account for them:
+// msgs.sent == msgs.delivered + msgs.dropped holds after Close.
+func TestCloseBalancesMessageAccounting(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.Endpoint(1).Subscribe("bal")
+	nw.Freeze() // hold dispatch so the sends are still in the heap at Close
+	const k = 25
+	for i := 0; i < k; i++ {
+		nw.Endpoint(0).Send(1, "bal", "m", i)
+	}
+	nw.Close()
+	m := nw.Metrics()
+	sent, delivered, dropped := m.Get("msgs.sent"), m.Get("msgs.delivered"), m.Get("msgs.dropped")
+	if sent != k {
+		t.Fatalf("msgs.sent = %d, want %d", sent, k)
+	}
+	if sent != delivered+dropped {
+		t.Fatalf("accounting unbalanced: sent=%d delivered=%d dropped=%d", sent, delivered, dropped)
+	}
+}
+
+// Crash on a network constructed without WithLog must not panic: the log
+// field is a nil *trace.Log, whose Append is a documented no-op. Regression
+// test for the nil-receiver path.
+func TestCrashWithoutLogDoesNotPanic(t *testing.T) {
+	nw := NewNetwork(2) // note: no WithLog
+	defer nw.Close()
+	nw.Crash(1)
+	if !nw.Crashed(1) {
+		t.Fatalf("crash not recorded")
+	}
+	if !nw.Pattern().Faulty().Contains(1) {
+		t.Fatalf("crash missing from failure pattern")
+	}
+}
+
+// The mailbox ring must wrap, grow, and preserve FIFO across both, with
+// consumed slots released.
+func TestMailboxRingWrapsAndGrows(t *testing.T) {
+	m := newMailbox()
+	defer m.stop()
+	out := m.subscribe()
+	next := 0
+	read := func(k int) {
+		for i := 0; i < k; i++ {
+			select {
+			case msg := <-out:
+				if msg.Payload.(int) != next {
+					t.Fatalf("out of order: got %v want %d", msg.Payload, next)
+				}
+				next++
+			case <-time.After(2 * time.Second):
+				t.Fatalf("mailbox stalled at %d", next)
+			}
+		}
+	}
+	n := 0
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			m.push(Message{Payload: n})
+			n++
+		}
+	}
+	push(10) // within initial capacity
+	read(6)
+	push(40) // forces growth with a non-zero head: re-linearisation path
+	read(30)
+	push(100) // forces another doubling after wrap
+	read(114)
+}
+
+// Events pushed with equal virtual timestamps (zero delay) must come out in
+// enqueue order even when interleaved with timestamped traffic.
+func TestZeroDelayPreservesSendOrder(t *testing.T) {
+	nw := NewNetwork(2, WithDelays(0, 0))
+	defer nw.Close()
+	inbox := nw.Endpoint(1).Subscribe("fifo")
+	const k = 200
+	for i := 0; i < k; i++ {
+		nw.Endpoint(0).Send(1, "fifo", "n", i)
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case msg := <-inbox:
+			if msg.Payload.(int) != i {
+				t.Fatalf("position %d: got %v", i, msg.Payload)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("stalled at %d", i)
+		}
+	}
+}

@@ -8,12 +8,25 @@
 // Crashes are recorded into a live model.FailurePattern, which is the ground
 // truth read by the oracle failure detectors in internal/fd and by the
 // specification checkers.
+//
+// # Execution substrate
+//
+// Delivery is a discrete-event scheduler, not a goroutine per message: every
+// send pushes a (deliveryTime, seq) event onto a min-heap drained by one
+// dispatcher goroutine. By default the scheduler runs in virtual time — the
+// injected delay determines the delivery order exactly as it would in real
+// time, but waiting for it costs zero wall-clock time, so a run executes as
+// fast as the hardware allows and, for a batch of sends enqueued under
+// Freeze/Thaw with WithSeed, deterministically. WithRealTime switches the same scheduler to
+// wall-clock waits for fidelity experiments. Timers (Endpoint.NewTicker,
+// Endpoint.NewTimer) ride the same event heap, which is how heartbeat-style
+// failure detectors stay meaningful when time is virtual. See ARCHITECTURE.md
+// for the scheduler's design and its determinism guarantees.
 package net
 
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,17 +40,29 @@ type Option func(*Network)
 
 // WithDelays sets the per-message delivery delay range. Delays are drawn
 // uniformly from [min, max]. The default is [0, 200µs], which is enough to
-// reorder messages aggressively without slowing tests down.
+// reorder messages aggressively; in virtual-time mode the magnitude is free.
 func WithDelays(min, max time.Duration) Option {
 	return func(n *Network) {
 		n.minDelay, n.maxDelay = min, max
 	}
 }
 
-// WithSeed seeds the delay generator, making the injected delays reproducible
-// (goroutine scheduling remains a source of nondeterminism).
+// WithSeed seeds the delay generator. The drawn delay sequence is a pure
+// function of the seed and enqueue order; in virtual-time mode the delivery
+// order of a batch enqueued under Freeze/Thaw is then fully reproducible
+// (the virtual clock is still during a freeze, so the whole batch shares one
+// base time). Free-running senders racing the dispatcher (or each other)
+// reintroduce enqueue-order and base-time nondeterminism.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.seed = seed }
+}
+
+// WithRealTime makes the scheduler wait out delays and timer deadlines on the
+// wall clock instead of virtual time. Use it for wall-clock fidelity tests;
+// everything else is faster and more reproducible in the default virtual-time
+// mode.
+func WithRealTime() Option {
+	return func(n *Network) { n.realtime = true }
 }
 
 // WithMetrics attaches a metrics sink; the network counts sent, delivered and
@@ -46,7 +71,8 @@ func WithMetrics(m *trace.Metrics) Option {
 	return func(n *Network) { n.metrics = m }
 }
 
-// WithLog attaches an event log; the network records crashes into it.
+// WithLog attaches an event log; the network records crashes into it. Without
+// it the network's log is nil, which trace.Log accepts and discards.
 func WithLog(l *trace.Log) Option {
 	return func(n *Network) { n.log = l }
 }
@@ -62,9 +88,15 @@ type Network struct {
 	log      *trace.Log
 	minDelay time.Duration
 	maxDelay time.Duration
+	seed     int64
+	realtime bool
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	q *eventQueue
+
+	cSent      *trace.Counter
+	cDelivered *trace.Counter
+	cDropped   *trace.Counter
+	instSent   sync.Map // instance string -> *trace.Counter, interned once
 
 	endpoints []*Endpoint
 	closed    atomic.Bool
@@ -83,11 +115,15 @@ func NewNetwork(n int, opts ...Option) *Network {
 		metrics:  trace.NewMetrics(),
 		minDelay: 0,
 		maxDelay: 200 * time.Microsecond,
-		rng:      rand.New(rand.NewSource(1)),
+		seed:     1,
 	}
 	for _, o := range opts {
 		o(nw)
 	}
+	nw.cSent = nw.metrics.Counter("msgs.sent")
+	nw.cDelivered = nw.metrics.Counter("msgs.delivered")
+	nw.cDropped = nw.metrics.Counter("msgs.dropped")
+	nw.q = newEventQueue(nw.seed, nw.minDelay, nw.maxDelay, nw.realtime)
 	nw.endpoints = make([]*Endpoint, n)
 	for i := 0; i < n; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -99,6 +135,8 @@ func NewNetwork(n int, opts ...Option) *Network {
 			boxes:  make(map[string]*mailbox),
 		}
 	}
+	nw.wg.Add(1)
+	go nw.dispatch()
 	return nw
 }
 
@@ -121,9 +159,9 @@ func (nw *Network) Endpoint(p model.ProcessID) *Endpoint {
 }
 
 // Crash kills process p: its crash is recorded in the failure pattern at the
-// current logical time, its context is cancelled, and no further messages are
-// delivered to or accepted from it. Crashing an already-crashed process is a
-// no-op.
+// current logical time, its context is cancelled, its timers are stopped, and
+// no further messages are delivered to or accepted from it. Crashing an
+// already-crashed process is a no-op.
 func (nw *Network) Crash(p model.ProcessID) {
 	ep := nw.endpoints[int(p)]
 	if ep.crashed.Swap(true) {
@@ -134,6 +172,7 @@ func (nw *Network) Crash(p model.ProcessID) {
 	nw.log.Append(t, p, "crash", "process crashed")
 	nw.metrics.Inc("crashes")
 	ep.cancel()
+	ep.stopTimers()
 }
 
 // Crashed reports whether p has crashed.
@@ -153,7 +192,7 @@ func (nw *Network) Alive() model.ProcessSet {
 }
 
 // Close shuts the network down: all endpoints' contexts are cancelled, all
-// mailboxes stop, and in-flight delivery goroutines are awaited. A closed
+// timers are stopped, the dispatcher drains, and all mailboxes stop. A closed
 // network drops every subsequent send.
 func (nw *Network) Close() {
 	if nw.closed.Swap(true) {
@@ -161,6 +200,10 @@ func (nw *Network) Close() {
 	}
 	for _, ep := range nw.endpoints {
 		ep.cancel()
+		ep.stopTimers()
+	}
+	if dropped := nw.q.close(); dropped > 0 {
+		nw.cDropped.Add(int64(dropped))
 	}
 	nw.wg.Wait()
 	for _, ep := range nw.endpoints {
@@ -168,43 +211,69 @@ func (nw *Network) Close() {
 	}
 }
 
-func (nw *Network) delay() time.Duration {
-	if nw.maxDelay <= nw.minDelay {
-		return nw.minDelay
-	}
-	nw.rngMu.Lock()
-	defer nw.rngMu.Unlock()
-	return nw.minDelay + time.Duration(nw.rng.Int63n(int64(nw.maxDelay-nw.minDelay)+1))
-}
+// Freeze pauses event dispatch: sends and timer schedules are accepted and
+// queued, but nothing is delivered until Thaw. Use it to construct a batch of
+// events atomically — the scheduler then dispatches the whole batch in exact
+// (delay, enqueue-seq) order, which is what makes a seeded scenario's
+// delivery order fully deterministic regardless of how goroutines race the
+// dispatcher. Scenario drivers use it to lay out adversarial schedules before
+// releasing them.
+func (nw *Network) Freeze() { nw.q.setHeld(true) }
+
+// Thaw resumes event dispatch after Freeze.
+func (nw *Network) Thaw() { nw.q.setHeld(false) }
 
 // send enqueues an asynchronous delivery of msg. It is a no-op if the network
 // is closed or the sender has crashed.
 func (nw *Network) send(msg Message) {
 	if nw.closed.Load() || nw.Crashed(msg.From) {
-		nw.metrics.Inc("msgs.dropped")
+		nw.cDropped.Inc()
 		return
 	}
 	if int(msg.To) < 0 || int(msg.To) >= nw.n {
 		panic(fmt.Sprintf("net: send to out-of-range process %v", msg.To))
 	}
 	msg.SentAt = nw.clock.Tick()
-	nw.metrics.Inc("msgs.sent")
-	nw.metrics.Inc("msgs.sent." + msg.Instance)
-	d := nw.delay()
-	nw.wg.Add(1)
-	go func() {
-		defer nw.wg.Done()
-		if d > 0 {
-			time.Sleep(d)
-		}
-		if nw.closed.Load() || nw.Crashed(msg.To) {
-			nw.metrics.Inc("msgs.dropped")
+	nw.cSent.Inc()
+	nw.instCounter(msg.Instance).Inc()
+	if !nw.q.pushMessage(msg) {
+		nw.cDropped.Inc()
+	}
+}
+
+// instCounter returns the interned per-instance sent counter, building the
+// "msgs.sent.<instance>" key only on the first send of each instance.
+func (nw *Network) instCounter(instance string) *trace.Counter {
+	if c, ok := nw.instSent.Load(instance); ok {
+		return c.(*trace.Counter)
+	}
+	c, _ := nw.instSent.LoadOrStore(instance, nw.metrics.Counter("msgs.sent."+instance))
+	return c.(*trace.Counter)
+}
+
+// dispatch is the single delivery goroutine: it drains the event queue in
+// (deliveryTime, seq) order, delivering messages into mailboxes and firing
+// timers. No goroutine is ever spawned per message.
+func (nw *Network) dispatch() {
+	defer nw.wg.Done()
+	for {
+		ev, ok := nw.q.pop()
+		if !ok {
 			return
 		}
-		nw.clock.Tick()
-		nw.metrics.Inc("msgs.delivered")
-		nw.endpoints[int(msg.To)].deliver(msg)
-	}()
+		switch ev.kind {
+		case evMessage:
+			if nw.closed.Load() || nw.Crashed(ev.msg.To) {
+				nw.cDropped.Inc()
+				continue
+			}
+			nw.clock.Tick()
+			nw.cDelivered.Inc()
+			nw.endpoints[int(ev.msg.To)].deliver(ev.msg)
+		case evTimer:
+			ev.tm.fired(ev.at)
+		}
+	}
 }
 
 // Endpoint is a process's connection to the network. A protocol participant
@@ -217,8 +286,9 @@ type Endpoint struct {
 	cancel  context.CancelFunc
 	crashed atomic.Bool
 
-	mu    sync.Mutex
-	boxes map[string]*mailbox
+	mu     sync.Mutex
+	boxes  map[string]*mailbox
+	timers []*Timer
 }
 
 // ID returns the process identifier of this endpoint.
@@ -259,9 +329,21 @@ func (ep *Endpoint) Broadcast(instance, typ string, payload any) {
 // given protocol instance. Messages that arrive before the first Subscribe
 // call are buffered, so subscribing after communication has started does not
 // lose messages. Each instance has a single stream; concurrent readers drain
-// it cooperatively.
+// it cooperatively. Do not mix Subscribe and TryRecv on one instance: the
+// channel's forwarder goroutine would race TryRecv for messages.
 func (ep *Endpoint) Subscribe(instance string) <-chan Message {
-	return ep.box(instance).out
+	return ep.box(instance).subscribe()
+}
+
+// TryRecv pops the next buffered message for the given instance without
+// blocking, straight from the mailbox ring. Unlike Subscribe there is no
+// forwarder goroutine between the dispatcher and the caller, so after the
+// network delivers a message it is visible here immediately — which is what
+// lets timeout-driven loops (internal/fdimpl) drain their traffic
+// synchronously before acting on a tick. Do not mix with Subscribe on the
+// same instance.
+func (ep *Endpoint) TryRecv(instance string) (Message, bool) {
+	return ep.box(instance).tryPop()
 }
 
 func (ep *Endpoint) box(instance string) *mailbox {
@@ -279,6 +361,41 @@ func (ep *Endpoint) deliver(msg Message) {
 	ep.box(msg.Instance).push(msg)
 }
 
+// adoptTimer ties a timer's lifetime to the process: crash or network close
+// stops it, so an exiting protocol loop cannot freeze virtual time. Dead
+// timers (stopped, or one-shots that fired) are compacted away on each adopt
+// so per-operation timers do not accumulate for the network's lifetime.
+func (ep *Endpoint) adoptTimer(t *Timer) {
+	ep.mu.Lock()
+	dead := ep.crashed.Load() || ep.net.closed.Load()
+	if !dead {
+		live := ep.timers[:0]
+		for _, old := range ep.timers {
+			if !old.stopped.Load() {
+				live = append(live, old)
+			}
+		}
+		for i := len(live); i < len(ep.timers); i++ {
+			ep.timers[i] = nil
+		}
+		ep.timers = append(live, t)
+	}
+	ep.mu.Unlock()
+	if dead {
+		t.Stop()
+	}
+}
+
+func (ep *Endpoint) stopTimers() {
+	ep.mu.Lock()
+	timers := ep.timers
+	ep.timers = nil
+	ep.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}
+
 func (ep *Endpoint) closeBoxes() {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
@@ -288,49 +405,121 @@ func (ep *Endpoint) closeBoxes() {
 }
 
 // mailbox is an unbounded FIFO queue with a channel interface: push never
-// blocks the network's delivery goroutines and out delivers in FIFO order.
+// blocks the dispatcher, and out delivers in FIFO order. Internally it is a
+// ring buffer with condition-variable wakeup; consumed slots are cleared and
+// the backing array is reused, unlike the old q = q[1:] slice pump, which
+// pinned every delivered payload until the slice reallocated.
 type mailbox struct {
-	in   chan Message
-	out  chan Message
-	quit chan struct{}
-	once sync.Once
+	mu     sync.Mutex
+	cond   sync.Cond
+	buf    []Message
+	head   int
+	count  int
+	closed bool
+
+	out     chan Message
+	quit    chan struct{}
+	once    sync.Once
+	subOnce sync.Once
 }
 
 func newMailbox() *mailbox {
 	m := &mailbox{
-		in:   make(chan Message, 16),
 		out:  make(chan Message),
 		quit: make(chan struct{}),
 	}
-	go m.pump()
+	m.cond.L = &m.mu
 	return m
 }
 
-func (m *mailbox) push(msg Message) {
-	select {
-	case m.in <- msg:
-	case <-m.quit:
-	}
+// subscribe returns the channel facade, starting the forwarder on first use
+// so that TryRecv-only consumers never compete with it.
+func (m *mailbox) subscribe() <-chan Message {
+	m.subOnce.Do(func() { go m.forward() })
+	return m.out
 }
 
-func (m *mailbox) stop() { m.once.Do(func() { close(m.quit) }) }
+func (m *mailbox) push(msg Message) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if m.count == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.count)%len(m.buf)] = msg
+	m.count++
+	m.mu.Unlock()
+	m.cond.Signal()
+}
 
-func (m *mailbox) pump() {
-	var q []Message
+// grow doubles the ring, re-linearising the live window. Caller holds m.mu.
+func (m *mailbox) grow() {
+	newCap := 2 * len(m.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]Message, newCap)
+	for i := 0; i < m.count; i++ {
+		buf[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf, m.head = buf, 0
+}
+
+// pop blocks until a message is queued or the mailbox stops.
+func (m *mailbox) pop() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.count == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.closed {
+		return Message{}, false
+	}
+	return m.popLocked(), true
+}
+
+// tryPop pops the next message if one is queued, without blocking.
+func (m *mailbox) tryPop() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.count == 0 {
+		return Message{}, false
+	}
+	return m.popLocked(), true
+}
+
+func (m *mailbox) popLocked() Message {
+	msg := m.buf[m.head]
+	m.buf[m.head] = Message{} // release the payload reference
+	m.head = (m.head + 1) % len(m.buf)
+	m.count--
+	return msg
+}
+
+// forward is the mailbox's only goroutine: it moves messages from the ring to
+// the subscriber channel.
+func (m *mailbox) forward() {
 	for {
-		var out chan Message
-		var head Message
-		if len(q) > 0 {
-			out = m.out
-			head = q[0]
+		msg, ok := m.pop()
+		if !ok {
+			return
 		}
 		select {
-		case msg := <-m.in:
-			q = append(q, msg)
-		case out <- head:
-			q = q[1:]
+		case m.out <- msg:
 		case <-m.quit:
 			return
 		}
 	}
+}
+
+func (m *mailbox) stop() {
+	m.once.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
+		m.cond.Broadcast()
+		close(m.quit)
+	})
 }

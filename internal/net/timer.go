@@ -1,0 +1,160 @@
+package net
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timer is a one-shot or periodic timer driven by the network's scheduler.
+// In virtual-time mode it fires when the virtual clock reaches its deadline —
+// instantly in wall-clock terms once no earlier event is pending — and in
+// real-time mode it fires on the wall clock, like time.Timer.
+//
+// C receives the virtual time at which the timer fired. The channel is
+// unbuffered and fed with backpressure: in virtual-time mode the dispatcher
+// will not advance virtual time past a fire that its consumer has not yet
+// taken, for any timer in the network. This keeps virtual time from
+// galloping ahead of the goroutines it drives, which is what makes
+// timeout-based failure detectors meaningful under virtual time.
+//
+// Timers created through an Endpoint are stopped automatically when the
+// process crashes or the network closes; a consumer that stops receiving
+// must call Stop, or virtual time freezes for the whole network.
+type Timer struct {
+	C <-chan time.Duration
+
+	c      chan time.Duration
+	q      *eventQueue
+	period int64 // ns; 0 for one-shot
+
+	stopped  atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	fire     chan int64 // dispatcher -> feeder, capacity 1
+}
+
+func newTimer(q *eventQueue, delay, period time.Duration) *Timer {
+	t := &Timer{
+		c:      make(chan time.Duration),
+		q:      q,
+		period: int64(period),
+		stop:   make(chan struct{}),
+		fire:   make(chan int64, 1),
+	}
+	t.C = t.c
+	go t.feed()
+	q.scheduleTimer(t, int64(q.virtualNow())+int64(delay))
+	return t
+}
+
+// Stop terminates the timer. It never fires again, and a feeder blocked on an
+// unconsumed fire is released. Stop is idempotent and safe to call
+// concurrently with fires.
+func (t *Timer) Stop() {
+	t.stopOnce.Do(func() {
+		t.stopped.Store(true)
+		close(t.stop)
+	})
+}
+
+// fired is called by the dispatcher when the timer's heap event pops. at is
+// the virtual fire time.
+//
+// A periodic timer reschedules eagerly, before its consumer has taken the
+// fire: the next tick sits in the heap while the previous one counts as
+// outstanding, so in virtual-time mode the clock freezes — for the whole
+// network — until the slowest tick consumer has caught up. That is what
+// stops virtual time from galloping past a descheduled process and tripping
+// timeout-based failure detectors. (In real-time mode the wall clock paces
+// pops instead, and a lagging consumer just loses ticks, like time.Ticker.)
+func (t *Timer) fired(at int64) {
+	if t.stopped.Load() {
+		return
+	}
+	if t.period > 0 {
+		t.q.scheduleTimer(t, at+t.period)
+	}
+	t.q.outstanding.Add(1)
+	select {
+	case t.fire <- at:
+		if t.stopped.Load() {
+			// The feeder may have exited between the check above and the
+			// send; reclaim the fire if it is still queued so the
+			// outstanding count cannot wedge virtual time.
+			select {
+			case <-t.fire:
+				t.q.fireDone()
+			default:
+			}
+		}
+	default:
+		// Consumer more than one fire behind (possible only under real
+		// time, where pops are wall-clock paced): drop the tick.
+		t.q.fireDone()
+	}
+}
+
+// feed forwards fires to the consumer with backpressure.
+func (t *Timer) feed() {
+	defer func() {
+		// Release any fire handed out but never delivered.
+		select {
+		case <-t.fire:
+			t.q.fireDone()
+		default:
+		}
+	}()
+	for {
+		select {
+		case at := <-t.fire:
+			select {
+			case t.c <- time.Duration(at):
+				t.q.fireDone()
+			case <-t.stop:
+				t.q.fireDone()
+				return
+			}
+			if t.period == 0 {
+				// A delivered one-shot is spent: mark it stopped so the
+				// owning endpoint can compact it away.
+				t.stopped.Store(true)
+				return
+			}
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// VirtualNow returns the network's current virtual time: the timestamp of the
+// latest dispatched event in virtual-time mode, or the wall-clock time since
+// network creation in real-time mode.
+func (nw *Network) VirtualNow() time.Duration { return nw.q.virtualNow() }
+
+// NewTimer returns a timer that fires once after d of virtual time. The
+// caller owns it and must Stop it if it abandons C before the fire.
+func (nw *Network) NewTimer(d time.Duration) *Timer { return newTimer(nw.q, d, 0) }
+
+// NewTicker returns a timer that fires every d of virtual time. The caller
+// must Stop it.
+func (nw *Network) NewTicker(d time.Duration) *Timer { return newTimer(nw.q, d, d) }
+
+// VirtualNow returns the network's current virtual time.
+func (ep *Endpoint) VirtualNow() time.Duration { return ep.net.q.virtualNow() }
+
+// NewTimer returns a one-shot timer owned by this process: it is stopped
+// automatically when the process crashes or the network closes.
+func (ep *Endpoint) NewTimer(d time.Duration) *Timer {
+	t := newTimer(ep.net.q, d, 0)
+	ep.adoptTimer(t)
+	return t
+}
+
+// NewTicker returns a periodic timer owned by this process: it is stopped
+// automatically when the process crashes or the network closes.
+func (ep *Endpoint) NewTicker(d time.Duration) *Timer {
+	t := newTimer(ep.net.q, d, d)
+	ep.adoptTimer(t)
+	return t
+}

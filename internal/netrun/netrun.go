@@ -27,8 +27,11 @@ type Runner struct {
 	Automaton sim.Automaton
 	Detector  Detector
 	Input     any
-	// Poll is the pause between steps when no message is pending (a λ step is
-	// taken on each poll). Default 500µs.
+	// Poll is the virtual-time pause between steps when no message is pending
+	// (a λ step is taken on each poll). Default 500µs. Under the virtual-time
+	// scheduler the pause costs no wall-clock time: the λ ticker rides the
+	// network's event queue, so the loop blocks on the queue and wakes the
+	// moment no earlier event exists, instead of sleep-polling.
 	Poll time.Duration
 }
 
@@ -46,7 +49,7 @@ func (r *Runner) Run(ctx context.Context) (any, error) {
 	stepCtx := sim.StepContext{Self: ep.ID(), N: ep.N()}
 	state := r.Automaton.InitialState(ep.ID(), ep.N(), r.Input)
 
-	ticker := time.NewTicker(poll)
+	ticker := ep.NewTicker(poll)
 	defer ticker.Stop()
 
 	dispatch := func(msg *sim.Message) {
@@ -64,6 +67,23 @@ func (r *Runner) Run(ctx context.Context) (any, error) {
 	for {
 		if v, ok := r.Automaton.Output(state); ok {
 			return v, nil
+		}
+		// Pending messages take priority over λ steps: a λ step models "no
+		// message available", and under virtual time holding the tick back
+		// holds the clock back until this process has processed its traffic.
+		// Cancellation stays in this select too — with it only in the
+		// blocking select below, sustained traffic would starve the context
+		// check and a livelocked automaton would ignore its deadline.
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("netrun %s at %v: %w", r.Instance, ep.ID(), ctx.Err())
+		case <-ep.Context().Done():
+			return nil, fmt.Errorf("netrun %s at %v: %w", r.Instance, ep.ID(), ep.Context().Err())
+		case msg := <-inbox:
+			m := msg.Payload.(sim.Message)
+			dispatch(&m)
+			continue
+		default:
 		}
 		select {
 		case <-ctx.Done():

@@ -8,48 +8,68 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"weakestfd/internal/model"
 )
 
-// Metrics is a set of named monotonic counters. The zero value is ready to
-// use. Metrics is safe for concurrent use.
+// Counter is an interned handle to one named counter: a bare atomic, so hot
+// paths that intern a handle once pay neither a lock nor a map lookup per
+// increment.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Get returns the counter's current value.
+func (c *Counter) Get() int64 { return c.n.Load() }
+
+// Metrics is a set of named monotonic counters, sharded into one atomic per
+// key. The zero value is ready to use. Metrics is safe for concurrent use.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
+	counters sync.Map // string -> *Counter
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics { return &Metrics{} }
 
-// Add increments the named counter by n.
-func (m *Metrics) Add(name string, n int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.counters == nil {
-		m.counters = make(map[string]int64)
+// Counter interns and returns the handle for the named counter. The handle is
+// stable for the lifetime of the Metrics; hot paths should intern once and
+// increment the handle.
+func (m *Metrics) Counter(name string) *Counter {
+	if c, ok := m.counters.Load(name); ok {
+		return c.(*Counter)
 	}
-	m.counters[name] += n
+	c, _ := m.counters.LoadOrStore(name, new(Counter))
+	return c.(*Counter)
 }
+
+// Add increments the named counter by n.
+func (m *Metrics) Add(name string, n int64) { m.Counter(name).Add(n) }
 
 // Inc increments the named counter by one.
 func (m *Metrics) Inc(name string) { m.Add(name, 1) }
 
 // Get returns the current value of the named counter (zero if never touched).
 func (m *Metrics) Get(name string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	if c, ok := m.counters.Load(name); ok {
+		return c.(*Counter).Get()
+	}
+	return 0
 }
 
 // Snapshot returns a copy of all counters.
 func (m *Metrics) Snapshot() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.counters))
-	for k, v := range m.counters {
-		out[k] = v
-	}
+	out := make(map[string]int64)
+	m.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Get()
+		return true
+	})
 	return out
 }
 
