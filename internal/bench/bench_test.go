@@ -26,6 +26,7 @@ import (
 	"weakestfd/internal/nbac"
 	"weakestfd/internal/net"
 	"weakestfd/internal/register"
+	"weakestfd/internal/scenario"
 )
 
 const benchTimeout = 30 * time.Second
@@ -151,6 +152,58 @@ func BenchmarkRegisterOps(b *testing.B) {
 	}
 }
 
+// sweepProto is the benchmark's protocol: (Ω, Σ) ballot consensus with
+// poll/backoff scaled to the injected delays, so waiting stays event-driven.
+func sweepProto() scenario.Protocol {
+	return scenario.Consensus{Options: []consensus.Option{
+		consensus.WithPollInterval(10 * time.Millisecond),
+		consensus.WithBackoff(20 * time.Millisecond),
+	}}
+}
+
+// sweepCrashSets is the rotating fault-schedule family of the scenario
+// benchmarks: crash-free, a mid-run follower crash, and a mid-ballot crash
+// of the initial leader.
+var sweepCrashSets = [][]scenario.Crash{
+	nil,
+	{{P: 4, At: 5 * time.Millisecond}},
+	{{P: 0, At: 8 * time.Millisecond}},
+}
+
+// BenchmarkScenarioRun measures one full scenario cycle: stand up a
+// 5-process cluster, run (Ω, Σ) consensus under a 1–50ms adversarial delay
+// distribution plus a rotating crash schedule, check the consensus spec and
+// tear the cluster down. The injected delays would cost ~100ms wall-clock
+// per run if anything waited them out.
+func BenchmarkScenarioRun(b *testing.B) {
+	ctx := context.Background()
+	proto := sweepProto()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scenario.New(5,
+			scenario.WithSeed(int64(i+1)),
+			scenario.WithDelays(time.Millisecond, 50*time.Millisecond),
+			scenario.WithCrashes(sweepCrashSets[i%len(sweepCrashSets)]...),
+		)
+		if res := s.Run(ctx, proto); !res.Verdict.OK {
+			b.Fatalf("run %d: %v", i, res.Verdict)
+		}
+	}
+}
+
+// sweepThroughput runs one fixed-size scenario.Sweep and returns it, for the
+// committed runs-per-second data point (includes the sweep's own fan-out
+// machinery, unlike BenchmarkScenarioRun).
+func sweepThroughput(runs int) scenario.SweepResult {
+	base := scenario.New(5, scenario.WithDelays(time.Millisecond, 50*time.Millisecond))
+	seeds := make([]int64, runs/len(sweepCrashSets))
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return scenario.Sweep(context.Background(), base, scenario.Grid{Seeds: seeds, Crashes: sweepCrashSets}, sweepProto())
+}
+
 // BenchmarkSendDeliver measures the raw delivery path: one send through the
 // event queue into a drained mailbox per iteration. With the discrete-event
 // scheduler this must not allocate a goroutine (or anything else beyond
@@ -246,6 +299,13 @@ func TestEmitBenchJSON(t *testing.T) {
 			}
 		})
 	}
+	add("ScenarioRun/consensus/n=5", BenchmarkScenarioRun)
+	sweep := sweepThroughput(1500)
+	if sweep.Faulted > 0 {
+		t.Errorf("scenario sweep: %d of %d runs failed", sweep.Faulted, sweep.Runs)
+	}
+	t.Logf("scenario sweep: %d runs, %.0f runs/s", sweep.Runs, sweep.RunsPerSec)
+
 	add("SendDeliver/virtual", func(b *testing.B) {
 		nw := net.NewNetwork(2, net.WithSeed(1))
 		defer nw.Close()
@@ -267,17 +327,21 @@ func TestEmitBenchJSON(t *testing.T) {
 
 	speedup := float64(real10.NsPerOp()) / virtual.NsPerOp
 	out := struct {
-		GeneratedBy string        `json:"generated_by"`
-		GoVersion   string        `json:"go_version"`
-		DelayRange  string        `json:"delay_range"`
-		SpeedupN10  float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
-		Results     []benchResult `json:"results"`
+		GeneratedBy  string        `json:"generated_by"`
+		GoVersion    string        `json:"go_version"`
+		DelayRange   string        `json:"delay_range"`
+		SpeedupN10   float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
+		SweepRuns    int           `json:"scenario_sweep_runs"`
+		SweepRunsSec float64       `json:"scenario_sweep_runs_per_sec"`
+		Results      []benchResult `json:"results"`
 	}{
-		GeneratedBy: "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
-		GoVersion:   runtime.Version(),
-		DelayRange:  "[0, 200µs]",
-		SpeedupN10:  speedup,
-		Results:     results,
+		GeneratedBy:  "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
+		GoVersion:    runtime.Version(),
+		DelayRange:   "[0, 200µs]",
+		SpeedupN10:   speedup,
+		SweepRuns:    sweep.Runs,
+		SweepRunsSec: sweep.RunsPerSec,
+		Results:      results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

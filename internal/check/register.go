@@ -51,6 +51,30 @@ func (o Op) String() string {
 	return fmt.Sprintf("%v %s(%d)@[%d,%d]%s", o.Process, o.Kind, o.Value, o.Start, o.End, status)
 }
 
+// RegisterOutcome is the observable outcome of one register instance: the
+// full operation history of the run and the register's initial value.
+type RegisterOutcome struct {
+	Ops     []Op
+	Initial int
+}
+
+// CheckRegister validates a register run: the history must be linearizable
+// (atomic), and — when requireTermination is true — every operation invoked
+// by a correct process must have completed (wait-freedom at correct
+// processes, the termination clause of Theorem 1).
+func CheckRegister(f *model.FailurePattern, o RegisterOutcome, requireTermination bool) model.Verdict {
+	v := CheckLinearizable(o.Ops, o.Initial)
+	if requireTermination {
+		correct := f.Correct()
+		for _, op := range o.Ops {
+			if !op.Complete && correct.Contains(op.Process) {
+				v = v.Merge(model.Fail("register termination violated: %v by correct process never completed", op))
+			}
+		}
+	}
+	return v
+}
+
 // CheckLinearizable reports whether the history of register operations is
 // linearizable (atomic) with respect to a single read/write register holding
 // int values, starting from initial.

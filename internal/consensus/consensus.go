@@ -132,11 +132,15 @@ type options struct {
 func WithMetrics(m *trace.Metrics) Option { return func(o *options) { o.metrics = m } }
 
 // WithPollInterval sets how often blocked waits re-evaluate their condition
-// (leadership, quorum coverage). Default 1ms.
+// (leadership, quorum coverage). The interval is virtual time on the
+// network's scheduler (Endpoint.NewTicker), so a poll costs no wall-clock
+// time and each poll step advances the logical clock like any other "nop"
+// step of the paper's model. Default 1ms.
 func WithPollInterval(d time.Duration) Option { return func(o *options) { o.poll = d } }
 
 // WithBackoff sets how long a proposer waits after a failed ballot before
-// retrying. Default 2ms.
+// retrying, in virtual time (Endpoint.NewTimer): large enough to let a
+// contending leader finish, free in wall-clock terms. Default 2ms.
 func WithBackoff(d time.Duration) Option { return func(o *options) { o.backoff = d } }
 
 // NewBallotConsensus creates the participant for the process behind ep in the
@@ -184,26 +188,42 @@ func (c *BallotConsensus) Decision() (Value, bool) {
 
 // Propose runs the consensus protocol with proposal v and returns the decided
 // value. It blocks until a decision is learned, the context is cancelled, or
-// the process crashes.
+// the process crashes. All waiting rides the network's virtual clock, so a
+// blocked Propose costs no wall-clock time.
 func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 	c.metrics.Inc("propose")
-	ticker := time.NewTicker(c.poll)
-	defer ticker.Stop()
+	// The poll ticker exists only while this loop is the one blocking: a
+	// virtual-time ticker whose owner stops receiving (here: while leading a
+	// ballot, which blocks in awaitAttempt on its own ticker) would freeze
+	// the network's virtual clock, so it is stopped before every nested
+	// blocking call and re-created on the next non-leader wait.
+	var ticker *net.Timer
+	stopTicker := func() {
+		if ticker != nil {
+			ticker.Stop()
+			ticker = nil
+		}
+	}
+	defer stopTicker()
 	for {
 		if val, ok := c.Decision(); ok {
 			return val, nil
 		}
 		if c.omega.Leader() == c.ep.ID() {
+			stopTicker()
 			if val, ok, err := c.lead(ctx, v); err != nil {
 				return nil, err
 			} else if ok {
 				return val, nil
 			}
 			// Failed ballot: back off so a contending (old) leader can finish.
-			if err := c.sleep(ctx, c.backoff); err != nil {
-				return nil, err
+			if err := c.ep.Sleep(ctx, c.backoff); err != nil {
+				return nil, fmt.Errorf("consensus propose: %w", err)
 			}
 			continue
+		}
+		if ticker == nil {
+			ticker = c.ep.NewTicker(c.poll)
 		}
 		select {
 		case <-ctx.Done():
@@ -214,21 +234,19 @@ func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 			return nil, fmt.Errorf("consensus propose: participant stopped")
 		case <-c.decidedCh:
 		case <-ticker.C:
+			// A "nop" step while waiting: advance the logical clock so
+			// time-based detector behaviour (suspicion delays, leadership
+			// changes) makes progress even without message traffic.
+			c.ep.Clock().Tick()
 		}
 	}
 }
 
-func (c *BallotConsensus) sleep(ctx context.Context, d time.Duration) error {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-c.ep.Context().Done():
-		return c.ep.Context().Err()
-	case <-timer.C:
-		return nil
-	}
+// Run executes one single-shot consensus at this participant: it proposes
+// input and returns the decided value. It is the scenario harness's common
+// participant entry point (see internal/scenario).
+func (c *BallotConsensus) Run(ctx context.Context, input any) (any, error) {
+	return c.Propose(ctx, input)
 }
 
 // lead runs one ballot as the proposer. It returns (value, true, nil) when a
@@ -310,7 +328,7 @@ func (c *BallotConsensus) clearAttempt() {
 // quorum guard (true), the attempt is rejected by a higher ballot (false), or
 // the context is cancelled.
 func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt) (bool, error) {
-	ticker := time.NewTicker(c.poll)
+	ticker := c.ep.NewTicker(c.poll)
 	defer ticker.Stop()
 	for {
 		c.mu.Lock()
@@ -338,6 +356,10 @@ func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt) (bool,
 			return false, fmt.Errorf("consensus ballot %d: participant stopped", att.ballot)
 		case <-att.updated:
 		case <-ticker.C:
+			// Nop step: keeps Σ re-evaluation (whose output can shrink as
+			// suspicion delays expire) and the logical clock moving while
+			// acknowledgements are outstanding.
+			c.ep.Clock().Tick()
 		}
 	}
 }

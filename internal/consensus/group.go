@@ -86,6 +86,7 @@ func NewRegisterConsensusGroup(nw *net.Network, instance string, omega fd.OmegaS
 		}
 		g.Participants[i] = NewRegisterConsensus(RegisterConsensusConfig{
 			ID:    p,
+			EP:    nw.Endpoint(p),
 			Omega: fd.BoundOmega{Proc: p, Src: omega, Clock: nw.Clock()},
 			Regs:  regs,
 			Dec:   g.decGroup[i],

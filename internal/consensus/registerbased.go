@@ -7,6 +7,7 @@ import (
 
 	"weakestfd/internal/fd"
 	"weakestfd/internal/model"
+	"weakestfd/internal/net"
 	"weakestfd/internal/register"
 	"weakestfd/internal/trace"
 )
@@ -35,6 +36,7 @@ import (
 type RegisterConsensus struct {
 	id      model.ProcessID
 	n       int
+	ep      *net.Endpoint
 	omega   fd.Omega
 	regs    []*register.Register[RoundState]
 	dec     *register.Register[DecisionState]
@@ -59,9 +61,12 @@ type DecisionState struct {
 
 // RegisterConsensusConfig wires one process's handles: Regs[i] must be the
 // local handle of the register group owned by process i, and Dec the local
-// handle of the decision register group.
+// handle of the decision register group. EP is the process's network
+// endpoint; the participant's poll pauses ride its virtual clock. If EP is
+// nil it is derived from the process's decision-register replica.
 type RegisterConsensusConfig struct {
 	ID      model.ProcessID
+	EP      *net.Endpoint
 	Omega   fd.Omega
 	Regs    []*register.Register[RoundState]
 	Dec     *register.Register[DecisionState]
@@ -79,9 +84,17 @@ func NewRegisterConsensus(cfg RegisterConsensusConfig) *RegisterConsensus {
 	if poll == 0 {
 		poll = time.Millisecond
 	}
+	ep := cfg.EP
+	if ep == nil && cfg.Dec != nil {
+		ep = cfg.Dec.Endpoint()
+	}
+	if ep == nil {
+		panic("consensus: RegisterConsensusConfig needs an endpoint (EP or Dec)")
+	}
 	return &RegisterConsensus{
 		id:      cfg.ID,
 		n:       len(cfg.Regs),
+		ep:      ep,
 		omega:   cfg.Omega,
 		regs:    cfg.Regs,
 		dec:     cfg.Dec,
@@ -107,7 +120,7 @@ func (c *RegisterConsensus) Propose(ctx context.Context, v Value) (Value, error)
 			return d.Val, nil
 		}
 		if c.omega.Leader() != c.id {
-			if err := sleepCtx(ctx, c.poll); err != nil {
+			if err := c.pause(ctx); err != nil {
 				return nil, fmt.Errorf("register consensus: %w", err)
 			}
 			continue
@@ -119,10 +132,27 @@ func (c *RegisterConsensus) Propose(ctx context.Context, v Value) (Value, error)
 		if decided {
 			return val, nil
 		}
-		if err := sleepCtx(ctx, c.poll); err != nil {
+		if err := c.pause(ctx); err != nil {
 			return nil, fmt.Errorf("register consensus: %w", err)
 		}
 	}
+}
+
+// pause is one poll step of virtual time; like every "nop" step it advances
+// the logical clock so detector behaviour keeps making progress.
+func (c *RegisterConsensus) pause(ctx context.Context) error {
+	if err := c.ep.Sleep(ctx, c.poll); err != nil {
+		return err
+	}
+	c.ep.Clock().Tick()
+	return nil
+}
+
+// Run executes one single-shot consensus at this participant: it proposes
+// input and returns the decided value (the scenario harness's common
+// participant entry point).
+func (c *RegisterConsensus) Run(ctx context.Context, input any) (any, error) {
+	return c.Propose(ctx, input)
 }
 
 // lead runs one ballot; it returns (true, v) on decision and (false, nil) if
@@ -213,13 +243,3 @@ func (c *RegisterConsensus) nextBallot() Ballot {
 	return b
 }
 
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-timer.C:
-		return nil
-	}
-}

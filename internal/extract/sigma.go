@@ -224,7 +224,9 @@ func (e *SigmaExtractor) run() {
 
 		prev = participants
 
-		timer := time.NewTimer(e.interval)
+		// Inter-round pause on the network's virtual clock: free in
+		// wall-clock terms, ordered against the traffic of the round.
+		timer := e.ep.NewTimer(e.interval)
 		select {
 		case <-e.ctx.Done():
 			timer.Stop()

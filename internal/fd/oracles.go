@@ -1,0 +1,58 @@
+package fd
+
+import (
+	"weakestfd/internal/model"
+)
+
+// OracleConfig tunes the whole oracle detector family of one run: how long
+// crashes stay invisible to Σ and Ω, how long FS takes to turn red, and when
+// (and into which regime) Ψ leaves ⊥. All delays are logical ticks. The zero
+// value is the exact-oracle family: crashes visible immediately, Ψ switching
+// at time zero into its (Ω, Σ) regime unless a failure already occurred.
+type OracleConfig struct {
+	// SuspicionDelay is how many logical ticks after a crash the crashed
+	// process keeps appearing in Σ quorums and as an Ω leader candidate.
+	SuspicionDelay model.Time
+	// DetectionDelay is how many logical ticks after the first crash the FS
+	// signal turns red.
+	DetectionDelay model.Time
+	// PsiSwitchAfter is the logical time at which Ψ leaves ⊥.
+	PsiSwitchAfter model.Time
+	// PsiPolicy selects Ψ's regime at switch time. The zero value
+	// (PreferOmegaSigma) always picks (Ω, Σ); PreferFSOnFailure picks FS
+	// when a failure has occurred by the switch.
+	PsiPolicy PsiPolicy
+}
+
+// Oracles is the oracle-backed realisation of every detector the paper's
+// protocols consume, wired over one failure pattern and clock. It is the
+// detector side of a scenario: hand Omega/Sigma to the register and consensus
+// constructions, Psi and FS to the QC/NBAC stack.
+type Oracles struct {
+	Omega *OracleOmega
+	Sigma *OracleSigma
+	FS    *OracleFS
+	Psi   *OraclePsi
+}
+
+// NewOracles builds the oracle detector family over the given live failure
+// pattern and clock. Ψ's underlying (Ω, Σ) and FS regimes are the returned
+// Omega/Sigma/FS detectors themselves, so the whole family shares one
+// consistent view (including the configured delays).
+func NewOracles(pattern *model.FailurePattern, clock TimeSource, cfg OracleConfig) *Oracles {
+	o := &Oracles{
+		Omega: &OracleOmega{Pattern: pattern, Clock: clock, SuspicionDelay: cfg.SuspicionDelay},
+		Sigma: &OracleSigma{Pattern: pattern, Clock: clock, SuspicionDelay: cfg.SuspicionDelay},
+		FS:    &OracleFS{Pattern: pattern, Clock: clock, DetectionDelay: cfg.DetectionDelay},
+	}
+	o.Psi = &OraclePsi{
+		Pattern:     pattern,
+		Clock:       clock,
+		SwitchAfter: cfg.PsiSwitchAfter,
+		Policy:      cfg.PsiPolicy,
+		Omega:       o.Omega,
+		Sigma:       o.Sigma,
+		FS:          o.FS,
+	}
+	return o
+}

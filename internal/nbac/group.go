@@ -1,6 +1,7 @@
 package nbac
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -101,7 +102,9 @@ func (g *FSEmulationGroup) StopAll() {
 
 // NewFSEmulationGroup starts the emulation on every process of the network.
 // Successive NBAC instances are created lazily and shared across processes.
-func NewFSEmulationGroup(nw *net.Network, instance string, psi fd.PsiSource, fs fd.FSSource, interval time.Duration, opts ...Option) *FSEmulationGroup {
+// ctx bounds the whole emulation: cancelling it stops every emulator without
+// requiring a StopAll call.
+func NewFSEmulationGroup(ctx context.Context, nw *net.Network, instance string, psi fd.PsiSource, fs fd.FSSource, interval time.Duration, opts ...Option) *FSEmulationGroup {
 	g := &FSEmulationGroup{instances: make(map[int]*Group)}
 
 	factory := func(p int) func(k int) Protocol {
@@ -119,7 +122,7 @@ func NewFSEmulationGroup(nw *net.Network, instance string, psi fd.PsiSource, fs 
 
 	g.Emulators = make([]*FSFromNBAC, nw.N())
 	for i := 0; i < nw.N(); i++ {
-		g.Emulators[i] = StartFSFromNBAC(factory(i), interval)
+		g.Emulators[i] = StartFSFromNBAC(ctx, nw.Endpoint(model.ProcessID(i)), factory(i), interval)
 	}
 	return g
 }

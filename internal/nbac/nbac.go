@@ -87,7 +87,8 @@ type options struct {
 }
 
 // WithPollInterval sets how often blocked waits re-sample the failure
-// detector. Default 1ms.
+// detector. The interval is virtual time on the network's scheduler, so a
+// blocked wait costs no wall-clock time. Default 1ms.
 func WithPollInterval(d time.Duration) Option { return func(o *options) { o.poll = d } }
 
 // WithMetrics attaches a metrics sink.
@@ -133,7 +134,7 @@ func (a *QCNBAC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 	// Line 2: wait until either every process's vote arrived or FS is red.
 	votes := make(map[model.ProcessID]Vote, a.ep.N())
 	inbox := a.ep.Subscribe(a.instance)
-	ticker := time.NewTicker(a.poll)
+	ticker := a.ep.NewTicker(a.poll)
 	defer ticker.Stop()
 	sawRed := false
 	for len(votes) < a.ep.N() {
@@ -157,6 +158,11 @@ func (a *QCNBAC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 			a.ep.Clock().Tick()
 		}
 	}
+
+	// The vote wait is over; release the ticker before blocking in the QC
+	// step, whose waits ride their own timers — an unconsumed virtual tick
+	// would freeze the network's clock.
+	ticker.Stop()
 
 	// Lines 3-6: propose 1 only if every vote arrived and all are Yes.
 	proposal := 0
@@ -186,6 +192,28 @@ func (a *QCNBAC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 	}
 	a.metrics.Inc("decided.abort")
 	return Abort, nil
+}
+
+// Run executes one single-shot NBAC at this participant: it votes input
+// (a Vote or bool) and returns the Outcome (the scenario harness's common
+// participant entry point).
+func (a *QCNBAC) Run(ctx context.Context, input any) (any, error) {
+	v, err := voteInput(input)
+	if err != nil {
+		return nil, err
+	}
+	return a.Vote(ctx, v)
+}
+
+func voteInput(input any) (Vote, error) {
+	switch v := input.(type) {
+	case Vote:
+		return v, nil
+	case bool:
+		return Vote(v), nil
+	default:
+		return VoteNo, fmt.Errorf("nbac run: input has type %T, want Vote", input)
+	}
 }
 
 // NBACQC is the algorithm of Figure 5: quittable consensus from any NBAC
@@ -272,30 +300,46 @@ func (q *NBACQC) Propose(ctx context.Context, v qc.Value) (qc.Decision, error) {
 	return qc.Decision{Value: smallest}, nil
 }
 
+// Run executes one single-shot quittable consensus at this participant (the
+// scenario harness's common participant entry point).
+func (q *NBACQC) Run(ctx context.Context, input any) (any, error) {
+	d, err := q.Propose(ctx, input)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
 // FSFromNBAC emulates the failure-signal detector FS from any NBAC protocol
 // (Theorem 8(b)): instances are run forever with Yes votes; the signal is
 // green until some instance aborts — which, with all-Yes votes, can happen
 // only if a failure occurred — and red permanently afterwards.
 type FSFromNBAC struct {
 	newInstance func(k int) Protocol
+	ep          *net.Endpoint
 	interval    time.Duration
 
-	mu  sync.Mutex
-	red bool
+	mu     sync.Mutex
+	red    bool
+	rounds int
 
 	cancel context.CancelFunc
 	done   chan struct{}
 	once   sync.Once
 }
 
-// StartFSFromNBAC starts the emulation at this process. newInstance must
-// return this process's participant in the k-th NBAC instance; every process
-// of the system must run the emulation with a compatible factory so that the
-// instances line up. interval is the pause between successive instances.
-func StartFSFromNBAC(newInstance func(k int) Protocol, interval time.Duration) *FSFromNBAC {
-	ctx, cancel := context.WithCancel(context.Background())
+// StartFSFromNBAC starts the emulation at the process behind ep. newInstance
+// must return this process's participant in the k-th NBAC instance; every
+// process of the system must run the emulation with a compatible factory so
+// that the instances line up. interval is the pause between successive
+// instances, in virtual time on ep's network — successive instances are
+// spaced on the schedule, never by wall-clock sleeps. The emulation stops
+// when ctx is cancelled, when Stop is called, or when the process crashes.
+func StartFSFromNBAC(ctx context.Context, ep *net.Endpoint, newInstance func(k int) Protocol, interval time.Duration) *FSFromNBAC {
+	ctx, cancel := context.WithCancel(ctx)
 	f := &FSFromNBAC{
 		newInstance: newInstance,
+		ep:          ep,
 		interval:    interval,
 		cancel:      cancel,
 		done:        make(chan struct{}),
@@ -314,6 +358,14 @@ func (f *FSFromNBAC) Signal() model.FSValue {
 	return model.Green
 }
 
+// Rounds returns the number of NBAC instances that have completed with a
+// Commit so far.
+func (f *FSFromNBAC) Rounds() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rounds
+}
+
 // Stop terminates the emulation. The signal keeps its last value.
 func (f *FSFromNBAC) Stop() {
 	f.once.Do(f.cancel)
@@ -325,7 +377,7 @@ func (f *FSFromNBAC) run(ctx context.Context) {
 	for k := 0; ; k++ {
 		outcome, err := f.newInstance(k).Vote(ctx, VoteYes)
 		if err != nil {
-			return // stopped or crashed
+			return // cancelled, stopped or crashed
 		}
 		if outcome == Abort {
 			f.mu.Lock()
@@ -333,12 +385,13 @@ func (f *FSFromNBAC) run(ctx context.Context) {
 			f.mu.Unlock()
 			return
 		}
-		timer := time.NewTimer(f.interval)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
+		f.mu.Lock()
+		f.rounds++
+		f.mu.Unlock()
+		// Inter-instance pause on the virtual clock: spacing is part of the
+		// schedule, not a wall-clock wait.
+		if err := f.ep.Sleep(ctx, f.interval); err != nil {
 			return
-		case <-timer.C:
 		}
 	}
 }

@@ -316,17 +316,28 @@ func TestQCFromNBACRejectsNonIntProposal(t *testing.T) {
 }
 
 // Experiment E7 (FS emulation): with no failures the emulated FS stays green
-// across several instances; after a crash it eventually turns red.
+// across several instances; after a crash it eventually turns red. The
+// emulation's inter-instance pause is virtual time, so instances complete as
+// fast as the hardware allows: the test waits on completed rounds, not on the
+// wall clock.
 func TestFSFromNBACEmulation(t *testing.T) {
 	const n = 3
 	nw := net.NewNetwork(n, net.WithSeed(9))
 	defer nw.Close()
 	psi, fs := psiAndFS(nw, fd.PreferOmegaSigma)
-	emu := NewFSEmulationGroup(nw, "fsemu", psi, fs, 2*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emu := NewFSEmulationGroup(ctx, nw, "fsemu", psi, fs, 2*time.Millisecond)
 	defer emu.StopAll()
 
 	// Let a few all-Yes instances complete; the signal must stay green.
-	time.Sleep(100 * time.Millisecond)
+	deadline := time.Now().Add(10 * time.Second)
+	for emu.Emulators[0].Rounds() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("emulation completed only %d rounds", emu.Emulators[0].Rounds())
+		}
+		time.Sleep(time.Millisecond)
+	}
 	for i, e := range emu.Emulators {
 		if e.Signal() != model.Green {
 			t.Fatalf("emulated FS at p%d red before any failure", i)
@@ -334,7 +345,6 @@ func TestFSFromNBACEmulation(t *testing.T) {
 	}
 
 	nw.Crash(2)
-	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if emu.Emulators[0].Signal() == model.Red && emu.Emulators[1].Signal() == model.Red {
 			break

@@ -96,4 +96,15 @@ func (t *TwoPC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 	}
 }
 
+// Run executes one single-shot 2PC at this participant: it votes input (a
+// Vote or bool) and returns the Outcome (the scenario harness's common
+// participant entry point).
+func (t *TwoPC) Run(ctx context.Context, input any) (any, error) {
+	v, err := voteInput(input)
+	if err != nil {
+		return nil, err
+	}
+	return t.Vote(ctx, v)
+}
+
 var _ Protocol = (*TwoPC)(nil)

@@ -5,20 +5,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"weakestfd/internal/model"
 )
 
-// eventKind discriminates the two things the scheduler delivers: message
-// deliveries and timer fires.
+// eventKind discriminates the things the scheduler delivers: message
+// deliveries, timer fires and scheduled crashes.
 type eventKind uint8
 
 const (
 	evMessage eventKind = iota
 	evTimer
+	evCrash
 )
 
 // event is one pending delivery in the scheduler's priority queue, ordered by
 // (at, seq): at is the virtual-nanosecond delivery time, seq the enqueue
-// sequence number that breaks ties FIFO.
+// sequence number that breaks ties FIFO. A crash event reuses msg.To as the
+// crashing process.
 type event struct {
 	at   int64
 	seq  uint64
@@ -59,13 +63,15 @@ func (s *splitmix64) next() uint64 {
 // clock until the earliest event's deadline, preserving wall-clock fidelity
 // without the old goroutine-per-message cost.
 type eventQueue struct {
-	mu   sync.Mutex
-	heap []event // min-heap by (at, seq); hand-rolled to avoid interface boxing
-	seq  uint64
-	rng  splitmix64
-	vnow int64 // virtual now (ns); written under mu by the dispatcher
+	mu      sync.Mutex
+	heap    []event // min-heap by (at, seq); hand-rolled to avoid interface boxing
+	seq     uint64
+	rng     splitmix64
+	dropRng splitmix64 // separate stream so drop decisions never shift delay draws
+	vnow    int64      // virtual now (ns); written under mu by the dispatcher
 
-	minDelay, maxDelay int64 // message delay range, ns
+	minDelay, maxDelay int64  // message delay range, ns
+	dropThreshold      uint64 // drop a message when dropRng.next() < threshold; 0 = reliable
 
 	realtime bool
 	epoch    time.Time // wall time of virtual zero (real-time mode)
@@ -80,15 +86,23 @@ type eventQueue struct {
 	quit        chan struct{} // closed on close()
 }
 
-func newEventQueue(seed int64, minDelay, maxDelay time.Duration, realtime bool) *eventQueue {
+func newEventQueue(seed int64, minDelay, maxDelay time.Duration, dropRate float64, realtime bool) *eventQueue {
 	q := &eventQueue{
 		rng:      splitmix64{x: uint64(seed)},
+		dropRng:  splitmix64{x: uint64(seed) ^ 0xd1b54a32d192ed03},
 		minDelay: int64(minDelay),
 		maxDelay: int64(maxDelay),
 		realtime: realtime,
 		notify:   make(chan struct{}, 1),
 		consumed: make(chan struct{}, 1),
 		quit:     make(chan struct{}),
+	}
+	if dropRate > 0 {
+		if dropRate >= 1 {
+			q.dropThreshold = ^uint64(0)
+		} else {
+			q.dropThreshold = uint64(dropRate * float64(1<<63) * 2)
+		}
 	}
 	if realtime {
 		q.epoch = time.Now()
@@ -116,13 +130,19 @@ func (q *eventQueue) drawDelay() int64 {
 }
 
 // pushMessage enqueues a message delivery at now+delay. It reports false if
-// the queue is already closed. The delay is drawn under the queue lock, so
-// enqueue order determines RNG consumption order; during a Freeze the virtual
-// clock is necessarily still, so a frozen batch shares one base time and its
-// delivery order is exactly the (delay, seq) sort.
+// the queue is already closed or the lossy-link knob dropped the message. The
+// delay is drawn under the queue lock, so enqueue order determines RNG
+// consumption order; during a Freeze the virtual clock is necessarily still,
+// so a frozen batch shares one base time and its delivery order is exactly
+// the (delay, seq) sort. Drop decisions consume a dedicated RNG stream, so
+// the delay sequence of the surviving messages is unchanged.
 func (q *eventQueue) pushMessage(msg Message) bool {
 	q.mu.Lock()
 	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.dropThreshold > 0 && q.dropRng.next() < q.dropThreshold {
 		q.mu.Unlock()
 		return false
 	}
@@ -137,6 +157,22 @@ func (q *eventQueue) pushMessage(msg Message) bool {
 	q.mu.Unlock()
 	q.poke(q.notify)
 	return true
+}
+
+// pushCrash enqueues a crash of process p at the absolute virtual time at. The
+// dispatcher executes the crash inline when the event pops, so a scheduled
+// crash is ordered against message deliveries and timer fires exactly by
+// (at, seq) — deterministic for a seeded scenario.
+func (q *eventQueue) pushCrash(p model.ProcessID, at int64) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.seq++
+	q.heapPush(event{at: at, seq: q.seq, kind: evCrash, msg: Message{To: p}})
+	q.mu.Unlock()
+	q.poke(q.notify)
 }
 
 // scheduleTimer enqueues a timer fire at the absolute virtual time at.
@@ -172,23 +208,33 @@ func (q *eventQueue) fireDone() {
 // goroutine is about to issue) could be leapfrogged by a later timer.
 const gapYields = 4
 
-// pop blocks until the next event is due and returns it, advancing virtual
-// time to the event's timestamp. It returns ok=false once the queue closes.
-// pop must only be called by the single dispatcher goroutine.
-func (q *eventQueue) pop() (event, bool) {
+// popBatch blocks until the next event is due, then pops it AND every further
+// event whose delivery time has already been reached, all under one lock
+// acquisition, appending them to dst in (at, seq) order. It returns ok=false
+// once the queue closes. popBatch must only be called by the single
+// dispatcher goroutine.
+//
+// Batching matters because delivery is handoff-bound: popping one event per
+// lock acquisition made the dispatcher trade the queue lock with senders once
+// per message. A burst of same-instant deliveries (a broadcast, a frozen
+// scenario batch, zero-delay traffic) now drains in a single critical
+// section. Only events with at ≤ the (just advanced) virtual clock are
+// drained, so batching never reorders anything: the batch is exactly the
+// prefix the old one-at-a-time loop would have produced.
+func (q *eventQueue) popBatch(dst []event) ([]event, bool) {
 	yields := 0
 	for {
 		q.mu.Lock()
 		if q.closed {
 			q.mu.Unlock()
-			return event{}, false
+			return dst, false
 		}
 		if q.held {
 			q.mu.Unlock()
 			select {
 			case <-q.notify:
 			case <-q.quit:
-				return event{}, false
+				return dst, false
 			}
 			continue
 		}
@@ -197,7 +243,7 @@ func (q *eventQueue) pop() (event, bool) {
 			select {
 			case <-q.notify:
 			case <-q.quit:
-				return event{}, false
+				return dst, false
 			}
 			continue
 		}
@@ -213,29 +259,29 @@ func (q *eventQueue) pop() (event, bool) {
 					case <-q.notify:
 					case <-q.quit:
 						tm.Stop()
-						return event{}, false
+						return dst, false
 					}
 					tm.Stop()
 					continue
 				}
-			} else if head.kind == evTimer {
-				// Virtual time is about to jump to a timer deadline. First
-				// wait for every timer fire already handed out to be
-				// consumed — a process still reacting to "now" must not be
-				// outrun by the clock — then yield a few times so runnable
-				// goroutines can schedule earlier events (e.g. the ack a
-				// process is just about to send, which would sort before
-				// this deadline). Message events need no such pause: a
-				// message popping at now+delay cannot leapfrog anything a
-				// running goroutine would still schedule, because later
-				// sends are stamped from the later clock.
+			} else if head.kind != evMessage {
+				// Virtual time is about to jump to a timer deadline (or a
+				// scheduled crash). First wait for every timer fire already
+				// handed out to be consumed — a process still reacting to
+				// "now" must not be outrun by the clock — then yield a few
+				// times so runnable goroutines can schedule earlier events
+				// (e.g. the ack a process is just about to send, which would
+				// sort before this deadline). Message events need no such
+				// pause: a message popping at now+delay cannot leapfrog
+				// anything a running goroutine would still schedule, because
+				// later sends are stamped from the later clock.
 				if q.outstanding.Load() > 0 {
 					q.mu.Unlock()
 					select {
 					case <-q.consumed:
 					case <-q.notify:
 					case <-q.quit:
-						return event{}, false
+						return dst, false
 					}
 					continue
 				}
@@ -247,13 +293,28 @@ func (q *eventQueue) pop() (event, bool) {
 				}
 			}
 		}
-		q.heapPopHead()
-		if head.at > q.vnow {
-			q.vnow = head.at
-			q.vnowAtomic.Store(head.at)
+		// Advance the clock to the head event, then drain every event that is
+		// due by the new now. In real-time mode "due" is measured against the
+		// wall clock so a late dispatcher catches up in one batch.
+		limit := q.vnow
+		if head.at > limit {
+			limit = head.at
+		}
+		if q.realtime {
+			if elapsed := int64(time.Since(q.epoch)); elapsed > limit {
+				limit = elapsed
+			}
+		}
+		for len(q.heap) > 0 && q.heap[0].at <= limit {
+			dst = append(dst, q.heap[0])
+			q.heapPopHead()
+		}
+		if limit > q.vnow {
+			q.vnow = limit
+			q.vnowAtomic.Store(limit)
 		}
 		q.mu.Unlock()
-		return head, true
+		return dst, true
 	}
 }
 

@@ -65,6 +65,21 @@ func WithRealTime() Option {
 	return func(n *Network) { n.realtime = true }
 }
 
+// WithDropRate makes every message be dropped independently with probability
+// p ∈ [0, 1]. Drop decisions are drawn from a dedicated seeded RNG stream, so
+// turning losses on (or off) never shifts the delay sequence of the messages
+// that survive. The paper's model assumes reliable links between correct
+// processes, so a lossy network is an adversarial knob for safety-only runs:
+// protocol liveness may legitimately be lost when p > 0.
+func WithDropRate(p float64) Option {
+	return func(n *Network) {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("net: drop rate %v outside [0, 1]", p))
+		}
+		n.dropRate = p
+	}
+}
+
 // WithMetrics attaches a metrics sink; the network counts sent, delivered and
 // dropped messages into it.
 func WithMetrics(m *trace.Metrics) Option {
@@ -89,6 +104,7 @@ type Network struct {
 	minDelay time.Duration
 	maxDelay time.Duration
 	seed     int64
+	dropRate float64
 	realtime bool
 
 	q *eventQueue
@@ -123,7 +139,7 @@ func NewNetwork(n int, opts ...Option) *Network {
 	nw.cSent = nw.metrics.Counter("msgs.sent")
 	nw.cDelivered = nw.metrics.Counter("msgs.delivered")
 	nw.cDropped = nw.metrics.Counter("msgs.dropped")
-	nw.q = newEventQueue(nw.seed, nw.minDelay, nw.maxDelay, nw.realtime)
+	nw.q = newEventQueue(nw.seed, nw.minDelay, nw.maxDelay, nw.dropRate, nw.realtime)
 	nw.endpoints = make([]*Endpoint, n)
 	for i := 0; i < n; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -173,6 +189,20 @@ func (nw *Network) Crash(p model.ProcessID) {
 	nw.metrics.Inc("crashes")
 	ep.cancel()
 	ep.stopTimers()
+}
+
+// ScheduleCrash enqueues a crash of process p after the given span of virtual
+// time. Unlike a Crash call from an arbitrary goroutine, a scheduled crash is
+// executed by the dispatcher itself when the event queue reaches its
+// timestamp, so it is ordered against message deliveries and timer fires
+// exactly by (deliveryTime, seq) — the crash timing of a seeded scenario is
+// part of the schedule, not a wall-clock race. Scheduling a crash for an
+// already-crashed process is a harmless no-op when the event fires.
+func (nw *Network) ScheduleCrash(p model.ProcessID, after time.Duration) {
+	if int(p) < 0 || int(p) >= nw.n {
+		panic(fmt.Sprintf("net: scheduled crash of out-of-range process %v", p))
+	}
+	nw.q.pushCrash(p, int64(nw.q.virtualNow())+int64(after))
 }
 
 // Crashed reports whether p has crashed.
@@ -252,26 +282,37 @@ func (nw *Network) instCounter(instance string) *trace.Counter {
 }
 
 // dispatch is the single delivery goroutine: it drains the event queue in
-// (deliveryTime, seq) order, delivering messages into mailboxes and firing
-// timers. No goroutine is ever spawned per message.
+// (deliveryTime, seq) order, delivering messages into mailboxes, firing
+// timers and executing scheduled crashes. Events that are due at the same
+// virtual instant are popped as one batch under a single lock acquisition
+// (the delivery path is handoff-bound, so per-event locking was the hot
+// spot). No goroutine is ever spawned per message.
 func (nw *Network) dispatch() {
 	defer nw.wg.Done()
+	var batch []event
 	for {
-		ev, ok := nw.q.pop()
+		var ok bool
+		batch, ok = nw.q.popBatch(batch[:0])
 		if !ok {
 			return
 		}
-		switch ev.kind {
-		case evMessage:
-			if nw.closed.Load() || nw.Crashed(ev.msg.To) {
-				nw.cDropped.Inc()
-				continue
+		for i := range batch {
+			ev := &batch[i]
+			switch ev.kind {
+			case evMessage:
+				if nw.closed.Load() || nw.Crashed(ev.msg.To) {
+					nw.cDropped.Inc()
+				} else {
+					nw.clock.Tick()
+					nw.cDelivered.Inc()
+					nw.endpoints[int(ev.msg.To)].deliver(ev.msg)
+				}
+			case evTimer:
+				ev.tm.fired(ev.at)
+			case evCrash:
+				nw.Crash(ev.msg.To)
 			}
-			nw.clock.Tick()
-			nw.cDelivered.Inc()
-			nw.endpoints[int(ev.msg.To)].deliver(ev.msg)
-		case evTimer:
-			ev.tm.fired(ev.at)
+			*ev = event{} // release payload references held by the batch buffer
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package net
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,4 +158,22 @@ func (ep *Endpoint) NewTicker(d time.Duration) *Timer {
 	t := newTimer(ep.net.q, d, d)
 	ep.adoptTimer(t)
 	return t
+}
+
+// Sleep blocks this process for d of virtual time: instantly in wall-clock
+// terms once no earlier event is pending, but ordered after everything the
+// network delivers in the meantime. It returns nil after the wait, or the
+// first relevant error if ctx is cancelled or the process crashes (a crashed
+// process never finishes a sleep).
+func (ep *Endpoint) Sleep(ctx context.Context, d time.Duration) error {
+	t := ep.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ep.ctx.Done():
+		return ep.ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

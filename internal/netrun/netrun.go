@@ -103,6 +103,15 @@ func (r *Runner) Run(ctx context.Context) (any, error) {
 	}
 }
 
+// RunWith executes a copy of the runner with input as its per-run input — the
+// scenario harness's participant shape (Run keeps the wired-input form used
+// by RunAll). The copy leaves the receiver reusable across runs.
+func (r *Runner) RunWith(ctx context.Context, input any) (any, error) {
+	rr := *r
+	rr.Input = input
+	return rr.Run(ctx)
+}
+
 // RunAll runs the automaton at every process of the network concurrently and
 // returns the outputs of the processes that produced one (crashed processes
 // are omitted). inputs[i] is process i's input.

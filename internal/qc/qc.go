@@ -71,7 +71,8 @@ type pqcOptions struct {
 }
 
 // WithPollInterval sets how often the ⊥-wait of line 1 of Figure 2 re-samples
-// Ψ. Default 1ms.
+// Ψ. The interval is virtual time on the network's scheduler, so the wait
+// costs no wall-clock time. Default 1ms.
 func WithPollInterval(d time.Duration) Option { return func(o *pqcOptions) { o.poll = d } }
 
 // WithMetrics attaches a metrics sink.
@@ -112,7 +113,7 @@ func (q *PsiQC) Stop() { q.cons.Stop() }
 // Propose runs Figure 2 with proposal v.
 func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 	q.metrics.Inc("propose")
-	ticker := time.NewTicker(q.poll)
+	ticker := q.ep.NewTicker(q.poll)
 	defer ticker.Stop()
 
 	// Line 1: wait until Ψ leaves ⊥. Each iteration is a "nop" step of the
@@ -132,6 +133,10 @@ func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 		case <-ticker.C:
 		}
 	}
+	// The ⊥-wait is over; release the ticker before blocking in the embedded
+	// consensus, whose waits ride their own timers — an unconsumed virtual
+	// tick would freeze the network's clock.
+	ticker.Stop()
 
 	// Lines 2-4: if Ψ behaves like FS, a failure has occurred; return Quit.
 	if q.psi.Value().Phase == model.PsiFS {
@@ -146,6 +151,17 @@ func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 	}
 	q.metrics.Inc("decided.value")
 	return Decision{Value: d}, nil
+}
+
+// Run executes one single-shot quittable consensus at this participant: it
+// proposes input and returns the Decision (the scenario harness's common
+// participant entry point).
+func (q *PsiQC) Run(ctx context.Context, input any) (any, error) {
+	d, err := q.Propose(ctx, input)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // psiOmegaSigma adapts a Ψ module in its (Ω, Σ) regime to the Omega and Sigma

@@ -1,0 +1,355 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"weakestfd/internal/check"
+	"weakestfd/internal/consensus"
+	"weakestfd/internal/model"
+	"weakestfd/internal/nbac"
+	"weakestfd/internal/qc"
+	"weakestfd/internal/register"
+)
+
+// Runner is the common run interface of protocol participants: one
+// single-shot execution with a per-process input, returning that process's
+// outcome. consensus.BallotConsensus, consensus.RegisterConsensus,
+// qc.PsiQC, nbac.QCNBAC, nbac.NBACQC, nbac.TwoPC and register.Register all
+// satisfy it.
+type Runner interface {
+	Run(ctx context.Context, input any) (any, error)
+}
+
+// Statically require the protocol packages to satisfy Runner.
+var (
+	_ Runner = (*consensus.BallotConsensus)(nil)
+	_ Runner = (*consensus.RegisterConsensus)(nil)
+	_ Runner = (*qc.PsiQC)(nil)
+	_ Runner = (*nbac.QCNBAC)(nil)
+	_ Runner = (*nbac.NBACQC)(nil)
+	_ Runner = (*nbac.TwoPC)(nil)
+	_ Runner = (*register.Register[int])(nil)
+)
+
+// Instance is a wired run of a protocol on a cluster: one Runner and input
+// per process (nil Runner = the process takes no step), the spec checker for
+// the outcomes they produce, and the teardown hook.
+type Instance struct {
+	Runners []Runner
+	Inputs  []any
+	Check   func(f *model.FailurePattern, outs []Outcome, requireTermination bool) model.Verdict
+	Stop    func()
+}
+
+// Protocol is a protocol family that can be stood up on a scenario's
+// cluster. Implementations must be reusable: Setup is called once per run,
+// possibly concurrently from sweep workers, and must put all per-run state
+// into the returned Instance.
+type Protocol interface {
+	// Name labels the protocol in results.
+	Name() string
+	// Setup wires one participant per process onto the cluster.
+	Setup(cl *Cluster) (*Instance, error)
+}
+
+// ---- consensus ----
+
+// Consensus runs single-shot consensus: the (Ω, Σ) ballot protocol by
+// default, the Ω-plus-majority baseline with Majority, or the paper's
+// register route (Σ-registers plus Ω) with Registers.
+type Consensus struct {
+	// Majority uses plain majority quorums instead of Σ (the regime of [4]:
+	// liveness is lost once a majority has crashed).
+	Majority bool
+	// Registers takes the register-based route of Corollary 2 instead of
+	// the message-passing ballot protocol.
+	Registers bool
+	// Proposals overrides the per-process proposals (default: process i
+	// proposes i).
+	Proposals []any
+	// Options is forwarded to the ballot participants.
+	Options []consensus.Option
+}
+
+// Name implements Protocol.
+func (c Consensus) Name() string {
+	switch {
+	case c.Registers:
+		return "consensus/registers"
+	case c.Majority:
+		return "consensus/majority"
+	default:
+		return "consensus/omega-sigma"
+	}
+}
+
+// Setup implements Protocol.
+func (c Consensus) Setup(cl *Cluster) (*Instance, error) {
+	if c.Registers && c.Majority {
+		return nil, fmt.Errorf("consensus: Registers and Majority are mutually exclusive")
+	}
+	n := cl.Net.N()
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check:   checkConsensusOutcomes,
+	}
+	for i := 0; i < n; i++ {
+		if i < len(c.Proposals) {
+			inst.Inputs[i] = c.Proposals[i]
+		} else {
+			inst.Inputs[i] = i
+		}
+	}
+	switch {
+	case c.Registers:
+		g := consensus.NewRegisterConsensusGroup(cl.Net, cl.Instance, cl.Oracles.Omega, cl.Oracles.Sigma)
+		for i, p := range g.Participants {
+			inst.Runners[i] = p
+		}
+		inst.Stop = g.Stop
+	case c.Majority:
+		g := consensus.NewOmegaMajorityGroup(cl.Net, cl.Instance, cl.Oracles.Omega, c.Options...)
+		for i, p := range g {
+			inst.Runners[i] = p
+		}
+		inst.Stop = g.Stop
+	default:
+		g := consensus.NewOmegaSigmaGroup(cl.Net, cl.Instance, cl.Oracles.Omega, cl.Oracles.Sigma, c.Options...)
+		for i, p := range g {
+			inst.Runners[i] = p
+		}
+		inst.Stop = g.Stop
+	}
+	return inst, nil
+}
+
+func checkConsensusOutcomes(f *model.FailurePattern, outs []Outcome, requireTermination bool) model.Verdict {
+	o := check.ConsensusOutcome{Proposals: map[model.ProcessID]any{}}
+	for _, out := range outs {
+		o.Proposals[out.Process] = out.Input
+		if out.Returned {
+			o.Decisions = append(o.Decisions, check.Decision{Process: out.Process, Value: out.Value, Time: out.End})
+		}
+	}
+	return check.CheckConsensus(f, o, requireTermination)
+}
+
+// ---- quittable consensus ----
+
+// QC runs single-shot quittable consensus from Ψ (Figure 2).
+type QC struct {
+	// Proposals overrides the per-process proposals (default: process i
+	// proposes i).
+	Proposals []any
+	// Options is forwarded to the participants.
+	Options []qc.Option
+}
+
+// Name implements Protocol.
+func (QC) Name() string { return "qc/psi" }
+
+// Setup implements Protocol.
+func (q QC) Setup(cl *Cluster) (*Instance, error) {
+	n := cl.Net.N()
+	g := qc.NewPsiGroup(cl.Net, cl.Instance, cl.Oracles.Psi, q.Options...)
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check:   checkQCOutcomes,
+		Stop:    g.Stop,
+	}
+	for i := 0; i < n; i++ {
+		inst.Runners[i] = g[i]
+		if i < len(q.Proposals) {
+			inst.Inputs[i] = q.Proposals[i]
+		} else {
+			inst.Inputs[i] = i
+		}
+	}
+	return inst, nil
+}
+
+func checkQCOutcomes(f *model.FailurePattern, outs []Outcome, requireTermination bool) model.Verdict {
+	o := check.QCOutcome{Proposals: map[model.ProcessID]any{}}
+	for _, out := range outs {
+		o.Proposals[out.Process] = out.Input
+		if !out.Returned {
+			continue
+		}
+		d, ok := out.Value.(qc.Decision)
+		if !ok {
+			return model.Fail("qc scenario: %v returned %T, want qc.Decision", out.Process, out.Value)
+		}
+		o.Decisions = append(o.Decisions, check.Decision{
+			Process: out.Process,
+			Value:   check.QCDecision{Quit: d.Quit, Value: d.Value},
+			Time:    out.End,
+		})
+	}
+	return check.CheckQC(f, o, requireTermination)
+}
+
+// ---- non-blocking atomic commit ----
+
+// NBAC runs single-shot non-blocking atomic commit through the stack of
+// Corollary 10: Ψ-based QC wrapped by the Figure 4 transformation with FS.
+type NBAC struct {
+	// Votes overrides the per-process votes (default: everyone votes Yes).
+	Votes []nbac.Vote
+	// Options is forwarded to the participants.
+	Options []nbac.Option
+}
+
+// Name implements Protocol.
+func (NBAC) Name() string { return "nbac/psi-fs" }
+
+// Setup implements Protocol.
+func (a NBAC) Setup(cl *Cluster) (*Instance, error) {
+	n := cl.Net.N()
+	g := nbac.NewPsiFSGroup(cl.Net, cl.Instance, cl.Oracles.Psi, cl.Oracles.FS, a.Options...)
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check:   checkNBACOutcomes,
+		Stop:    g.Stop,
+	}
+	for i := 0; i < n; i++ {
+		inst.Runners[i] = g.Participants[i]
+		vote := nbac.VoteYes
+		if i < len(a.Votes) {
+			vote = a.Votes[i]
+		}
+		inst.Inputs[i] = vote
+	}
+	return inst, nil
+}
+
+func checkNBACOutcomes(f *model.FailurePattern, outs []Outcome, requireTermination bool) model.Verdict {
+	o := check.NBACOutcome{Votes: map[model.ProcessID]check.Vote{}}
+	for _, out := range outs {
+		if v, ok := out.Input.(nbac.Vote); ok {
+			o.Votes[out.Process] = check.Vote(v)
+		}
+		if !out.Returned {
+			continue
+		}
+		oc, ok := out.Value.(nbac.Outcome)
+		if !ok {
+			return model.Fail("nbac scenario: %v returned %T, want nbac.Outcome", out.Process, out.Value)
+		}
+		o.Decisions = append(o.Decisions, check.Decision{Process: out.Process, Value: bool(oc), Time: out.End})
+	}
+	return check.CheckNBAC(f, o, requireTermination)
+}
+
+// ---- atomic registers ----
+
+// Registers runs the replicated-register protocol: each process performs one
+// write of its value followed by one read, and the whole operation history
+// is checked for linearizability. Σ-based quorums by default (Theorem 1),
+// plain majorities with Majority.
+type Registers struct {
+	// Majority uses the classical ABD majority guard instead of Σ.
+	Majority bool
+	// Values overrides the per-process written values (default: process i
+	// writes i+1; zero is the register's initial value).
+	Values []int
+	// Options is forwarded to the replicas.
+	Options []register.Option
+}
+
+// Name implements Protocol.
+func (r Registers) Name() string {
+	if r.Majority {
+		return "register/majority"
+	}
+	return "register/sigma"
+}
+
+// Setup implements Protocol.
+func (r Registers) Setup(cl *Cluster) (*Instance, error) {
+	n := cl.Net.N()
+	var g register.Group[int]
+	if r.Majority {
+		g = register.NewMajorityGroup[int](cl.Net, cl.Instance, r.Options...)
+	} else {
+		g = register.NewSigmaGroup[int](cl.Net, cl.Instance, cl.Oracles.Sigma, r.Options...)
+	}
+	rec := &opRecorder{clock: cl.Net.Clock()}
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check: func(f *model.FailurePattern, outs []Outcome, requireTermination bool) model.Verdict {
+			return check.CheckRegister(f, check.RegisterOutcome{Ops: rec.snapshot(), Initial: 0}, requireTermination)
+		},
+		Stop: g.Stop,
+	}
+	for i := 0; i < n; i++ {
+		val := i + 1
+		if i < len(r.Values) {
+			val = r.Values[i]
+		}
+		inst.Runners[i] = &registerRunner{reg: g[i], rec: rec}
+		inst.Inputs[i] = val
+	}
+	return inst, nil
+}
+
+// opRecorder collects the operation history of a register run for the
+// linearizability check.
+type opRecorder struct {
+	clock interface{ Now() model.Time }
+	mu    sync.Mutex
+	ops   []check.Op
+}
+
+func (r *opRecorder) record(p model.ProcessID, kind check.OpKind, invoke func() (int, error)) (int, error) {
+	start := r.clock.Now()
+	v, err := invoke()
+	end := r.clock.Now()
+	r.mu.Lock()
+	r.ops = append(r.ops, check.Op{
+		Process:  p,
+		Kind:     kind,
+		Value:    v,
+		Start:    start,
+		End:      end,
+		Complete: err == nil,
+	})
+	r.mu.Unlock()
+	return v, err
+}
+
+func (r *opRecorder) snapshot() []check.Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]check.Op(nil), r.ops...)
+}
+
+// registerRunner is one process's scenario step on a register group: a
+// recorded write of the input followed by a recorded read, so the run's full
+// history feeds the atomicity checker.
+type registerRunner struct {
+	reg *register.Register[int]
+	rec *opRecorder
+}
+
+// Run implements Runner.
+func (r *registerRunner) Run(ctx context.Context, input any) (any, error) {
+	val, ok := input.(int)
+	if !ok {
+		return nil, fmt.Errorf("register scenario: input has type %T, want int", input)
+	}
+	p := r.reg.Endpoint().ID()
+	if _, err := r.rec.record(p, check.OpWrite, func() (int, error) {
+		return val, r.reg.Write(ctx, val)
+	}); err != nil {
+		return nil, err
+	}
+	return r.rec.record(p, check.OpRead, func() (int, error) {
+		return r.reg.Read(ctx)
+	})
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in; the large
+// sweep tests scale their run counts down under it (every operation is an
+// order of magnitude slower, and the 10s wall-clock bar is calibrated for
+// the plain build).
+const raceEnabled = true

@@ -1,0 +1,344 @@
+// Package scenario is the declarative harness that stands up a whole cluster
+// in one call: network, fault schedule, detector family, protocol
+// participants and spec checking. The paper's results are statements over
+// *all* failure patterns and schedules; this package is the API for
+// quantifying over them executably — a Scenario describes one point of that
+// space (seed, delay distribution, drop rate, crash schedule, detector
+// delays), Run executes a protocol on it under the virtual-time scheduler
+// and feeds the outcomes straight into internal/check, and Sweep fans a
+// seed × delay × crash-timing grid across worker goroutines.
+//
+// A run costs zero wall-clock waiting: every protocol pause (poll intervals,
+// backoffs, inter-instance spacing) and every injected delay rides the
+// virtual clock of internal/net, and scheduled crashes are events on the
+// same queue, ordered against deliveries by (time, seq) like everything
+// else. Millions of adversarial schedules are a loop, not a cluster.
+//
+//	res := scenario.New(5,
+//	    scenario.WithSeed(7),
+//	    scenario.WithDelays(time.Millisecond, 20*time.Millisecond),
+//	    scenario.WithCrash(0, 5*time.Millisecond),
+//	).Run(ctx, scenario.Consensus{})
+//	if !res.Verdict.OK { ... }
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+	"weakestfd/internal/trace"
+)
+
+// Crash is one entry of a scenario's fault schedule: process P crashes once
+// the network's virtual clock reaches At. The crash is executed by the
+// event dispatcher itself, so for a fixed seed it is ordered against message
+// deliveries deterministically.
+type Crash struct {
+	P  model.ProcessID
+	At time.Duration
+}
+
+// Config is the complete description of one scenario. Build it with New and
+// the With* options; the zero values of individual fields match the
+// defaults of internal/net (seed 1, delays [0, 200µs], reliable links, no
+// crashes, exact oracles).
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Seed drives both the delay and the drop RNG streams.
+	Seed int64
+	// MinDelay and MaxDelay bound the per-message delivery delay.
+	MinDelay, MaxDelay time.Duration
+	// DropRate is the per-message drop probability (0 = reliable links; the
+	// paper's model). A lossy run may legitimately lose liveness, so
+	// combining DropRate > 0 with RequireTermination is usually wrong.
+	DropRate float64
+	// Crashes is the fault schedule, in virtual time.
+	Crashes []Crash
+	// Detectors tunes the oracle detector family (suspicion and detection
+	// delays, Ψ switch time and policy).
+	Detectors fd.OracleConfig
+	// RequireTermination makes the spec check enforce that every correct
+	// process returns. New sets it; WithSafetyOnly clears it.
+	RequireTermination bool
+	// Timeout bounds the run in wall-clock time (a liveness backstop; the
+	// run itself never waits out virtual delays). New sets 30s.
+	Timeout time.Duration
+}
+
+// Option configures a scenario.
+type Option func(*Config)
+
+// WithSeed seeds the delay and drop RNG streams.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithDelays sets the per-message delivery delay range. In virtual time the
+// magnitude is free: 50ms delays cost no more wall-clock than 50µs ones.
+func WithDelays(min, max time.Duration) Option {
+	return func(c *Config) { c.MinDelay, c.MaxDelay = min, max }
+}
+
+// WithDropRate makes every message be dropped independently with the given
+// probability. Adversarial, safety-only territory: combine with
+// WithSafetyOnly unless the rate is 0.
+func WithDropRate(p float64) Option { return func(c *Config) { c.DropRate = p } }
+
+// WithCrash schedules process p to crash at virtual time at.
+func WithCrash(p model.ProcessID, at time.Duration) Option {
+	return func(c *Config) { c.Crashes = append(c.Crashes, Crash{P: p, At: at}) }
+}
+
+// WithCrashes replaces the whole fault schedule.
+func WithCrashes(crashes ...Crash) Option {
+	return func(c *Config) { c.Crashes = append([]Crash(nil), crashes...) }
+}
+
+// WithSuspicionDelay makes crashed processes linger in Σ quorums (and as Ω
+// leader candidates) for d logical ticks after their crash.
+func WithSuspicionDelay(d model.Time) Option {
+	return func(c *Config) { c.Detectors.SuspicionDelay = d }
+}
+
+// WithFSDetectionDelay makes the FS signal turn red only d logical ticks
+// after the first crash.
+func WithFSDetectionDelay(d model.Time) Option {
+	return func(c *Config) { c.Detectors.DetectionDelay = d }
+}
+
+// WithPsiSwitch sets when Ψ leaves ⊥ and which regime it prefers.
+func WithPsiSwitch(after model.Time, policy fd.PsiPolicy) Option {
+	return func(c *Config) {
+		c.Detectors.PsiSwitchAfter = after
+		c.Detectors.PsiPolicy = policy
+	}
+}
+
+// WithSafetyOnly checks only the perpetual (safety) clauses: agreement and
+// validity, not termination. Use it for runs that are cut short or
+// deliberately starved (drop rates, majority loss under majority guards).
+func WithSafetyOnly() Option { return func(c *Config) { c.RequireTermination = false } }
+
+// WithTimeout bounds the run in wall-clock time.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// Scenario is an immutable, reusable description of one cluster + schedule.
+// Run may be called any number of times (each run stands up a fresh
+// network); Sweep derives grid points from it.
+type Scenario struct {
+	cfg Config
+}
+
+// New builds a scenario over n processes. Defaults: seed 1, delays
+// [0, 200µs], reliable links, no crashes, exact oracles, termination
+// required, 30s wall-clock backstop.
+func New(n int, opts ...Option) *Scenario {
+	if n <= 0 {
+		panic(fmt.Sprintf("scenario: invalid process count %d", n))
+	}
+	cfg := Config{
+		N:                  n,
+		Seed:               1,
+		MinDelay:           0,
+		MaxDelay:           200 * time.Microsecond,
+		RequireTermination: true,
+		Timeout:            30 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Scenario{cfg: cfg}
+}
+
+// FromConfig wraps an explicit configuration (the form Sweep produces for
+// its grid points).
+func FromConfig(cfg Config) *Scenario { return &Scenario{cfg: cfg} }
+
+// Config returns a copy of the scenario's configuration.
+func (s *Scenario) Config() Config {
+	cfg := s.cfg
+	cfg.Crashes = append([]Crash(nil), s.cfg.Crashes...)
+	return cfg
+}
+
+// Cluster is the stood-up side of a scenario that a Protocol wires itself
+// onto: the network plus the oracle detector family over its live failure
+// pattern. Setup implementations hand Oracles.Omega/Sigma to the consensus
+// and register constructions and Oracles.Psi/FS to the QC/NBAC stack.
+type Cluster struct {
+	// Net is the run's network.
+	Net *net.Network
+	// Oracles is the detector family, configured per Config.Detectors.
+	Oracles *fd.Oracles
+	// Instance is the instance name protocols should run under.
+	Instance string
+	// Config is the scenario being run.
+	Config Config
+}
+
+// Outcome is one process's result from a run: the input it was handed, what
+// its Run returned, and the logical interval it was active. A process that
+// crashed (or timed out) before returning has Returned == false and Err set.
+type Outcome struct {
+	Process  model.ProcessID
+	Input    any
+	Value    any
+	Err      error
+	Start    model.Time
+	End      model.Time
+	Returned bool
+}
+
+// Result is everything one run produced, ready for assertions and
+// aggregation.
+type Result struct {
+	// Protocol is the protocol's name.
+	Protocol string
+	// Config is the scenario that was run.
+	Config Config
+	// Verdict is the spec checker's judgement of the outcomes.
+	Verdict model.Verdict
+	// Outcomes holds one entry per participating process, indexed by id.
+	Outcomes []Outcome
+	// Pattern is the failure pattern the run actually exhibited (scheduled
+	// crashes that came due after the run completed are absent).
+	Pattern *model.FailurePattern
+	// Metrics is the network's counter snapshot.
+	Metrics map[string]int64
+	// Trace is the run's event log (crashes, protocol events).
+	Trace []trace.Event
+	// VirtualEnd is the virtual clock when the run finished; Wall is the
+	// wall-clock time it took. Their ratio is the speedup virtual time buys.
+	VirtualEnd time.Duration
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+}
+
+// Run stands the scenario up, executes the protocol on it, tears everything
+// down and returns the checked result. Each call uses a fresh network; a
+// Scenario is safe to Run concurrently from multiple goroutines.
+func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
+	cfg := s.Config()
+	res := Result{Protocol: proto.Name(), Config: cfg}
+	start := time.Now()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+
+	log := trace.NewLog()
+	nw := net.NewNetwork(cfg.N,
+		net.WithSeed(cfg.Seed),
+		net.WithDelays(cfg.MinDelay, cfg.MaxDelay),
+		net.WithDropRate(cfg.DropRate),
+		net.WithLog(log),
+	)
+	defer nw.Close()
+
+	cl := &Cluster{
+		Net:      nw,
+		Oracles:  fd.NewOracles(nw.Pattern(), nw.Clock(), cfg.Detectors),
+		Instance: "scn",
+		Config:   cfg,
+	}
+
+	// Freeze dispatch while the protocol wires itself up and the fault
+	// schedule is laid out, so every event of the initial batch gets its
+	// (time, seq) slot before anything is delivered.
+	nw.Freeze()
+	inst, err := proto.Setup(cl)
+	if err != nil {
+		nw.Thaw()
+		res.Verdict = model.Fail("scenario setup: %v", err)
+		res.Wall = time.Since(start)
+		return res
+	}
+	if inst.Stop != nil {
+		defer inst.Stop()
+	}
+	for _, cr := range cfg.Crashes {
+		nw.ScheduleCrash(cr.P, cr.At)
+	}
+	nw.Thaw()
+
+	outs := make([]Outcome, cfg.N)
+	done := make(chan int, cfg.N)
+	launched := 0
+	for i := range outs {
+		outs[i] = Outcome{Process: model.ProcessID(i)}
+		if i >= len(inst.Runners) || inst.Runners[i] == nil {
+			continue
+		}
+		var input any
+		if i < len(inst.Inputs) {
+			input = inst.Inputs[i]
+		}
+		outs[i].Input = input
+		launched++
+		go func(i int, r Runner, input any) {
+			o := &outs[i]
+			o.Start = nw.Clock().Now()
+			v, err := r.Run(ctx, input)
+			o.End = nw.Clock().Now()
+			o.Value, o.Err = v, err
+			o.Returned = err == nil
+			done <- i
+		}(i, inst.Runners[i], input)
+	}
+	for ; launched > 0; launched-- {
+		<-done
+	}
+
+	res.Pattern = nw.Pattern().Clone()
+	res.Outcomes = outs
+	if inst.Check != nil {
+		res.Verdict = inst.Check(res.Pattern, outs, cfg.RequireTermination)
+	} else {
+		res.Verdict = model.Ok()
+	}
+	res.VirtualEnd = nw.VirtualNow()
+	res.Metrics = nw.Metrics().Snapshot()
+	res.Trace = log.Events()
+	res.Wall = time.Since(start)
+	return res
+}
+
+// Fingerprint renders the run's scheduling-independent content canonically:
+// the configuration, the protocol, the verdict, and each process's
+// (returned, value, errored) outcome in process order. Logical timestamps,
+// metrics and wall times are deliberately excluded — tick counts and
+// throughput depend on goroutine scheduling even for a fixed seed, while
+// everything in the fingerprint is reproducible across identically-seeded
+// runs of a schedule-determined protocol. The sweep determinism tests
+// compare these byte-for-byte.
+func (r Result) Fingerprint() string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "proto=%s n=%d seed=%d delay=[%v,%v] drop=%g", r.Protocol, cfg.N, cfg.Seed, cfg.MinDelay, cfg.MaxDelay, cfg.DropRate)
+	fmt.Fprintf(&b, " det={susp=%d fs=%d psi=%d/%d}", cfg.Detectors.SuspicionDelay, cfg.Detectors.DetectionDelay, cfg.Detectors.PsiSwitchAfter, cfg.Detectors.PsiPolicy)
+	crashes := append([]Crash(nil), cfg.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool {
+		if crashes[i].At != crashes[j].At {
+			return crashes[i].At < crashes[j].At
+		}
+		return crashes[i].P < crashes[j].P
+	})
+	fmt.Fprintf(&b, " crashes=%v", crashes)
+	fmt.Fprintf(&b, "\nverdict=%v\n", r.Verdict)
+	for _, o := range r.Outcomes {
+		if o.Returned {
+			fmt.Fprintf(&b, "%v: %v\n", o.Process, o.Value)
+		} else if o.Err != nil {
+			fmt.Fprintf(&b, "%v: error\n", o.Process)
+		} else {
+			fmt.Fprintf(&b, "%v: no-op\n", o.Process)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DelayRange is one delay distribution of a sweep grid.
+type DelayRange struct {
+	Min, Max time.Duration
+}
+
+// Grid spans the scenario family a Sweep explores: the cross product of
+// seeds × delay ranges × crash schedules, each dimension falling back to the
+// base scenario's value when left empty. A 16-seed × 4-delay × 8-schedule
+// grid is 512 runs; the expansion is deterministic (row-major: seeds
+// outermost, crash schedules innermost), so run #k always denotes the same
+// configuration.
+type Grid struct {
+	// Seeds to run. Empty = the base scenario's seed.
+	Seeds []int64
+	// Delays to run. Empty = the base scenario's delay range.
+	Delays []DelayRange
+	// Crashes holds alternative fault schedules. Empty = the base
+	// scenario's schedule. Use [][]Crash{nil} next to real schedules to
+	// include a crash-free point.
+	Crashes [][]Crash
+	// Workers is the number of concurrent runner goroutines; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// KeepFailures caps how many failing Results are retained in full
+	// (earliest grid points first); 0 means 8. Pass/fail counts always
+	// cover every run.
+	KeepFailures int
+}
+
+// Size returns the number of runs the grid expands to over a base scenario.
+func (g Grid) Size() int {
+	return max(1, len(g.Seeds)) * max(1, len(g.Delays)) * max(1, len(g.Crashes))
+}
+
+// SweepResult aggregates a sweep: total and passing run counts, the first
+// few failing results in grid order, and throughput.
+type SweepResult struct {
+	Runs    int
+	Passed  int
+	Faulted int // runs that executed and whose verdict failed
+	// Cancelled counts grid points never executed because the sweep's
+	// context was cancelled; they are neither passes nor spec failures.
+	Cancelled int
+	// Failures holds the first KeepFailures failing results in grid order,
+	// each carrying the exact Config to re-run it in isolation.
+	Failures []Result
+	Elapsed  time.Duration
+	// RunsPerSec is the sweep's wall-clock throughput over executed runs.
+	RunsPerSec float64
+}
+
+// AllPassed reports whether every grid point executed and passed.
+func (r SweepResult) AllPassed() bool { return r.Passed == r.Runs }
+
+// Sweep expands the grid over the base scenario and runs every
+// configuration against proto, fanning runs across worker goroutines —
+// the "millions of runs" driver the virtual-time scheduler makes cheap.
+// proto.Setup is called once per run and must therefore be reusable (the
+// built-in protocol descriptors are). The aggregation is deterministic: runs
+// are indexed by grid order, so identical inputs yield an identical
+// SweepResult whenever each individual run is deterministic.
+func Sweep(ctx context.Context, base *Scenario, grid Grid, proto Protocol) SweepResult {
+	cfgs := expand(base.Config(), grid)
+	workers := grid.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	keep := grid.KeepFailures
+	if keep <= 0 {
+		keep = 8
+	}
+
+	start := time.Now()
+	ran := make([]bool, len(cfgs))
+	verdicts := make([]bool, len(cfgs))
+	failed := make([]*Result, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := FromConfig(cfgs[i]).Run(ctx, proto)
+				ran[i] = true
+				verdicts[i] = res.Verdict.OK
+				if !res.Verdict.OK {
+					failed[i] = &res
+				}
+			}
+		}()
+	}
+submit:
+	for i := range cfgs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break submit // stop submitting; the rest is reported as Cancelled
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := SweepResult{Runs: len(cfgs), Elapsed: time.Since(start)}
+	for i := range cfgs {
+		switch {
+		case !ran[i]:
+			out.Cancelled++
+		case verdicts[i]:
+			out.Passed++
+		default:
+			out.Faulted++
+			if failed[i] != nil && len(out.Failures) < keep {
+				out.Failures = append(out.Failures, *failed[i])
+			}
+		}
+	}
+	if executed := out.Runs - out.Cancelled; executed > 0 && out.Elapsed > 0 {
+		out.RunsPerSec = float64(executed) / out.Elapsed.Seconds()
+	}
+	return out
+}
+
+// expand materialises the grid's cross product over the base config in
+// row-major order: seeds, then delays, then crash schedules.
+func expand(base Config, grid Grid) []Config {
+	seeds := grid.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	delays := grid.Delays
+	if len(delays) == 0 {
+		delays = []DelayRange{{base.MinDelay, base.MaxDelay}}
+	}
+	crashes := grid.Crashes
+	if len(crashes) == 0 {
+		crashes = [][]Crash{base.Crashes}
+	}
+	cfgs := make([]Config, 0, len(seeds)*len(delays)*len(crashes))
+	for _, seed := range seeds {
+		for _, d := range delays {
+			for _, cs := range crashes {
+				cfg := base
+				cfg.Seed = seed
+				cfg.MinDelay, cfg.MaxDelay = d.Min, d.Max
+				cfg.Crashes = append([]Crash(nil), cs...)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs
+}

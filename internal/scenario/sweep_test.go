@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"weakestfd/internal/consensus"
+	"weakestfd/internal/nbac"
+)
+
+// determinismFamily lists scenario × protocol points whose complete outcome
+// (every process's returned value or error, plus the verdict) is a pure
+// function of the configuration. Two constructions make that true even with
+// crashes in the schedule:
+//
+//   - crashes only at virtual time 0, which the dispatcher executes before
+//     any delivery, so the crashed process deterministically errors; and
+//   - either a single stable leader (whose proposal deterministically wins)
+//     or identical inputs at every process (so any winner yields the same
+//     value).
+//
+// Logical tick counts are still scheduling-dependent, which is why
+// Result.Fingerprint excludes timestamps; everything it does include must be
+// byte-identical across repeated runs of these points.
+func determinismFamily() []struct {
+	name  string
+	s     *Scenario
+	proto Protocol
+} {
+	return []struct {
+		name  string
+		s     *Scenario
+		proto Protocol
+	}{
+		{"consensus/no-crash", New(5, WithSeed(11)), Consensus{}},
+		{"consensus/slow-links", New(5, WithSeed(12), WithDelays(time.Millisecond, 20*time.Millisecond)), Consensus{}},
+		{"consensus/leader-crash-same-value", New(5, WithSeed(13), WithCrash(0, 0)),
+			Consensus{Proposals: []any{42, 42, 42, 42, 42}}},
+		{"consensus/follower-crash", New(5, WithSeed(14), WithCrash(4, 0)), Consensus{}},
+		{"qc/no-crash", New(4, WithSeed(15)), QC{}},
+		{"nbac/all-yes", New(4, WithSeed(16)), NBAC{}},
+		{"nbac/one-no", New(4, WithSeed(17)),
+			NBAC{Votes: []nbac.Vote{nbac.VoteYes, nbac.VoteNo, nbac.VoteYes, nbac.VoteYes}}},
+		{"registers/same-value", New(3, WithSeed(18)), Registers{Values: []int{7, 7, 7}}},
+	}
+}
+
+// TestSweepDeterministic is the sweep-determinism guarantee: an identical
+// scenario seed produces a byte-identical outcome fingerprint across
+// repeated runs (exercised under -race by CI, where the extra scheduling
+// noise makes any hidden order dependence surface).
+func TestSweepDeterministic(t *testing.T) {
+	ctx := context.Background()
+	rounds := 4
+	if raceEnabled {
+		rounds = 2
+	}
+	for _, tc := range determinismFamily() {
+		want := tc.s.Run(ctx, tc.proto)
+		if !want.Verdict.OK {
+			t.Fatalf("%s: verdict %v", tc.name, want.Verdict)
+		}
+		wantFP := want.Fingerprint()
+		for round := 1; round < rounds; round++ {
+			got := tc.s.Run(ctx, tc.proto).Fingerprint()
+			if got != wantFP {
+				t.Fatalf("%s: fingerprint diverged on round %d\n--- first run ---\n%s\n--- round %d ---\n%s",
+					tc.name, round, wantFP, round, got)
+			}
+		}
+	}
+}
+
+// TestSweepResultDeterministic runs the same grid through Sweep twice (with
+// parallel workers) and requires identical aggregates: worker scheduling
+// must not leak into the result.
+func TestSweepResultDeterministic(t *testing.T) {
+	base := New(5, WithSeed(1))
+	grid := Grid{
+		Seeds:   []int64{21, 22, 23, 24, 25, 26},
+		Delays:  []DelayRange{{0, 200 * time.Microsecond}, {time.Millisecond, 5 * time.Millisecond}},
+		Crashes: [][]Crash{nil, {{P: 4, At: 0}}},
+		Workers: 4,
+	}
+	a := Sweep(context.Background(), base, grid, Consensus{})
+	b := Sweep(context.Background(), base, grid, Consensus{})
+	if a.Runs != b.Runs || a.Passed != b.Passed || a.Faulted != b.Faulted {
+		t.Fatalf("sweep aggregates diverged: %+v vs %+v", a, b)
+	}
+	if !a.AllPassed() {
+		t.Fatalf("sweep failed: %d of %d, first: %v", a.Faulted, a.Runs, firstViolation(a))
+	}
+}
+
+// TestSweepTenThousand is the acceptance bar of the scenario harness: a
+// 10k-run sweep at n=5 with mid-run crashes and 1–50ms injected delays
+// completes in under ~10s of wall clock with every verdict passing — the
+// delays alone would cost days if anything waited them out. Under -race the
+// grid shrinks 10× (the bar is calibrated for the plain build).
+func TestSweepTenThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-run sweep skipped in -short mode")
+	}
+	seeds := make([]int64, 625)
+	if raceEnabled {
+		seeds = seeds[:63]
+	}
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	grid := Grid{
+		Seeds: seeds,
+		Delays: []DelayRange{
+			{time.Millisecond, 10 * time.Millisecond},
+			{5 * time.Millisecond, 20 * time.Millisecond},
+			{10 * time.Millisecond, 50 * time.Millisecond},
+			{time.Millisecond, 50 * time.Millisecond},
+		},
+		Crashes: [][]Crash{
+			nil,
+			{{P: 4, At: 5 * time.Millisecond}},
+			{{P: 1, At: 2 * time.Millisecond}, {P: 3, At: 10 * time.Millisecond}},
+			{{P: 0, At: 8 * time.Millisecond}}, // the initial leader, mid-ballot
+		},
+	}
+	base := New(5)
+	// Poll/backoff are virtual-time knobs: scale them with the injected
+	// delays so waiting is event-driven rather than tick-churn.
+	proto := Consensus{Options: []consensus.Option{
+		consensus.WithPollInterval(10 * time.Millisecond),
+		consensus.WithBackoff(20 * time.Millisecond),
+	}}
+	res := Sweep(context.Background(), base, grid, proto)
+	if !res.AllPassed() {
+		t.Fatalf("%d of %d runs failed; first: %v", res.Faulted, res.Runs, firstViolation(res))
+	}
+	t.Logf("%d runs in %v (%.0f runs/s)", res.Runs, res.Elapsed.Round(time.Millisecond), res.RunsPerSec)
+	if !raceEnabled && res.Elapsed > 12*time.Second {
+		t.Errorf("sweep took %v, want under ~10s", res.Elapsed)
+	}
+}
