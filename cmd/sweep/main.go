@@ -1,0 +1,495 @@
+// Command sweep is the schedule-space grid driver: it expands a grid spec
+// (flags or a JSON file) over a base scenario, fans the runs across worker
+// goroutines — and, with --shard k/m, across independent processes covering
+// disjoint contiguous slices of the row-major index space — streams
+// progress, and emits a JSON report in the same committed-snapshot style as
+// BENCH_net.json. With --minimize, the first retained failure is shrunk to
+// a minimal reproducer (scenario.Minimize) before the report is written.
+//
+// Examples:
+//
+//	sweep -proto consensus -n 5 -seeds 1-1000 -delays 1ms:50ms \
+//	      -crashes '-;4@5ms;0@8ms' -progress 2s
+//	sweep -proto consensus/multi -rounds 16 -seeds 1-64
+//	sweep -proto nbac -seeds 1-250000 -shard 3/8 -keep -1 -out shard3.json
+//
+// Exit codes: 0 all runs passed, 1 spec failures, 2 usage or setup error,
+// 3 cancelled (SIGINT/SIGTERM).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"weakestfd/internal/model"
+	"weakestfd/internal/scenario"
+)
+
+// spec is the complete grid description: every field maps 1:1 onto a flag
+// and onto a key of the -grid JSON file (flags given explicitly override the
+// file).
+type spec struct {
+	Proto       string  `json:"proto"`
+	N           int     `json:"n"`
+	Rounds      int     `json:"rounds"`
+	Coordinator int     `json:"coordinator"`
+	Seeds       string  `json:"seeds"`
+	Delays      string  `json:"delays"`
+	Crashes     string  `json:"crashes"`
+	Drop        float64 `json:"drop"`
+	Suspicion   int64   `json:"suspicion"`
+	FSDelay     int64   `json:"fs_delay"`
+	PsiSwitch   int64   `json:"psi_switch"`
+	SafetyOnly  bool    `json:"safety_only"`
+	Timeout     string  `json:"timeout"`
+	Shard       string  `json:"shard"`
+	Workers     int     `json:"workers"`
+	Keep        int     `json:"keep"`
+}
+
+func defaultSpec() spec {
+	return spec{Proto: "consensus", N: 5, Rounds: 8, Seeds: "1-16", Timeout: "30s", Keep: 8}
+}
+
+// report is the JSON artifact of one invocation, styled after BENCH_net.json
+// (generated_by/go_version header + flat data keys) so the same tooling can
+// ingest both.
+type report struct {
+	GeneratedBy string           `json:"generated_by"`
+	GoVersion   string           `json:"go_version"`
+	Proto       string           `json:"proto"`
+	N           int              `json:"n"`
+	GridSize    int              `json:"grid_size"`
+	Shard       string           `json:"shard,omitempty"`
+	IndexLo     int              `json:"index_lo"`
+	IndexHi     int              `json:"index_hi"`
+	Runs        int              `json:"runs"`
+	Passed      int              `json:"passed"`
+	Faulted     int              `json:"faulted"`
+	Cancelled   int              `json:"cancelled"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	RunsPerSec  float64          `json:"runs_per_sec"`
+	Failures    []failureReport  `json:"failures,omitempty"`
+	Minimized   *minimizedReport `json:"minimized,omitempty"`
+}
+
+// failureReport pins one failing grid point: its global row-major index (the
+// stable coordinate for re-running it on any shard layout), the violations,
+// the outcome fingerprint and the exact Config to reproduce it in isolation.
+type failureReport struct {
+	Index       int             `json:"index"`
+	Violations  []string        `json:"violations"`
+	Fingerprint string          `json:"fingerprint"`
+	Config      scenario.Config `json:"config"`
+}
+
+// minimizedReport is the delta-debugged reproducer of the first retained
+// failure.
+type minimizedReport struct {
+	FromIndex   int             `json:"from_index"`
+	Candidates  int             `json:"candidates"`
+	Violations  []string        `json:"violations"`
+	Fingerprint string          `json:"fingerprint"`
+	Config      scenario.Config `json:"config"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	def := defaultSpec()
+	var (
+		proto       = flag.String("proto", def.Proto, "protocol: consensus, consensus/majority, consensus/registers, consensus/multi[-majority], qc, qc/from-nbac, nbac, twopc, registers, register/majority, extract/sigma[-majority]")
+		n           = flag.Int("n", def.N, "number of processes")
+		rounds      = flag.Int("rounds", def.Rounds, "instances per run (consensus/multi)")
+		coordinator = flag.Int("coordinator", def.Coordinator, "coordinator process (twopc)")
+		seeds       = flag.String("seeds", def.Seeds, "seed list/ranges, e.g. 1-1000 or 1,2,7-9")
+		delays      = flag.String("delays", def.Delays, "delay ranges, e.g. 0:200us,1ms:50ms (empty = scenario default)")
+		crashes     = flag.String("crashes", def.Crashes, "crash schedules split by ';', entries p@time; '-' is the crash-free point, e.g. '-;4@5ms;1@2ms,3@10ms'")
+		drop        = flag.Float64("drop", def.Drop, "per-message drop probability (combine with -safety-only)")
+		suspicion   = flag.Int64("suspicion", def.Suspicion, "Σ/Ω suspicion delay, logical ticks")
+		fsDelay     = flag.Int64("fs-delay", def.FSDelay, "FS detection delay, logical ticks")
+		psiSwitch   = flag.Int64("psi-switch", def.PsiSwitch, "Ψ switch time, logical ticks")
+		safetyOnly  = flag.Bool("safety-only", def.SafetyOnly, "check only safety clauses (no termination)")
+		timeout     = flag.String("timeout", def.Timeout, "per-run wall-clock backstop")
+		shard       = flag.String("shard", def.Shard, "shard k/m: cover slice k of m of the grid's row-major index space")
+		workers     = flag.Int("workers", def.Workers, "worker goroutines (0 = GOMAXPROCS)")
+		keep        = flag.Int("keep", def.Keep, "failing Results to retain in full (0 or negative = none, count only)")
+		gridFile    = flag.String("grid", "", "JSON grid-spec file; explicit flags override its keys")
+		out         = flag.String("out", "", "report path (default stdout)")
+		minimize    = flag.Bool("minimize", false, "shrink the first retained failure to a minimal reproducer")
+		progress    = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
+	)
+	flag.Parse()
+
+	sp := def
+	if *gridFile != "" {
+		data, err := os.ReadFile(*gridFile)
+		if err != nil {
+			return usageErr("read grid spec: %v", err)
+		}
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return usageErr("parse grid spec %s: %v", *gridFile, err)
+		}
+	}
+	// Explicit flags win over the spec file.
+	overlay := map[string]func(){
+		"proto": func() { sp.Proto = *proto }, "n": func() { sp.N = *n },
+		"rounds": func() { sp.Rounds = *rounds }, "coordinator": func() { sp.Coordinator = *coordinator },
+		"seeds": func() { sp.Seeds = *seeds }, "delays": func() { sp.Delays = *delays },
+		"crashes": func() { sp.Crashes = *crashes }, "drop": func() { sp.Drop = *drop },
+		"suspicion": func() { sp.Suspicion = *suspicion }, "fs-delay": func() { sp.FSDelay = *fsDelay },
+		"psi-switch": func() { sp.PsiSwitch = *psiSwitch }, "safety-only": func() { sp.SafetyOnly = *safetyOnly },
+		"timeout": func() { sp.Timeout = *timeout }, "shard": func() { sp.Shard = *shard },
+		"workers": func() { sp.Workers = *workers }, "keep": func() { sp.Keep = *keep },
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if apply, ok := overlay[f.Name]; ok {
+			apply()
+		}
+	})
+
+	base, grid, p, err := build(sp)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	if *minimize && grid.KeepFailures == scenario.KeepAllCounts {
+		// Minimisation needs a retained failure to start from.
+		fmt.Fprintln(os.Stderr, "sweep: -minimize needs a retained failure; keeping 1 despite -keep")
+		grid.KeepFailures = 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	lo, hi := grid.Shard.Bounds(grid.Size())
+	var done, passed atomic.Int64
+	grid.OnRun = func(_ int, res *scenario.Result) {
+		done.Add(1)
+		if res.Verdict.OK {
+			passed.Add(1)
+		}
+	}
+	if *progress > 0 {
+		stopProgress := make(chan struct{})
+		defer close(stopProgress)
+		go func() {
+			start := time.Now()
+			t := time.NewTicker(*progress)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-t.C:
+					d := done.Load()
+					fmt.Fprintf(os.Stderr, "sweep: %d/%d runs (%d passed, %d failed), %.0f runs/s\n",
+						d, hi-lo, passed.Load(), d-passed.Load(), float64(d)/time.Since(start).Seconds())
+				}
+			}
+		}()
+	}
+
+	res := scenario.Sweep(ctx, base, grid, p)
+
+	rep := report{
+		GeneratedBy: "cmd/sweep " + strings.Join(os.Args[1:], " "),
+		GoVersion:   runtime.Version(),
+		Proto:       p.Name(),
+		N:           sp.N,
+		GridSize:    res.GridSize,
+		Shard:       sp.Shard,
+		IndexLo:     res.IndexLo,
+		IndexHi:     res.IndexHi,
+		Runs:        res.Runs,
+		Passed:      res.Passed,
+		Faulted:     res.Faulted,
+		Cancelled:   res.Cancelled,
+		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
+		RunsPerSec:  res.RunsPerSec,
+	}
+	for i, f := range res.Failures {
+		rep.Failures = append(rep.Failures, failureReport{
+			Index:       res.FailureIndices[i],
+			Violations:  f.Verdict.Violations,
+			Fingerprint: f.Fingerprint(),
+			Config:      f.Config,
+		})
+	}
+	if *minimize && len(res.Failures) > 0 && ctx.Err() == nil {
+		min, err := scenario.Minimize(ctx, res.Failures[0].Config, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: minimize: %v\n", err)
+		} else {
+			rep.Minimized = &minimizedReport{
+				FromIndex:   res.FailureIndices[0],
+				Candidates:  min.Candidates,
+				Violations:  min.Result.Verdict.Violations,
+				Fingerprint: min.Fingerprint,
+				Config:      min.Config,
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: marshal report: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: write %s: %v\n", *out, err)
+		return 2
+	}
+
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintf(os.Stderr, "sweep: cancelled after %d of %d runs\n", res.Runs-res.Cancelled, res.Runs)
+		return 3
+	case res.Faulted > 0:
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs violated the spec\n", res.Faulted, res.Runs)
+		return 1
+	default:
+		return 0
+	}
+}
+
+// build turns the spec into the Sweep inputs: the base scenario, the grid
+// and the protocol descriptor.
+func build(sp spec) (*scenario.Scenario, scenario.Grid, scenario.Protocol, error) {
+	var grid scenario.Grid
+	if sp.N <= 0 {
+		return nil, grid, nil, fmt.Errorf("invalid process count %d", sp.N)
+	}
+	p, err := buildProtocol(sp)
+	if err != nil {
+		return nil, grid, nil, err
+	}
+	timeout, err := time.ParseDuration(sp.Timeout)
+	if err != nil {
+		return nil, grid, nil, fmt.Errorf("timeout: %v", err)
+	}
+	opts := []scenario.Option{
+		scenario.WithTimeout(timeout),
+		scenario.WithDropRate(sp.Drop),
+		scenario.WithSuspicionDelay(model.Time(sp.Suspicion)),
+		scenario.WithFSDetectionDelay(model.Time(sp.FSDelay)),
+	}
+	if sp.PsiSwitch != 0 {
+		opts = append(opts, scenario.WithPsiSwitch(model.Time(sp.PsiSwitch), 0))
+	}
+	if sp.SafetyOnly {
+		opts = append(opts, scenario.WithSafetyOnly())
+	}
+	base := scenario.New(sp.N, opts...)
+
+	if grid.Seeds, grid.SeedSpan, err = parseSeeds(sp.Seeds); err != nil {
+		return nil, grid, nil, fmt.Errorf("seeds: %v", err)
+	}
+	if grid.Delays, err = parseDelays(sp.Delays); err != nil {
+		return nil, grid, nil, fmt.Errorf("delays: %v", err)
+	}
+	if grid.Crashes, err = parseCrashes(sp.Crashes, sp.N); err != nil {
+		return nil, grid, nil, fmt.Errorf("crashes: %v", err)
+	}
+	if grid.Shard, err = parseShard(sp.Shard); err != nil {
+		return nil, grid, nil, fmt.Errorf("shard: %v", err)
+	}
+	grid.Workers = sp.Workers
+	// The CLI has no compatibility baggage: 0 means "retain none", unlike
+	// the library's historical 0 → 8 default.
+	grid.KeepFailures = sp.Keep
+	if sp.Keep <= 0 {
+		grid.KeepFailures = scenario.KeepAllCounts
+	}
+	return base, grid, p, nil
+}
+
+func buildProtocol(sp spec) (scenario.Protocol, error) {
+	switch sp.Proto {
+	case "consensus", "consensus/omega-sigma":
+		return scenario.Consensus{}, nil
+	case "consensus/majority":
+		return scenario.Consensus{Majority: true}, nil
+	case "consensus/registers":
+		return scenario.Consensus{Registers: true}, nil
+	case "consensus/multi", "multiconsensus":
+		return scenario.MultiConsensus{Rounds: sp.Rounds}, nil
+	case "consensus/multi-majority":
+		return scenario.MultiConsensus{Rounds: sp.Rounds, Majority: true}, nil
+	case "qc":
+		return scenario.QC{}, nil
+	case "qc/from-nbac":
+		return scenario.NBACQC{}, nil
+	case "nbac":
+		return scenario.NBAC{}, nil
+	case "twopc", "nbac/twopc":
+		if sp.Coordinator < 0 || sp.Coordinator >= sp.N {
+			return nil, fmt.Errorf("twopc coordinator %d out of range 0..%d", sp.Coordinator, sp.N-1)
+		}
+		return scenario.TwoPC{Coordinator: model.ProcessID(sp.Coordinator)}, nil
+	case "registers", "register/sigma":
+		return scenario.Registers{}, nil
+	case "register/majority":
+		return scenario.Registers{Majority: true}, nil
+	case "extract/sigma":
+		return scenario.SigmaExtraction{}, nil
+	case "extract/sigma-majority":
+		return scenario.SigmaExtraction{Majority: true}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", sp.Proto)
+	}
+}
+
+// parseSeeds parses "1-1000" / "1,2,7-9" / "-5" style seed lists. A single
+// pure range becomes an unmaterialised scenario.SeedSpan — the million-seed
+// case stays O(1) in memory per shard process; mixed lists are expanded
+// explicitly (and capped: a huge axis belongs in one span, not a list).
+func parseSeeds(s string) ([]int64, scenario.SeedSpan, error) {
+	var none scenario.SeedSpan
+	if strings.TrimSpace(s) == "" {
+		return nil, none, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) == 1 {
+		if a, b, ok, err := parseSeedRange(parts[0]); err != nil {
+			return nil, none, err
+		} else if ok {
+			n := b - a + 1
+			if n <= 0 || n > 1<<40 { // <= 0 catches int64 wrap on absurd spans
+				return nil, none, fmt.Errorf("range %q is too large for one grid", parts[0])
+			}
+			return nil, scenario.SeedSpan{From: a, N: int(n)}, nil
+		}
+	}
+	var out []int64
+	for _, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		a, b, isRange, err := parseSeedRange(part)
+		if err != nil {
+			return nil, none, err
+		}
+		if !isRange {
+			b = a
+		}
+		if int64(len(out))+(b-a) >= 1<<24 {
+			return nil, none, fmt.Errorf("seed list expands past %d entries — use one contiguous range (kept as an unmaterialised span) instead", 1<<24)
+		}
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+	}
+	return out, none, nil
+}
+
+// parseSeedRange parses one list element: "a-b" (isRange=true) or a single
+// seed "a" (isRange=false, returned in a). The range separator is the first
+// '-' after position 0, so negative seeds ("-5", "-9--5") parse too.
+func parseSeedRange(part string) (a, b int64, isRange bool, err error) {
+	part = strings.TrimSpace(part)
+	if v, err := strconv.ParseInt(part, 10, 64); err == nil {
+		return v, 0, false, nil
+	}
+	if len(part) > 1 {
+		if idx := strings.Index(part[1:], "-"); idx >= 0 {
+			a, err1 := strconv.ParseInt(strings.TrimSpace(part[:idx+1]), 10, 64)
+			b, err2 := strconv.ParseInt(strings.TrimSpace(part[idx+2:]), 10, 64)
+			if err1 == nil && err2 == nil && b >= a {
+				return a, b, true, nil
+			}
+		}
+	}
+	return 0, 0, false, fmt.Errorf("bad seed or range %q", part)
+}
+
+// parseDelays parses "min:max[,min:max...]" delay-range lists.
+func parseDelays(s string) ([]scenario.DelayRange, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []scenario.DelayRange
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad delay range %q (want min:max)", part)
+		}
+		min, err1 := time.ParseDuration(strings.TrimSpace(lo))
+		max, err2 := time.ParseDuration(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || max < min || min < 0 {
+			return nil, fmt.Errorf("bad delay range %q", part)
+		}
+		out = append(out, scenario.DelayRange{Min: min, Max: max})
+	}
+	return out, nil
+}
+
+// parseCrashes parses ';'-separated crash schedules of ','-separated p@time
+// entries; "-" (or an empty schedule) is the explicit crash-free point.
+func parseCrashes(s string, n int) ([][]scenario.Crash, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out [][]scenario.Crash
+	for _, sched := range strings.Split(s, ";") {
+		sched = strings.TrimSpace(sched)
+		if sched == "" || sched == "-" {
+			out = append(out, nil)
+			continue
+		}
+		var crashes []scenario.Crash
+		for _, entry := range strings.Split(sched, ",") {
+			proc, at, ok := strings.Cut(strings.TrimSpace(entry), "@")
+			if !ok {
+				return nil, fmt.Errorf("bad crash %q (want p@time)", entry)
+			}
+			pid, err := strconv.Atoi(strings.TrimSpace(proc))
+			if err != nil || pid < 0 || pid >= n {
+				return nil, fmt.Errorf("bad crash process %q (n=%d)", proc, n)
+			}
+			t, err := time.ParseDuration(strings.TrimSpace(at))
+			if err != nil || t < 0 {
+				return nil, fmt.Errorf("bad crash time %q", at)
+			}
+			crashes = append(crashes, scenario.Crash{P: model.ProcessID(pid), At: t})
+		}
+		out = append(out, crashes)
+	}
+	return out, nil
+}
+
+// parseShard parses "k/m".
+func parseShard(s string) (scenario.Shard, error) {
+	if strings.TrimSpace(s) == "" {
+		return scenario.Shard{}, nil
+	}
+	k, m, ok := strings.Cut(s, "/")
+	if !ok {
+		return scenario.Shard{}, fmt.Errorf("bad shard %q (want k/m)", s)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(k))
+	cnt, err2 := strconv.Atoi(strings.TrimSpace(m))
+	if err1 != nil || err2 != nil || cnt < 1 || idx < 1 || idx > cnt {
+		return scenario.Shard{}, fmt.Errorf("bad shard %q (want k/m with 1 <= k <= m)", s)
+	}
+	return scenario.Shard{Index: idx, Count: cnt}, nil
+}
+
+func usageErr(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	return 2
+}

@@ -192,6 +192,32 @@ func BenchmarkScenarioRun(b *testing.B) {
 	}
 }
 
+// multiConsensusRounds is the instance count of the amortised workload
+// benchmark: one cluster stood up, multiConsensusRounds back-to-back
+// consensus instances run on it.
+const multiConsensusRounds = 16
+
+// benchMultiConsensus is the amortised-workload loop shared by the named
+// benchmark and the snapshot emitter (the emitter's testing.Benchmark needs
+// the loop directly, without a b.Run wrapper): network, oracles and
+// participants are stood up once per iteration and reused across every
+// round, so ns/op ÷ rounds approaches the protocol's own round-trip cost
+// instead of being dominated by cluster setup.
+func benchMultiConsensus(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := scenario.New(5, scenario.WithSeed(int64(i+1))).Run(ctx, scenario.MultiConsensus{Rounds: multiConsensusRounds})
+		if !res.Verdict.OK {
+			b.Fatalf("run %d: %v", i, res.Verdict)
+		}
+	}
+}
+
+func BenchmarkMultiConsensus(b *testing.B) {
+	b.Run(fmt.Sprintf("virtual/n=5/rounds=%d", multiConsensusRounds), benchMultiConsensus)
+}
+
 // sweepThroughput runs one fixed-size scenario.Sweep and returns it, for the
 // committed runs-per-second data point (includes the sweep's own fan-out
 // machinery, unlike BenchmarkScenarioRun).
@@ -300,6 +326,8 @@ func TestEmitBenchJSON(t *testing.T) {
 		})
 	}
 	add("ScenarioRun/consensus/n=5", BenchmarkScenarioRun)
+	mc := add(fmt.Sprintf("MultiConsensus/virtual/n=5/rounds=%d", multiConsensusRounds), benchMultiConsensus)
+	mcRoundsPerSec := float64(multiConsensusRounds) / (float64(mc.NsPerOp()) / 1e9)
 	sweep := sweepThroughput(1500)
 	if sweep.Faulted > 0 {
 		t.Errorf("scenario sweep: %d of %d runs failed", sweep.Faulted, sweep.Runs)
@@ -327,21 +355,23 @@ func TestEmitBenchJSON(t *testing.T) {
 
 	speedup := float64(real10.NsPerOp()) / virtual.NsPerOp
 	out := struct {
-		GeneratedBy  string        `json:"generated_by"`
-		GoVersion    string        `json:"go_version"`
-		DelayRange   string        `json:"delay_range"`
-		SpeedupN10   float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
-		SweepRuns    int           `json:"scenario_sweep_runs"`
-		SweepRunsSec float64       `json:"scenario_sweep_runs_per_sec"`
-		Results      []benchResult `json:"results"`
+		GeneratedBy    string        `json:"generated_by"`
+		GoVersion      string        `json:"go_version"`
+		DelayRange     string        `json:"delay_range"`
+		SpeedupN10     float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
+		SweepRuns      int           `json:"scenario_sweep_runs"`
+		SweepRunsSec   float64       `json:"scenario_sweep_runs_per_sec"`
+		MultiRoundsSec float64       `json:"multiconsensus_rounds_per_sec"`
+		Results        []benchResult `json:"results"`
 	}{
-		GeneratedBy:  "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
-		GoVersion:    runtime.Version(),
-		DelayRange:   "[0, 200µs]",
-		SpeedupN10:   speedup,
-		SweepRuns:    sweep.Runs,
-		SweepRunsSec: sweep.RunsPerSec,
-		Results:      results,
+		GeneratedBy:    "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
+		GoVersion:      runtime.Version(),
+		DelayRange:     "[0, 200µs]",
+		SpeedupN10:     speedup,
+		SweepRuns:      sweep.Runs,
+		SweepRunsSec:   sweep.RunsPerSec,
+		MultiRoundsSec: mcRoundsPerSec,
+		Results:        results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

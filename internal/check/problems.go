@@ -57,6 +57,38 @@ func CheckConsensus(f *model.FailurePattern, o ConsensusOutcome, requireTerminat
 	return v
 }
 
+// MultiConsensusOutcome is the observable outcome of a multi-instance
+// consensus workload: Rounds repeated, independent consensus instances run
+// on one cluster, with per-round proposal maps and decision lists.
+type MultiConsensusOutcome struct {
+	// Rounds is the number of consensus instances.
+	Rounds int
+	// Proposals[r] holds the values proposed in round r, per process.
+	Proposals []map[model.ProcessID]any
+	// Decisions[r] holds one entry per process that returned from round r.
+	Decisions [][]Decision
+}
+
+// CheckMultiConsensus validates every round of a multi-instance workload
+// against the consensus specification independently — agreement and validity
+// within each round, and (optionally) per-round termination of every correct
+// process. A violation is tagged with its round so a failing sweep pinpoints
+// which instance broke.
+func CheckMultiConsensus(f *model.FailurePattern, o MultiConsensusOutcome, requireTermination bool) model.Verdict {
+	if len(o.Proposals) != o.Rounds || len(o.Decisions) != o.Rounds {
+		return model.Fail("multiconsensus: outcome has %d proposal and %d decision rounds, want %d",
+			len(o.Proposals), len(o.Decisions), o.Rounds)
+	}
+	v := model.Ok()
+	for r := 0; r < o.Rounds; r++ {
+		round := CheckConsensus(f, ConsensusOutcome{Proposals: o.Proposals[r], Decisions: o.Decisions[r]}, requireTermination)
+		if !round.OK {
+			v = v.Merge(model.Fail("round %d: %v", r, round))
+		}
+	}
+	return v
+}
+
 // QCDecision is a quittable-consensus return value: either Quit, or a regular
 // value.
 type QCDecision struct {

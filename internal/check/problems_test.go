@@ -243,3 +243,76 @@ func TestVoteString(t *testing.T) {
 		t.Fatalf("vote strings wrong")
 	}
 }
+
+func TestCheckMultiConsensusValid(t *testing.T) {
+	f := model.NewFailurePattern(2)
+	o := MultiConsensusOutcome{
+		Rounds: 2,
+		Proposals: []map[model.ProcessID]any{
+			{0: 10, 1: 11},
+			{0: 20, 1: 21},
+		},
+		Decisions: [][]Decision{
+			{{Process: 0, Value: 10, Time: 5}, {Process: 1, Value: 10, Time: 6}},
+			{{Process: 0, Value: 21, Time: 9}, {Process: 1, Value: 21, Time: 9}},
+		},
+	}
+	if v := CheckMultiConsensus(f, o, true); !v.OK {
+		t.Fatalf("valid multi-consensus outcome rejected: %v", v)
+	}
+}
+
+func TestCheckMultiConsensusRoundIsolation(t *testing.T) {
+	// A violation in one round must be reported with its round tag, and
+	// rounds are checked independently: round 0 disagrees, round 1 is fine.
+	f := model.NewFailurePattern(2)
+	o := MultiConsensusOutcome{
+		Rounds: 2,
+		Proposals: []map[model.ProcessID]any{
+			{0: 10, 1: 11},
+			{0: 20, 1: 21},
+		},
+		Decisions: [][]Decision{
+			{{Process: 0, Value: 10, Time: 5}, {Process: 1, Value: 11, Time: 6}},
+			{{Process: 0, Value: 20, Time: 9}, {Process: 1, Value: 20, Time: 9}},
+		},
+	}
+	v := CheckMultiConsensus(f, o, true)
+	if v.OK {
+		t.Fatalf("round-0 disagreement accepted")
+	}
+	if len(v.Violations) != 1 {
+		t.Fatalf("got %d violations, want 1 (round 1 is clean): %v", len(v.Violations), v)
+	}
+}
+
+func TestCheckMultiConsensusTerminationPerRound(t *testing.T) {
+	// A correct process that decided round 0 but never round 1 violates
+	// termination of the second instance.
+	f := model.NewFailurePattern(2)
+	o := MultiConsensusOutcome{
+		Rounds: 2,
+		Proposals: []map[model.ProcessID]any{
+			{0: 10, 1: 11},
+			{0: 20, 1: 21},
+		},
+		Decisions: [][]Decision{
+			{{Process: 0, Value: 10, Time: 5}, {Process: 1, Value: 10, Time: 6}},
+			{{Process: 0, Value: 20, Time: 9}},
+		},
+	}
+	if v := CheckMultiConsensus(f, o, true); v.OK {
+		t.Fatalf("missing round-1 decision accepted under termination")
+	}
+	if v := CheckMultiConsensus(f, o, false); !v.OK {
+		t.Fatalf("safety-only check rejected a safe partial outcome: %v", v)
+	}
+}
+
+func TestCheckMultiConsensusShapeMismatch(t *testing.T) {
+	f := model.NewFailurePattern(2)
+	o := MultiConsensusOutcome{Rounds: 2, Proposals: make([]map[model.ProcessID]any, 1), Decisions: make([][]Decision, 2)}
+	if v := CheckMultiConsensus(f, o, false); v.OK {
+		t.Fatalf("malformed outcome accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package net
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -98,16 +99,27 @@ func newEventQueue(seed int64, minDelay, maxDelay time.Duration, dropRate float6
 		quit:     make(chan struct{}),
 	}
 	if dropRate > 0 {
-		if dropRate >= 1 {
-			q.dropThreshold = ^uint64(0)
-		} else {
-			q.dropThreshold = uint64(dropRate * float64(1<<63) * 2)
-		}
+		q.dropThreshold = dropThresholdFor(dropRate)
 	}
 	if realtime {
 		q.epoch = time.Now()
 	}
 	return q
+}
+
+// dropThresholdFor converts a drop probability into the uint64 comparison
+// threshold of pushMessage: a message is dropped when dropRng.next() falls
+// below it. The scaling to the full 64-bit space uses math.Ldexp (an exact
+// exponent shift, so rate*2⁶⁴ never rounds), and the result is clamped below
+// 2⁶⁴ explicitly: a product that reaches 2⁶⁴ would make the float→uint64
+// conversion implementation-defined — on some targets it yields 0, turning a
+// near-total-loss link into a fully reliable one.
+func dropThresholdFor(dropRate float64) uint64 {
+	scaled := math.Ldexp(dropRate, 64)
+	if scaled >= math.Ldexp(1, 64) {
+		return ^uint64(0)
+	}
+	return uint64(scaled)
 }
 
 // virtualNow returns the current virtual time. In real-time mode it is the

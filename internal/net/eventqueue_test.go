@@ -2,6 +2,7 @@ package net
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"testing"
@@ -199,4 +200,51 @@ func TestZeroDelayPreservesSendOrder(t *testing.T) {
 			t.Fatalf("stalled at %d", i)
 		}
 	}
+}
+
+// The drop-rate → threshold conversion must stay monotone and inside the
+// uint64 range across the whole [0, 1] span, in particular for rates just
+// below 1: scaling such a rate to the 64-bit comparison space lands within a
+// few ULPs of 2⁶⁴, where a rounded-up product would make the float→uint64
+// conversion implementation-defined (a threshold of 0 would turn a
+// near-total-loss link into a fully reliable one).
+func TestDropThresholdEdgeCases(t *testing.T) {
+	cases := []struct {
+		rate string
+		in   float64
+		min  uint64 // threshold lower bound
+	}{
+		{"half", 0.5, 1 << 63},
+		{"just-below-one", math.Nextafter(1, 0), ^uint64(0) - 1<<12},
+		{"one", 1, ^uint64(0)},
+		{"above-one", 1.5, ^uint64(0)},
+	}
+	for _, tc := range cases {
+		got := dropThresholdFor(tc.in)
+		if got < tc.min {
+			t.Errorf("%s: dropThresholdFor(%g) = %d, want >= %d", tc.rate, tc.in, got, tc.min)
+		}
+	}
+	if a, b := dropThresholdFor(0.3), dropThresholdFor(0.7); a >= b {
+		t.Errorf("threshold not monotone: %d (rate 0.3) >= %d (rate 0.7)", a, b)
+	}
+}
+
+// A drop rate one ULP below 1 must behave as near-total loss, not as a
+// reliable link: with the old unclamped conversion a rounded product of
+// exactly 2⁶⁴ could yield threshold 0 and deliver everything.
+func TestDropRateJustBelowOneDropsMessages(t *testing.T) {
+	q := newEventQueue(1, 0, 0, math.Nextafter(1, 0), false)
+	delivered := 0
+	for i := 0; i < 200; i++ {
+		if q.pushMessage(Message{To: 0}) {
+			delivered++
+		}
+	}
+	// P(survive) = 2048/2⁶⁴ per message; even one survivor in 200 sends
+	// would be a ~1e-14 event, so any delivery indicates a broken clamp.
+	if delivered != 0 {
+		t.Fatalf("drop rate just below 1 delivered %d of 200 messages", delivered)
+	}
+	q.close()
 }

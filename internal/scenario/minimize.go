@@ -1,0 +1,241 @@
+// Failure minimisation: delta debugging over the schedule space.
+//
+// A sweep reports a failing grid point as a whole Config — seed, delay
+// range, crash schedule, detector delays — most of which is usually
+// irrelevant to the violation. Minimize greedily shrinks that config while
+// the verdict still fails, which the virtual-time scheduler makes cheap:
+// every candidate is a full cluster run, but a run costs no wall-clock
+// waiting (only genuinely-failing liveness candidates pay their wall-clock
+// timeout backstop).
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"weakestfd/internal/model"
+)
+
+// MinimizeResult is the outcome of a minimisation: the smallest
+// configuration found that still fails, the failing run of that
+// configuration, and its byte-stable fingerprint for deduplicating
+// reproducers across sweeps.
+type MinimizeResult struct {
+	// Config is the minimal failing configuration.
+	Config Config
+	// Result is the failing run of Config (Result.Config == Config).
+	Result Result
+	// Fingerprint is Result.Fingerprint(): byte-identical across repeated
+	// minimisations of a schedule-determined failure.
+	Fingerprint string
+	// Candidates is how many candidate runs were executed, including the
+	// initial reproduction.
+	Candidates int
+}
+
+// Minimize shrinks a failing configuration to a minimal reproducer: it
+// greedily drops crash-schedule entries, rounds the surviving crash times
+// down (to zero, then to coarser units, then by halving), collapses the
+// delay range, zeroes the drop rate and bisects the detector delays — each
+// step kept only while the verdict still fails — until a fixpoint. This is
+// delta debugging over the schedule space: every candidate is one cheap
+// virtual-time run of proto.
+//
+// Minimize returns an error if cfg does not fail to begin with, or if ctx is
+// cancelled mid-search (the best reproducer found so far is still returned).
+// The search is deterministic for a deterministic protocol: same input, same
+// minimal config, same fingerprint.
+func Minimize(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, error) {
+	m := &minimizer{ctx: ctx, proto: proto, memo: map[string]*Result{}}
+	cur := FromConfig(cfg).Config() // private copy of the crash schedule
+
+	res, failing := m.fails(cur)
+	if !failing {
+		if err := ctx.Err(); err != nil {
+			return MinimizeResult{Candidates: m.candidates}, fmt.Errorf("minimize: cancelled before reproducing: %w", err)
+		}
+		return MinimizeResult{Config: cur, Result: res, Candidates: m.candidates},
+			fmt.Errorf("minimize: configuration does not fail (verdict: %v)", res.Verdict)
+	}
+	best := res
+
+	for changed := true; changed; {
+		changed = false
+		if ctx.Err() != nil {
+			break
+		}
+
+		// Drop crash-schedule entries one at a time (each drop re-tries the
+		// shrunk schedule, so a run of removable entries goes in one pass).
+		for i := 0; i < len(cur.Crashes); {
+			cand := cur
+			cand.Crashes = append(append([]Crash(nil), cur.Crashes[:i]...), cur.Crashes[i+1:]...)
+			if r, ok := m.fails(cand); ok {
+				cur, best, changed = cand, r, true
+			} else {
+				i++
+			}
+		}
+
+		// Round the surviving crash times down: to zero if the failure
+		// survives it, else to coarser units, else by halving.
+		for i := range cur.Crashes {
+			at := cur.Crashes[i].At
+			for _, v := range roundedDown(at) {
+				cand := cur
+				cand.Crashes = append([]Crash(nil), cur.Crashes...)
+				cand.Crashes[i].At = v
+				if r, ok := m.fails(cand); ok {
+					cur, best, changed = cand, r, true
+					break
+				}
+			}
+		}
+
+		// Collapse the delay range: to the degenerate [0, 0] point if
+		// possible, else to the deterministic [Min, Min] point.
+		if cur.MinDelay != 0 || cur.MaxDelay != 0 {
+			cand := cur
+			cand.MinDelay, cand.MaxDelay = 0, 0
+			if r, ok := m.fails(cand); ok {
+				cur, best, changed = cand, r, true
+			} else if cur.MaxDelay > cur.MinDelay {
+				cand = cur
+				cand.MaxDelay = cur.MinDelay
+				if r, ok := m.fails(cand); ok {
+					cur, best, changed = cand, r, true
+				}
+			}
+		}
+
+		// Reliable links reproduce more failures than one would expect.
+		if cur.DropRate > 0 {
+			cand := cur
+			cand.DropRate = 0
+			if r, ok := m.fails(cand); ok {
+				cur, best, changed = cand, r, true
+			}
+		}
+
+		// Bisect the detector delays toward zero (logical ticks, so the
+		// search space is small and the probes are cheap).
+		for _, dim := range []struct {
+			get func(*Config) *model.Time
+		}{
+			{func(c *Config) *model.Time { return &c.Detectors.SuspicionDelay }},
+			{func(c *Config) *model.Time { return &c.Detectors.DetectionDelay }},
+			{func(c *Config) *model.Time { return &c.Detectors.PsiSwitchAfter }},
+		} {
+			orig := *dim.get(&cur)
+			if orig == 0 {
+				continue
+			}
+			v, r, ok := m.bisectTime(orig, func(t model.Time) Config {
+				cand := cur
+				*dim.get(&cand) = t
+				return cand
+			})
+			if ok && v < orig {
+				cand := cur
+				*dim.get(&cand) = v
+				cur, best, changed = cand, r, true
+			}
+		}
+	}
+
+	out := MinimizeResult{Config: cur, Result: best, Fingerprint: best.Fingerprint(), Candidates: m.candidates}
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("minimize: cancelled mid-search: %w", err)
+	}
+	return out, nil
+}
+
+// minimizer carries the shared state of one Minimize call: the verdict memo
+// (bisection and fixpoint passes revisit configurations) and the candidate
+// counter.
+type minimizer struct {
+	ctx        context.Context
+	proto      Protocol
+	memo       map[string]*Result // nil entry = the config passed
+	candidates int
+}
+
+// fails runs the candidate (or recalls it from the memo) and reports whether
+// it genuinely violated the spec. A failure observed after the minimizer's
+// context was cancelled is discounted — it is the cancellation echoing
+// through the run's timeout backstop, the same distinction Sweep draws for
+// its Cancelled count.
+func (m *minimizer) fails(cfg Config) (Result, bool) {
+	key := minimizeKey(cfg)
+	if r, ok := m.memo[key]; ok {
+		if r == nil {
+			return Result{}, false
+		}
+		return *r, true
+	}
+	if m.ctx.Err() != nil {
+		return Result{}, false
+	}
+	res := FromConfig(cfg).Run(m.ctx, m.proto)
+	m.candidates++
+	if !res.Verdict.OK && m.ctx.Err() == nil {
+		m.memo[key] = &res
+		return res, true
+	}
+	m.memo[key] = nil
+	return res, false
+}
+
+// bisectTime finds the smallest logical-tick value in [0, orig] whose
+// candidate still fails, assuming apply(orig) fails (it is the current
+// config) and failure is monotone in the value. Returns ok=false if even
+// apply(orig) stopped failing under the memo's view (cancellation).
+func (m *minimizer) bisectTime(orig model.Time, apply func(model.Time) Config) (model.Time, Result, bool) {
+	if r, ok := m.fails(apply(0)); ok {
+		return 0, r, true
+	}
+	lo, hi := model.Time(0), orig // lo passes, hi fails
+	var hiRes Result
+	hiOK := false
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if r, ok := m.fails(apply(mid)); ok {
+			hi, hiRes, hiOK = mid, r, true
+		} else {
+			lo = mid
+		}
+	}
+	if !hiOK {
+		hiRes, hiOK = m.fails(apply(hi))
+	}
+	return hi, hiRes, hiOK
+}
+
+// roundedDown lists the shrink candidates for a crash time, most aggressive
+// first: zero, truncation to coarser units, halving. Values that do not
+// strictly shrink are omitted.
+func roundedDown(at time.Duration) []time.Duration {
+	var out []time.Duration
+	seen := map[time.Duration]bool{at: true}
+	for _, v := range []time.Duration{
+		0,
+		at.Truncate(time.Millisecond),
+		at.Truncate(100 * time.Microsecond),
+		at / 2,
+	} {
+		if v < at && !seen[v] {
+			out = append(out, v)
+			seen[v] = true
+		}
+	}
+	return out
+}
+
+// minimizeKey renders the dimensions Minimize mutates canonically, for the
+// verdict memo. Crash order is preserved: schedule order breaks (at, seq)
+// ties in the event queue, so it is part of the configuration's identity.
+func minimizeKey(cfg Config) string {
+	return fmt.Sprintf("%v|%v|%v|%g|%+v|%v",
+		cfg.Crashes, cfg.MinDelay, cfg.MaxDelay, cfg.DropRate, cfg.Detectors, cfg.Timeout)
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// failingMajorityConfig is a deliberately noisy reproducer: the Ω-plus-
+// majority baseline at n=5 with four scheduled crashes (one more than
+// needed to kill the majority), scattered crash times, a wide delay range
+// and a short wall-clock backstop. Minimal failing form: three crashes at
+// virtual time zero over degenerate [0, 0] delays.
+func failingMajorityConfig() Config {
+	return New(5,
+		WithSeed(3),
+		WithDelays(500*time.Microsecond, 2*time.Millisecond),
+		WithCrashes(
+			Crash{P: 1, At: 3 * time.Millisecond},
+			Crash{P: 2, At: 900 * time.Microsecond},
+			Crash{P: 3, At: 1100 * time.Microsecond},
+			Crash{P: 4, At: 2100 * time.Microsecond},
+		),
+		WithTimeout(150*time.Millisecond),
+	).Config()
+}
+
+// TestMinimizeShrinksFailingConsensusConfig is the delta-debugging
+// acceptance test: a seeded failing config shrinks to a strictly smaller
+// reproducer with a known minimal schedule, the reproducer still fails when
+// re-run from its Config alone, and its fingerprint is byte-stable.
+func TestMinimizeShrinksFailingConsensusConfig(t *testing.T) {
+	ctx := context.Background()
+	proto := Consensus{Majority: true}
+	orig := failingMajorityConfig()
+
+	min, err := Minimize(ctx, orig, proto)
+	if err != nil {
+		t.Fatalf("minimize: %v", err)
+	}
+	if min.Result.Verdict.OK {
+		t.Fatalf("minimal config does not fail: %v", min.Result.Verdict)
+	}
+	// Strictly smaller: the redundant fourth crash is gone (majority loss
+	// at n=5 needs exactly three), every surviving crash time rounded to
+	// zero, the delay range collapsed to the degenerate point.
+	if len(min.Config.Crashes) != 3 {
+		t.Fatalf("minimal schedule has %d crashes, want 3: %v", len(min.Config.Crashes), min.Config.Crashes)
+	}
+	for _, c := range min.Config.Crashes {
+		if c.At != 0 {
+			t.Fatalf("crash %v not rounded to time zero: %v", c.P, min.Config.Crashes)
+		}
+	}
+	if min.Config.MinDelay != 0 || min.Config.MaxDelay != 0 {
+		t.Fatalf("delay range not collapsed: [%v, %v]", min.Config.MinDelay, min.Config.MaxDelay)
+	}
+	if min.Candidates < 2 {
+		t.Fatalf("minimize reports %d candidate runs, want several", min.Candidates)
+	}
+
+	// The reproducer is self-contained: re-running the minimal Config in
+	// isolation reproduces the identical failure, byte for byte.
+	rerun := FromConfig(min.Config).Run(ctx, proto)
+	if rerun.Verdict.OK {
+		t.Fatalf("minimal config passed on re-run")
+	}
+	if got := rerun.Fingerprint(); got != min.Fingerprint {
+		t.Fatalf("fingerprint not stable across re-runs\n--- minimize ---\n%s\n--- rerun ---\n%s", min.Fingerprint, got)
+	}
+
+	// And the search itself is deterministic: same input, same minimum.
+	again, err := Minimize(ctx, failingMajorityConfig(), proto)
+	if err != nil {
+		t.Fatalf("second minimize: %v", err)
+	}
+	if again.Fingerprint != min.Fingerprint {
+		t.Fatalf("minimize not deterministic\n--- first ---\n%s\n--- second ---\n%s", min.Fingerprint, again.Fingerprint)
+	}
+}
+
+// TestMinimizePassingConfigErrors: a config that does not fail is a usage
+// error, not a silent no-op.
+func TestMinimizePassingConfigErrors(t *testing.T) {
+	cfg := New(3, WithSeed(5)).Config()
+	if _, err := Minimize(context.Background(), cfg, Consensus{}); err == nil {
+		t.Fatalf("minimize of a passing config returned no error")
+	}
+}
+
+// TestMinimizeCancelledMidSearch: cancelling the context aborts the search
+// with an error instead of looping or misreading ctx-induced timeouts as
+// fresh spec failures.
+func TestMinimizeCancelledMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Minimize(ctx, failingMajorityConfig(), Consensus{Majority: true}); err == nil {
+		t.Fatalf("minimize under a cancelled context returned no error")
+	}
+}

@@ -245,6 +245,225 @@ func checkNBACOutcomes(f *model.FailurePattern, outs []Outcome, requireTerminati
 	return check.CheckNBAC(f, o, requireTermination)
 }
 
+// ---- blocking two-phase commit (baseline) ----
+
+// TwoPC runs the classical blocking two-phase commit — the baseline the
+// paper's NBAC stack is contrasted with. It satisfies the agreement and
+// validity clauses of atomic commit but not non-blocking termination: a
+// single inconvenient crash blocks every other process until the run's
+// timeout, so crashy sweep grids should combine it with WithSafetyOnly.
+type TwoPC struct {
+	// Coordinator is the fixed coordinator process (default 0).
+	Coordinator model.ProcessID
+	// Votes overrides the per-process votes (default: everyone votes Yes).
+	Votes []nbac.Vote
+	// Options is forwarded to the participants.
+	Options []nbac.Option
+}
+
+// Name implements Protocol.
+func (TwoPC) Name() string { return "nbac/twopc" }
+
+// Setup implements Protocol.
+func (t TwoPC) Setup(cl *Cluster) (*Instance, error) {
+	n := cl.Net.N()
+	if int(t.Coordinator) < 0 || int(t.Coordinator) >= n {
+		return nil, fmt.Errorf("twopc: coordinator %v out of range 0..%d", t.Coordinator, n-1)
+	}
+	g := nbac.NewTwoPCGroup(cl.Net, cl.Instance, t.Coordinator, t.Options...)
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check:   checkNBACOutcomes,
+	}
+	for i := 0; i < n; i++ {
+		inst.Runners[i] = g[i]
+		vote := nbac.VoteYes
+		if i < len(t.Votes) {
+			vote = t.Votes[i]
+		}
+		inst.Inputs[i] = vote
+	}
+	return inst, nil
+}
+
+// ---- quittable consensus from NBAC (Figure 5) ----
+
+// NBACQC runs quittable consensus obtained from an NBAC protocol by the
+// Figure 5 transformation, stacked on the (Ψ, FS)-based NBAC of Corollary
+// 10 — the QC → NBAC → QC round trip of Theorem 8, as a sweepable workload.
+// Proposals must be ints (Figure 5 decides the smallest proposal received).
+type NBACQC struct {
+	// Proposals overrides the per-process proposals (default: process i
+	// proposes i). Every entry must be an int.
+	Proposals []any
+	// Options is forwarded to the participants.
+	Options []nbac.Option
+}
+
+// Name implements Protocol.
+func (NBACQC) Name() string { return "qc/from-nbac" }
+
+// Setup implements Protocol.
+func (q NBACQC) Setup(cl *Cluster) (*Instance, error) {
+	n := cl.Net.N()
+	g := nbac.NewQCFromNBACGroup(cl.Net, cl.Instance, cl.Oracles.Psi, cl.Oracles.FS, q.Options...)
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check:   checkQCOutcomes,
+		Stop:    g.Stop,
+	}
+	for i := 0; i < n; i++ {
+		inst.Runners[i] = g.Participants[i]
+		if i < len(q.Proposals) {
+			inst.Inputs[i] = q.Proposals[i]
+		} else {
+			inst.Inputs[i] = i
+		}
+	}
+	return inst, nil
+}
+
+// ---- multi-instance consensus ----
+
+// MultiConsensus runs Rounds independent consensus instances back to back on
+// one cluster — the amortised workload: network, oracles and participants
+// are stood up once, then reused, so per-decision cost approaches the
+// protocol's own round-trip instead of being dominated by cluster setup.
+// Process i proposes a distinct value derived from (round, i) in every
+// round; each round is checked against the consensus spec independently.
+type MultiConsensus struct {
+	// Rounds is the number of instances (default 1).
+	Rounds int
+	// Majority uses the Ω-plus-majority baseline instead of (Ω, Σ).
+	Majority bool
+	// Options is forwarded to every round's participants.
+	Options []consensus.Option
+}
+
+// Name implements Protocol.
+func (m MultiConsensus) Name() string {
+	if m.Majority {
+		return "consensus/multi-majority"
+	}
+	return "consensus/multi"
+}
+
+func (m MultiConsensus) rounds() int { return max(1, m.Rounds) }
+
+// multiProposal is the value process p proposes in round r: injective over
+// (round, process) so cross-round value leakage shows up as a validity
+// violation, not a silent coincidence.
+func multiProposal(r, p int) int { return r*1_000_003 + p }
+
+// Setup implements Protocol.
+func (m MultiConsensus) Setup(cl *Cluster) (*Instance, error) {
+	n := cl.Net.N()
+	k := m.rounds()
+	groups := make([]consensus.Group, k)
+	for r := range groups {
+		name := fmt.Sprintf("%s.mc%d", cl.Instance, r)
+		if m.Majority {
+			groups[r] = consensus.NewOmegaMajorityGroup(cl.Net, name, cl.Oracles.Omega, m.Options...)
+		} else {
+			groups[r] = consensus.NewOmegaSigmaGroup(cl.Net, name, cl.Oracles.Omega, cl.Oracles.Sigma, m.Options...)
+		}
+	}
+	inst := &Instance{
+		Runners: make([]Runner, n),
+		Inputs:  make([]any, n),
+		Check:   m.check,
+		Stop: func() {
+			for _, g := range groups {
+				g.Stop()
+			}
+		},
+	}
+	for i := 0; i < n; i++ {
+		inst.Runners[i] = &multiConsensusRunner{groups: groups, idx: i, clock: cl.Net.Clock()}
+		inst.Inputs[i] = i
+	}
+	return inst, nil
+}
+
+// RoundDecision is one round's decision within a multi-instance workload, as
+// returned (in a slice, one entry per completed round) by every
+// MultiConsensus participant.
+type RoundDecision struct {
+	Round int
+	Value any
+	Time  model.Time
+}
+
+// String renders the decision without its logical timestamp: tick counts are
+// scheduling-dependent even for a fixed seed, and this rendering is what
+// reaches Result.Fingerprint through Outcome.Value — the byte-stable part
+// must stay byte-stable. The Time field itself remains available to the
+// spec checker.
+func (d RoundDecision) String() string { return fmt.Sprintf("r%d=%v", d.Round, d.Value) }
+
+func (m MultiConsensus) check(f *model.FailurePattern, outs []Outcome, requireTermination bool) model.Verdict {
+	k := m.rounds()
+	o := check.MultiConsensusOutcome{
+		Rounds:    k,
+		Proposals: make([]map[model.ProcessID]any, k),
+		Decisions: make([][]check.Decision, k),
+	}
+	for r := 0; r < k; r++ {
+		o.Proposals[r] = map[model.ProcessID]any{}
+	}
+	for _, out := range outs {
+		base, ok := out.Input.(int)
+		if !ok {
+			continue // the process took no step
+		}
+		for r := 0; r < k; r++ {
+			o.Proposals[r][out.Process] = multiProposal(r, base)
+		}
+		if !out.Returned {
+			continue
+		}
+		ds, ok := out.Value.([]RoundDecision)
+		if !ok {
+			return model.Fail("multiconsensus scenario: %v returned %T, want []RoundDecision", out.Process, out.Value)
+		}
+		for _, d := range ds {
+			if d.Round < 0 || d.Round >= k {
+				return model.Fail("multiconsensus scenario: %v decided in round %d of %d", out.Process, d.Round, k)
+			}
+			o.Decisions[d.Round] = append(o.Decisions[d.Round], check.Decision{Process: out.Process, Value: d.Value, Time: d.Time})
+		}
+	}
+	return check.CheckMultiConsensus(f, o, requireTermination)
+}
+
+// multiConsensusRunner drives one process through every round sequentially;
+// rounds are independent instances, so a process enters round r+1 as soon as
+// it decides round r, without waiting for laggards.
+type multiConsensusRunner struct {
+	groups []consensus.Group
+	idx    int
+	clock  interface{ Now() model.Time }
+}
+
+// Run implements Runner.
+func (m *multiConsensusRunner) Run(ctx context.Context, input any) (any, error) {
+	base, ok := input.(int)
+	if !ok {
+		return nil, fmt.Errorf("multiconsensus: input has type %T, want int", input)
+	}
+	decisions := make([]RoundDecision, 0, len(m.groups))
+	for r, g := range m.groups {
+		v, err := g[m.idx].Run(ctx, multiProposal(r, base))
+		if err != nil {
+			return nil, fmt.Errorf("multiconsensus round %d: %w", r, err)
+		}
+		decisions = append(decisions, RoundDecision{Round: r, Value: v, Time: m.clock.Now()})
+	}
+	return decisions, nil
+}
+
 // ---- atomic registers ----
 
 // Registers runs the replicated-register protocol: each process performs one

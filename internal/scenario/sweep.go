@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -12,48 +13,151 @@ type DelayRange struct {
 	Min, Max time.Duration
 }
 
+// KeepAllCounts is the Grid.KeepFailures sentinel for "count every failure
+// but retain none of the Results" — the count-only mode a million-run sweep
+// needs, where holding even a handful of full Results (configs, outcomes,
+// traces) per shard is pure overhead.
+const KeepAllCounts = -1
+
+// Shard restricts a sweep to one contiguous slice of the grid's row-major
+// index space, so independent invocations (other processes, other machines)
+// cover disjoint runs whose union is the whole grid. Shard k of m covers
+// global indices [(k-1)·size/m, k·size/m) — every index exactly once across
+// k = 1..m. The zero value means "the whole grid".
+type Shard struct {
+	// Index is the 1-based shard number, in [1, Count].
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// enabled reports whether the shard actually restricts the grid.
+func (s Shard) enabled() bool { return s.Count > 1 }
+
+// Bounds returns the half-open global index range [lo, hi) the shard covers
+// over a grid of the given size — the single definition of the tiling, which
+// Sweep and external drivers (cmd/sweep progress totals) must share.
+func (s Shard) Bounds(size int) (lo, hi int) {
+	if !s.enabled() {
+		return 0, size
+	}
+	if s.Index < 1 || s.Index > s.Count {
+		panic(fmt.Sprintf("scenario: shard index %d out of range 1..%d", s.Index, s.Count))
+	}
+	return (s.Index - 1) * size / s.Count, s.Index * size / s.Count
+}
+
+// SeedSpan contributes the N consecutive seeds From, From+1, …, From+N−1 to
+// a grid's seed axis without materialising them — the grid stays O(1) in
+// memory no matter how many million seeds the span covers, matching the
+// lazy ConfigAt expansion. The zero value contributes nothing.
+type SeedSpan struct {
+	From int64
+	N    int
+}
+
 // Grid spans the scenario family a Sweep explores: the cross product of
 // seeds × delay ranges × crash schedules, each dimension falling back to the
 // base scenario's value when left empty. A 16-seed × 4-delay × 8-schedule
 // grid is 512 runs; the expansion is deterministic (row-major: seeds
 // outermost, crash schedules innermost), so run #k always denotes the same
-// configuration.
+// configuration — which is what makes sharding across processes and
+// re-running a failure by index meaningful.
 type Grid struct {
-	// Seeds to run. Empty = the base scenario's seed.
+	// Seeds to run. The seed axis is Seeds followed by SeedSpan; when both
+	// are empty it falls back to the base scenario's seed.
 	Seeds []int64
+	// SeedSpan appends a contiguous, unmaterialised seed range after Seeds
+	// (the million-seed axis of sharded sweeps).
+	SeedSpan SeedSpan
 	// Delays to run. Empty = the base scenario's delay range.
 	Delays []DelayRange
 	// Crashes holds alternative fault schedules. Empty = the base
 	// scenario's schedule. Use [][]Crash{nil} next to real schedules to
 	// include a crash-free point.
 	Crashes [][]Crash
+	// Shard restricts the sweep to one contiguous slice of the row-major
+	// index space (see Shard). The zero value sweeps the whole grid.
+	Shard Shard
 	// Workers is the number of concurrent runner goroutines; 0 means
 	// GOMAXPROCS.
 	Workers int
 	// KeepFailures caps how many failing Results are retained in full
-	// (earliest grid points first); 0 means 8. Pass/fail counts always
-	// cover every run.
+	// (earliest grid points first). 0 means 8 (kept for compatibility);
+	// KeepAllCounts (or any negative value) retains none while still
+	// counting every failure. Pass/fail counts always cover every run.
 	KeepFailures int
+	// OnRun, if non-nil, streams every executed run's result as it
+	// completes: index is the run's global row-major grid index. It is
+	// called concurrently from worker goroutines and must be safe for
+	// that; runs abandoned because the sweep's context was cancelled are
+	// not reported.
+	OnRun func(index int, res *Result)
 }
 
-// Size returns the number of runs the grid expands to over a base scenario.
+// seedCount is the length of the seed axis (0 = fall back to the base seed).
+func (g Grid) seedCount() int { return len(g.Seeds) + max(0, g.SeedSpan.N) }
+
+// Size returns the number of runs the grid expands to over a base scenario,
+// before sharding.
 func (g Grid) Size() int {
-	return max(1, len(g.Seeds)) * max(1, len(g.Delays)) * max(1, len(g.Crashes))
+	return max(1, g.seedCount()) * max(1, len(g.Delays)) * max(1, len(g.Crashes))
+}
+
+// ConfigAt returns the configuration of global grid index i (row-major:
+// seeds outermost, crash schedules innermost) over the base config. It is
+// how Sweep materialises runs — lazily, one index at a time, so a
+// million-point grid never exists in memory — and how external tooling
+// (cmd/sweep, failure reports) maps an index back to its exact scenario.
+func (g Grid) ConfigAt(base Config, i int) Config {
+	if i < 0 || i >= g.Size() {
+		panic(fmt.Sprintf("scenario: grid index %d out of range 0..%d", i, g.Size()-1))
+	}
+	nc := max(1, len(g.Crashes))
+	nd := max(1, len(g.Delays))
+	cfg := base
+	if ci := i % nc; len(g.Crashes) > 0 {
+		cfg.Crashes = append([]Crash(nil), g.Crashes[ci]...)
+	} else {
+		cfg.Crashes = append([]Crash(nil), base.Crashes...)
+	}
+	if di := (i / nc) % nd; len(g.Delays) > 0 {
+		cfg.MinDelay, cfg.MaxDelay = g.Delays[di].Min, g.Delays[di].Max
+	}
+	if si := i / (nc * nd); g.seedCount() > 0 {
+		if si < len(g.Seeds) {
+			cfg.Seed = g.Seeds[si]
+		} else {
+			cfg.Seed = g.SeedSpan.From + int64(si-len(g.Seeds))
+		}
+	}
+	return cfg
 }
 
 // SweepResult aggregates a sweep: total and passing run counts, the first
 // few failing results in grid order, and throughput.
 type SweepResult struct {
-	Runs    int
-	Passed  int
-	Faulted int // runs that executed and whose verdict failed
-	// Cancelled counts grid points never executed because the sweep's
-	// context was cancelled; they are neither passes nor spec failures.
+	// GridSize is the full grid's run count; Runs is this sweep's share of
+	// it ([IndexLo, IndexHi) after sharding — the whole grid when the
+	// shard is zero).
+	GridSize int
+	// IndexLo and IndexHi bound the half-open global index range this
+	// sweep covered.
+	IndexLo, IndexHi int
+	Runs             int
+	Passed           int
+	Faulted          int // runs that executed and whose verdict failed
+	// Cancelled counts grid points whose run never executed, or was cut
+	// short by the sweep context's cancellation; they are neither passes
+	// nor spec failures.
 	Cancelled int
 	// Failures holds the first KeepFailures failing results in grid order,
 	// each carrying the exact Config to re-run it in isolation.
 	Failures []Result
-	Elapsed  time.Duration
+	// FailureIndices holds the global grid index of each retained failure,
+	// aligned with Failures.
+	FailureIndices []int
+	Elapsed        time.Duration
 	// RunsPerSec is the sweep's wall-clock throughput over executed runs.
 	RunsPerSec float64
 }
@@ -61,31 +165,43 @@ type SweepResult struct {
 // AllPassed reports whether every grid point executed and passed.
 func (r SweepResult) AllPassed() bool { return r.Passed == r.Runs }
 
-// Sweep expands the grid over the base scenario and runs every
-// configuration against proto, fanning runs across worker goroutines —
-// the "millions of runs" driver the virtual-time scheduler makes cheap.
+// Sweep expands the grid over the base scenario and runs every configuration
+// of its shard against proto, fanning runs across worker goroutines — the
+// "millions of runs" driver the virtual-time scheduler makes cheap.
 // proto.Setup is called once per run and must therefore be reusable (the
 // built-in protocol descriptors are). The aggregation is deterministic: runs
 // are indexed by grid order, so identical inputs yield an identical
 // SweepResult whenever each individual run is deterministic.
+//
+// Cancelling ctx stops the sweep early: grid points not yet executed — and
+// runs in flight at that moment, whose verdicts are ctx-induced timeouts,
+// not spec violations — are counted as Cancelled and never retained in
+// Failures. The classification is deliberately conservative: a run whose
+// genuine violation completes inside the cancellation window is also
+// counted Cancelled (the harness cannot distinguish it from the
+// cancellation echoing through the run's timeout backstop without
+// re-checking); a schedule-determined failure is recovered by re-running
+// its grid point.
 func Sweep(ctx context.Context, base *Scenario, grid Grid, proto Protocol) SweepResult {
-	cfgs := expand(base.Config(), grid)
+	baseCfg := base.Config()
+	size := grid.Size()
+	lo, hi := grid.Shard.Bounds(size)
 	workers := grid.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+	if workers > hi-lo {
+		workers = hi - lo
 	}
 	keep := grid.KeepFailures
-	if keep <= 0 {
+	if keep == 0 {
 		keep = 8
 	}
 
 	start := time.Now()
-	ran := make([]bool, len(cfgs))
-	verdicts := make([]bool, len(cfgs))
-	failed := make([]*Result, len(cfgs))
+	passed := make([]bool, hi-lo)
+	faulted := make([]bool, hi-lo)
+	failed := make([]*Result, hi-lo)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -93,17 +209,31 @@ func Sweep(ctx context.Context, base *Scenario, grid Grid, proto Protocol) Sweep
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res := FromConfig(cfgs[i]).Run(ctx, proto)
-				ran[i] = true
-				verdicts[i] = res.Verdict.OK
-				if !res.Verdict.OK {
-					failed[i] = &res
+				if ctx.Err() != nil {
+					continue // handed out but never started: Cancelled
+				}
+				res := FromConfig(grid.ConfigAt(baseCfg, i)).Run(ctx, proto)
+				if !res.Verdict.OK && ctx.Err() != nil {
+					// The run was in flight when the sweep was cancelled:
+					// its failure is the cancellation echoing through the
+					// run's wall-clock backstop (timeout → no termination),
+					// not a spec violation. Count it as Cancelled.
+					continue
+				}
+				if res.Verdict.OK {
+					passed[i-lo] = true
+				} else {
+					faulted[i-lo] = true
+					failed[i-lo] = &res
+				}
+				if grid.OnRun != nil {
+					grid.OnRun(i, &res)
 				}
 			}
 		}()
 	}
 submit:
-	for i := range cfgs {
+	for i := lo; i < hi; i++ {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -113,18 +243,19 @@ submit:
 	close(jobs)
 	wg.Wait()
 
-	out := SweepResult{Runs: len(cfgs), Elapsed: time.Since(start)}
-	for i := range cfgs {
+	out := SweepResult{GridSize: size, IndexLo: lo, IndexHi: hi, Runs: hi - lo, Elapsed: time.Since(start)}
+	for j := range passed {
 		switch {
-		case !ran[i]:
-			out.Cancelled++
-		case verdicts[i]:
+		case passed[j]:
 			out.Passed++
-		default:
+		case faulted[j]:
 			out.Faulted++
-			if failed[i] != nil && len(out.Failures) < keep {
-				out.Failures = append(out.Failures, *failed[i])
+			if failed[j] != nil && keep > 0 && len(out.Failures) < keep {
+				out.Failures = append(out.Failures, *failed[j])
+				out.FailureIndices = append(out.FailureIndices, lo+j)
 			}
+		default:
+			out.Cancelled++
 		}
 	}
 	if executed := out.Runs - out.Cancelled; executed > 0 && out.Elapsed > 0 {
@@ -133,32 +264,13 @@ submit:
 	return out
 }
 
-// expand materialises the grid's cross product over the base config in
-// row-major order: seeds, then delays, then crash schedules.
+// expand materialises the whole grid's cross product over the base config in
+// row-major order. Sweep itself expands lazily via ConfigAt; expand is the
+// eager form for tests and small tooling.
 func expand(base Config, grid Grid) []Config {
-	seeds := grid.Seeds
-	if len(seeds) == 0 {
-		seeds = []int64{base.Seed}
-	}
-	delays := grid.Delays
-	if len(delays) == 0 {
-		delays = []DelayRange{{base.MinDelay, base.MaxDelay}}
-	}
-	crashes := grid.Crashes
-	if len(crashes) == 0 {
-		crashes = [][]Crash{base.Crashes}
-	}
-	cfgs := make([]Config, 0, len(seeds)*len(delays)*len(crashes))
-	for _, seed := range seeds {
-		for _, d := range delays {
-			for _, cs := range crashes {
-				cfg := base
-				cfg.Seed = seed
-				cfg.MinDelay, cfg.MaxDelay = d.Min, d.Max
-				cfg.Crashes = append([]Crash(nil), cs...)
-				cfgs = append(cfgs, cfg)
-			}
-		}
+	cfgs := make([]Config, grid.Size())
+	for i := range cfgs {
+		cfgs[i] = grid.ConfigAt(base, i)
 	}
 	return cfgs
 }
