@@ -10,6 +10,9 @@
 //
 //	sweep -proto consensus -n 5 -seeds 1-1000 -delays 1ms:50ms \
 //	      -crashes '-;4@5ms;0@8ms' -progress 2s
+//	sweep -proto consensus -n 5 -seeds 1-64 \
+//	      -detectors 'omega-sigma,perfect,eventually-perfect{stabilize:50},eventually-strong{stabilize:50}' \
+//	      -crashes '-;4@5ms'
 //	sweep -proto consensus/multi -rounds 16 -seeds 1-64
 //	sweep -proto nbac -seeds 1-250000 -shard 3/8 -keep -1 -out shard3.json
 //
@@ -31,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"weakestfd/internal/fd"
 	"weakestfd/internal/model"
 	"weakestfd/internal/scenario"
 )
@@ -44,6 +48,7 @@ type spec struct {
 	Rounds      int     `json:"rounds"`
 	Coordinator int     `json:"coordinator"`
 	Seeds       string  `json:"seeds"`
+	Detectors   string  `json:"detectors"`
 	Delays      string  `json:"delays"`
 	Crashes     string  `json:"crashes"`
 	Drop        float64 `json:"drop"`
@@ -79,8 +84,19 @@ type report struct {
 	Cancelled   int              `json:"cancelled"`
 	ElapsedMS   float64          `json:"elapsed_ms"`
 	RunsPerSec  float64          `json:"runs_per_sec"`
+	Detectors   []detectorReport `json:"detectors,omitempty"`
 	Failures    []failureReport  `json:"failures,omitempty"`
 	Minimized   *minimizedReport `json:"minimized,omitempty"`
+}
+
+// detectorReport is one detector spec's share of the sweep — the per-class
+// pass/fail column of the cross-detector comparison the -detectors axis runs.
+type detectorReport struct {
+	Spec      string `json:"spec"`
+	Runs      int    `json:"runs"`
+	Passed    int    `json:"passed"`
+	Faulted   int    `json:"faulted"`
+	Cancelled int    `json:"cancelled"`
 }
 
 // failureReport pins one failing grid point: its global row-major index (the
@@ -115,6 +131,7 @@ func run() int {
 		rounds      = flag.Int("rounds", def.Rounds, "instances per run (consensus/multi)")
 		coordinator = flag.Int("coordinator", def.Coordinator, "coordinator process (twopc)")
 		seeds       = flag.String("seeds", def.Seeds, "seed list/ranges, e.g. 1-1000 or 1,2,7-9")
+		detectors   = flag.String("detectors", def.Detectors, "detector-spec axis, e.g. 'omega-sigma,perfect,eventually-perfect{stabilize:50},eventually-strong' (empty = scenario default; registry grammar class{suspect:N,detect:N,stabilize:N,switch:N,policy:..})")
 		delays      = flag.String("delays", def.Delays, "delay ranges, e.g. 0:200us,1ms:50ms (empty = scenario default)")
 		crashes     = flag.String("crashes", def.Crashes, "crash schedules split by ';', entries p@time; '-' is the crash-free point, e.g. '-;4@5ms;1@2ms,3@10ms'")
 		drop        = flag.Float64("drop", def.Drop, "per-message drop probability (combine with -safety-only)")
@@ -147,7 +164,8 @@ func run() int {
 	overlay := map[string]func(){
 		"proto": func() { sp.Proto = *proto }, "n": func() { sp.N = *n },
 		"rounds": func() { sp.Rounds = *rounds }, "coordinator": func() { sp.Coordinator = *coordinator },
-		"seeds": func() { sp.Seeds = *seeds }, "delays": func() { sp.Delays = *delays },
+		"seeds": func() { sp.Seeds = *seeds }, "detectors": func() { sp.Detectors = *detectors },
+		"delays":  func() { sp.Delays = *delays },
 		"crashes": func() { sp.Crashes = *crashes }, "drop": func() { sp.Drop = *drop },
 		"suspicion": func() { sp.Suspicion = *suspicion }, "fs-delay": func() { sp.FSDelay = *fsDelay },
 		"psi-switch": func() { sp.PsiSwitch = *psiSwitch }, "safety-only": func() { sp.SafetyOnly = *safetyOnly },
@@ -218,6 +236,15 @@ func run() int {
 		Cancelled:   res.Cancelled,
 		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
 		RunsPerSec:  res.RunsPerSec,
+	}
+	for _, d := range res.Detectors {
+		rep.Detectors = append(rep.Detectors, detectorReport{
+			Spec:      d.Spec,
+			Runs:      d.Runs,
+			Passed:    d.Passed,
+			Faulted:   d.Faulted,
+			Cancelled: d.Cancelled,
+		})
 	}
 	for i, f := range res.Failures {
 		rep.Failures = append(rep.Failures, failureReport{
@@ -298,6 +325,23 @@ func build(sp spec) (*scenario.Scenario, scenario.Grid, scenario.Protocol, error
 
 	if grid.Seeds, grid.SeedSpan, err = parseSeeds(sp.Seeds); err != nil {
 		return nil, grid, nil, fmt.Errorf("seeds: %v", err)
+	}
+	if strings.TrimSpace(sp.Detectors) != "" {
+		// The axis replaces the base spec wholesale per grid point, exactly
+		// like -delays replaces the base delay range — so base detector
+		// quality flags would be silently dropped. Refuse the combination:
+		// quality parameters of an axis spec belong in its grammar.
+		if sp.Suspicion != 0 || sp.FSDelay != 0 || sp.PsiSwitch != 0 {
+			return nil, grid, nil, fmt.Errorf("detectors: -suspicion/-fs-delay/-psi-switch cannot combine with -detectors; put quality parameters in the spec grammar, e.g. 'omega-sigma{suspect:%d}'", sp.Suspicion)
+		}
+		if grid.Detectors, err = fd.ParseSpecList(sp.Detectors); err != nil {
+			return nil, grid, nil, fmt.Errorf("detectors: %v", err)
+		}
+		for _, ds := range grid.Detectors {
+			if _, ok := fd.DefaultRegistry().Resolve(ds.Class); !ok {
+				return nil, grid, nil, fmt.Errorf("detectors: unknown class %q (registered: %s)", ds.Class, strings.Join(fd.DefaultRegistry().Classes(), ", "))
+			}
+		}
 	}
 	if grid.Delays, err = parseDelays(sp.Delays); err != nil {
 		return nil, grid, nil, fmt.Errorf("delays: %v", err)

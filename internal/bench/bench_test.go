@@ -23,6 +23,7 @@ import (
 
 	"weakestfd/internal/consensus"
 	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
 	"weakestfd/internal/nbac"
 	"weakestfd/internal/net"
 	"weakestfd/internal/register"
@@ -230,6 +231,39 @@ func sweepThroughput(runs int) scenario.SweepResult {
 	return scenario.Sweep(context.Background(), base, scenario.Grid{Seeds: seeds, Crashes: sweepCrashSets}, sweepProto())
 }
 
+// constOmega is a constant Ω source: the cheapest possible Source[V], so a
+// benchmark over it isolates the generic Bind[V] query path itself (process
+// binding, nil-history check, interface dispatch).
+type constOmega struct{}
+
+func (constOmega) At(model.ProcessID) model.ProcessID { return 0 }
+
+// bindSink keeps the benchmarked samples observable so the loop is not
+// eliminated.
+var bindSink model.ProcessID
+
+// BenchmarkBindSample measures the generic Bind[V] query path through the
+// Detector[V] interface — the per-query overhead every protocol pays on top
+// of its source. It must stay 0 allocs/op: the adapter is a value, the
+// history check a nil test, and a ProcessID sample does not escape.
+func BenchmarkBindSample(b *testing.B) {
+	var det fd.Omega = fd.BindTo[model.ProcessID](1, constOmega{}, net.NewClock())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bindSink = det.Sample()
+	}
+}
+
+// TestBindSampleZeroAllocs pins the acceptance bar directly (the benchmark
+// reports it; this fails the suite if it regresses).
+func TestBindSampleZeroAllocs(t *testing.T) {
+	var det fd.Omega = fd.BindTo[model.ProcessID](1, constOmega{}, net.NewClock())
+	if allocs := testing.AllocsPerRun(1000, func() { bindSink = det.Sample() }); allocs != 0 {
+		t.Fatalf("generic Bind query path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // BenchmarkSendDeliver measures the raw delivery path: one send through the
 // event queue into a drained mailbox per iteration. With the discrete-event
 // scheduler this must not allocate a goroutine (or anything else beyond
@@ -334,6 +368,10 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	t.Logf("scenario sweep: %d runs, %.0f runs/s", sweep.Runs, sweep.RunsPerSec)
 
+	bind := add("BindSample", BenchmarkBindSample)
+	if bind.AllocsPerOp() != 0 {
+		t.Errorf("generic Bind query path allocates %d allocs/op, want 0", bind.AllocsPerOp())
+	}
 	add("SendDeliver/virtual", func(b *testing.B) {
 		nw := net.NewNetwork(2, net.WithSeed(1))
 		defer nw.Close()

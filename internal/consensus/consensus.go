@@ -209,7 +209,7 @@ func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 		if val, ok := c.Decision(); ok {
 			return val, nil
 		}
-		if c.omega.Leader() == c.ep.ID() {
+		if c.omega.Sample() == c.ep.ID() {
 			stopTicker()
 			if val, ok, err := c.lead(ctx, v); err != nil {
 				return nil, err

@@ -28,8 +28,8 @@ func NewOmegaSigmaGroup(nw *net.Network, instance string, omega fd.OmegaSource, 
 	g := make(Group, nw.N())
 	for i := 0; i < nw.N(); i++ {
 		ep := nw.Endpoint(model.ProcessID(i))
-		boundOmega := fd.BoundOmega{Proc: ep.ID(), Src: omega, Clock: nw.Clock()}
-		boundSigma := fd.BoundSigma{Proc: ep.ID(), Src: sigma, Clock: nw.Clock()}
+		boundOmega := fd.BindTo(ep.ID(), omega, nw.Clock())
+		boundSigma := fd.BindTo(ep.ID(), sigma, nw.Clock())
 		g[i] = NewBallotConsensus(ep, instance, boundOmega, quorum.SigmaGuard{Source: boundSigma}, opts...)
 	}
 	return g
@@ -42,7 +42,7 @@ func NewOmegaMajorityGroup(nw *net.Network, instance string, omega fd.OmegaSourc
 	g := make(Group, nw.N())
 	for i := 0; i < nw.N(); i++ {
 		ep := nw.Endpoint(model.ProcessID(i))
-		boundOmega := fd.BoundOmega{Proc: ep.ID(), Src: omega, Clock: nw.Clock()}
+		boundOmega := fd.BindTo(ep.ID(), omega, nw.Clock())
 		g[i] = NewBallotConsensus(ep, instance, boundOmega, quorum.MajorityGuard{N: nw.N()}, opts...)
 	}
 	return g
@@ -87,7 +87,7 @@ func NewRegisterConsensusGroup(nw *net.Network, instance string, omega fd.OmegaS
 		g.Participants[i] = NewRegisterConsensus(RegisterConsensusConfig{
 			ID:    p,
 			EP:    nw.Endpoint(p),
-			Omega: fd.BoundOmega{Proc: p, Src: omega, Clock: nw.Clock()},
+			Omega: fd.BindTo(p, omega, nw.Clock()),
 			Regs:  regs,
 			Dec:   g.decGroup[i],
 		})

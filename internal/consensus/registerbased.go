@@ -119,7 +119,7 @@ func (c *RegisterConsensus) Propose(ctx context.Context, v Value) (Value, error)
 		if d.Decided {
 			return d.Val, nil
 		}
-		if c.omega.Leader() != c.id {
+		if c.omega.Sample() != c.id {
 			if err := c.pause(ctx); err != nil {
 				return nil, fmt.Errorf("register consensus: %w", err)
 			}
@@ -242,4 +242,3 @@ func (c *RegisterConsensus) nextBallot() Ballot {
 	c.maxSeen = b
 	return b
 }
-

@@ -59,9 +59,9 @@ type SigmaExtractor struct {
 	output model.ProcessSet
 	rounds int
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
 	respDone chan struct{}
 }
 
@@ -78,6 +78,10 @@ type SigmaExtractorConfig struct {
 	// Interval is the pause between iterations of the main loop. Default 1ms.
 	Interval time.Duration
 	// History, if non-nil, receives every Σ-output update for spec checking.
+	// Pass model.NewHistoryWithLimit for long-lived extractors whose history
+	// is informational rather than checker input — a capped history keeps
+	// only the most recent samples, so the perpetual Σ clauses would be
+	// checked over a sliding window only.
 	History *model.History
 	// Metrics, if non-nil, counts iterations and pings.
 	Metrics *trace.Metrics
@@ -115,8 +119,8 @@ func StartSigmaExtractor(cfg SigmaExtractorConfig) *SigmaExtractor {
 	return e
 }
 
-// Quorum implements fd.Sigma: the current emulated Σ output.
-func (e *SigmaExtractor) Quorum() model.ProcessSet {
+// Sample implements fd.Sigma: the current emulated Σ output.
+func (e *SigmaExtractor) Sample() model.ProcessSet {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.output.Clone()

@@ -4,95 +4,42 @@ import (
 	"weakestfd/internal/model"
 )
 
-// BoundOmega binds an OmegaSource to one process, satisfying Omega. If Hist
-// is non-nil every query is recorded (with the time from Clock) so the run
-// can be validated with model.CheckOmega.
-type BoundOmega struct {
+// Bind connects a system-wide Source[V] to one process, satisfying
+// Detector[V]: every Sample queries the source as that process. If Hist is
+// non-nil every query is recorded (with the time from Clock) so the run can
+// be validated with the specification checkers in internal/model. This one
+// generic adapter replaces the former per-class BoundOmega / BoundSigma /
+// BoundFS / BoundPsi zoo: process binding, history recording and any future
+// perturbation live here exactly once, for every detector class.
+//
+// Bind is a value type and its query path performs no allocation of its own
+// (internal/bench pins this at 0 allocs/op); whatever the source allocates to
+// produce V is the source's business.
+type Bind[V any] struct {
 	Proc  model.ProcessID
-	Src   OmegaSource
+	Src   Source[V]
 	Clock TimeSource
 	Hist  *model.History
 }
 
-// Leader implements Omega.
-func (b BoundOmega) Leader() model.ProcessID {
-	v := b.Src.LeaderAt(b.Proc)
+// Sample implements Detector[V].
+func (b Bind[V]) Sample() V {
+	v := b.Src.At(b.Proc)
 	if b.Hist != nil {
 		b.Hist.Record(b.Proc, b.Clock.Now(), v)
 	}
 	return v
 }
 
-// BoundSigma binds a SigmaSource to one process, satisfying Sigma (and
-// quorum.SigmaSource). If Hist is non-nil every query is recorded.
-type BoundSigma struct {
-	Proc  model.ProcessID
-	Src   SigmaSource
-	Clock TimeSource
-	Hist  *model.History
-}
-
-// Quorum implements Sigma.
-func (b BoundSigma) Quorum() model.ProcessSet {
-	v := b.Src.QuorumAt(b.Proc)
-	if b.Hist != nil {
-		b.Hist.Record(b.Proc, b.Clock.Now(), v)
-	}
-	return v
-}
-
-// BoundFS binds an FSSource to one process, satisfying FS.
-type BoundFS struct {
-	Proc  model.ProcessID
-	Src   FSSource
-	Clock TimeSource
-	Hist  *model.History
-}
-
-// Signal implements FS.
-func (b BoundFS) Signal() model.FSValue {
-	v := b.Src.SignalAt(b.Proc)
-	if b.Hist != nil {
-		b.Hist.Record(b.Proc, b.Clock.Now(), v)
-	}
-	return v
-}
-
-// BoundPsi binds a PsiSource to one process, satisfying Psi.
-type BoundPsi struct {
-	Proc  model.ProcessID
-	Src   PsiSource
-	Clock TimeSource
-	Hist  *model.History
-}
-
-// Value implements Psi.
-func (b BoundPsi) Value() model.PsiValue {
-	v := b.Src.ValueAt(b.Proc)
-	if b.Hist != nil {
-		b.Hist.Record(b.Proc, b.Clock.Now(), v)
-	}
-	return v
-}
-
-// BoundOmegaSigma is the per-process composition (Ω, Σ).
-type BoundOmegaSigma struct {
-	BoundOmega
-	BoundSigma
-}
-
-// NewBoundOmegaSigma builds the per-process pair detector for process p.
-func NewBoundOmegaSigma(p model.ProcessID, omega OmegaSource, sigma SigmaSource, clock TimeSource, omegaHist, sigmaHist *model.History) BoundOmegaSigma {
-	return BoundOmegaSigma{
-		BoundOmega: BoundOmega{Proc: p, Src: omega, Clock: clock, Hist: omegaHist},
-		BoundSigma: BoundSigma{Proc: p, Src: sigma, Clock: clock, Hist: sigmaHist},
-	}
+// BindTo is the common no-history binding: src's module at process p.
+func BindTo[V any](p model.ProcessID, src Source[V], clock TimeSource) Bind[V] {
+	return Bind[V]{Proc: p, Src: src, Clock: clock}
 }
 
 var (
-	_ Omega      = BoundOmega{}
-	_ Sigma      = BoundSigma{}
-	_ FS         = BoundFS{}
-	_ Psi        = BoundPsi{}
-	_ OmegaSigma = BoundOmegaSigma{}
+	_ Omega    = Bind[model.ProcessID]{}
+	_ Sigma    = Bind[model.ProcessSet]{}
+	_ FS       = Bind[model.FSValue]{}
+	_ Psi      = Bind[model.PsiValue]{}
+	_ Suspects = Bind[model.ProcessSet]{}
 )

@@ -17,16 +17,16 @@ func TestOracleSigmaTracksVisibleAlive(t *testing.T) {
 	clock := &fakeClock{}
 	sigma := &OracleSigma{Pattern: pattern, Clock: clock}
 
-	if got := sigma.QuorumAt(0); !got.Equal(model.AllProcesses(4)) {
+	if got := sigma.At(0); !got.Equal(model.AllProcesses(4)) {
 		t.Fatalf("initial quorum = %v", got)
 	}
 	pattern.Crash(2, 10)
 	clock.t = 9
-	if got := sigma.QuorumAt(1); !got.Contains(2) {
+	if got := sigma.At(1); !got.Contains(2) {
 		t.Fatalf("quorum before crash time should still contain p2: %v", got)
 	}
 	clock.t = 10
-	if got := sigma.QuorumAt(1); got.Contains(2) {
+	if got := sigma.At(1); got.Contains(2) {
 		t.Fatalf("quorum after crash contains crashed process: %v", got)
 	}
 }
@@ -37,11 +37,11 @@ func TestOracleSigmaSuspicionDelay(t *testing.T) {
 	sigma := &OracleSigma{Pattern: pattern, Clock: clock, SuspicionDelay: 5}
 	pattern.Crash(0, 10)
 	clock.t = 12
-	if got := sigma.QuorumAt(1); !got.Contains(0) {
+	if got := sigma.At(1); !got.Contains(0) {
 		t.Fatalf("crash visible before suspicion delay elapsed: %v", got)
 	}
 	clock.t = 15
-	if got := sigma.QuorumAt(1); got.Contains(0) {
+	if got := sigma.At(1); got.Contains(0) {
 		t.Fatalf("crash still hidden after suspicion delay: %v", got)
 	}
 }
@@ -65,7 +65,7 @@ func TestQuickOracleSigmaSpec(t *testing.T) {
 		for _, tick := range []model.Time{0, 5, 10, 20, 40, 80, 200} {
 			clock.t = tick
 			for p := 0; p < n; p++ {
-				hist.Record(model.ProcessID(p), tick, sigma.QuorumAt(model.ProcessID(p)))
+				hist.Record(model.ProcessID(p), tick, sigma.At(model.ProcessID(p)))
 			}
 		}
 		return model.CheckSigma(pattern, hist, model.DefaultCheckOptions()).OK
@@ -80,14 +80,14 @@ func TestOracleOmegaConvergesToLowestCorrect(t *testing.T) {
 	clock := &fakeClock{}
 	omega := &OracleOmega{Pattern: pattern, Clock: clock}
 
-	if got := omega.LeaderAt(3); got != 0 {
+	if got := omega.At(3); got != 0 {
 		t.Fatalf("initial leader = %v", got)
 	}
 	pattern.Crash(0, 5)
 	pattern.Crash(1, 8)
 	clock.t = 20
 	for p := 0; p < 4; p++ {
-		if got := omega.LeaderAt(model.ProcessID(p)); got != 2 {
+		if got := omega.At(model.ProcessID(p)); got != 2 {
 			t.Fatalf("leader at %d = %v, want p2", p, got)
 		}
 	}
@@ -99,7 +99,7 @@ func TestOracleOmegaAllCrashed(t *testing.T) {
 	pattern.Crash(0, 1)
 	pattern.Crash(1, 1)
 	omega := &OracleOmega{Pattern: pattern, Clock: clock}
-	_ = omega.LeaderAt(0) // must not panic; value unconstrained
+	_ = omega.At(0) // must not panic; value unconstrained
 }
 
 func TestQuickOracleOmegaSpec(t *testing.T) {
@@ -120,7 +120,7 @@ func TestQuickOracleOmegaSpec(t *testing.T) {
 		for _, tick := range []model.Time{0, 10, 30, 60, 200} {
 			clock.t = tick
 			for p := 0; p < n; p++ {
-				hist.Record(model.ProcessID(p), tick, omega.LeaderAt(model.ProcessID(p)))
+				hist.Record(model.ProcessID(p), tick, omega.At(model.ProcessID(p)))
 			}
 		}
 		return model.CheckOmega(pattern, hist, model.DefaultCheckOptions()).OK
@@ -135,16 +135,16 @@ func TestOracleFS(t *testing.T) {
 	clock := &fakeClock{}
 	fs := &OracleFS{Pattern: pattern, Clock: clock, DetectionDelay: 3}
 
-	if fs.SignalAt(0) != model.Green {
+	if fs.At(0) != model.Green {
 		t.Fatalf("green expected before any failure")
 	}
 	pattern.Crash(1, 10)
 	clock.t = 11
-	if fs.SignalAt(0) != model.Green {
+	if fs.At(0) != model.Green {
 		t.Fatalf("red before detection delay elapsed")
 	}
 	clock.t = 13
-	if fs.SignalAt(0) != model.Red {
+	if fs.At(0) != model.Red {
 		t.Fatalf("green after detection delay elapsed")
 	}
 }
@@ -154,21 +154,21 @@ func TestOraclePsiOmegaSigmaBranch(t *testing.T) {
 	clock := &fakeClock{}
 	psi := &OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 10, Policy: PreferFSOnFailure}
 
-	if got := psi.ValueAt(0); got.Phase != model.PsiBottom {
+	if got := psi.At(0); got.Phase != model.PsiBottom {
 		t.Fatalf("before switch: %v", got)
 	}
 	if psi.Mode() != model.PsiBottom {
 		t.Fatalf("Mode before switch = %v", psi.Mode())
 	}
 	clock.t = 10
-	got := psi.ValueAt(0)
+	got := psi.At(0)
 	if got.Phase != model.PsiOmegaSigma {
 		t.Fatalf("no failure: expected (Ω,Σ) regime, got %v", got)
 	}
 	// A failure after the decision must not flip the regime.
 	pattern.Crash(2, 11)
 	clock.t = 20
-	if got := psi.ValueAt(1); got.Phase != model.PsiOmegaSigma {
+	if got := psi.At(1); got.Phase != model.PsiOmegaSigma {
 		t.Fatalf("regime flipped after decision: %v", got)
 	}
 	if psi.Mode() != model.PsiOmegaSigma {
@@ -182,7 +182,7 @@ func TestOraclePsiFSBranch(t *testing.T) {
 	psi := &OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 10, Policy: PreferFSOnFailure}
 	pattern.Crash(0, 5)
 	clock.t = 12
-	got := psi.ValueAt(1)
+	got := psi.At(1)
 	if got.Phase != model.PsiFS || got.FS != model.Red {
 		t.Fatalf("expected FS:red, got %v", got)
 	}
@@ -197,7 +197,7 @@ func TestOraclePsiPreferOmegaSigmaEvenAfterFailure(t *testing.T) {
 	psi := &OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 0, Policy: PreferOmegaSigma}
 	pattern.Crash(0, 1)
 	clock.t = 10
-	if got := psi.ValueAt(2); got.Phase != model.PsiOmegaSigma {
+	if got := psi.At(2); got.Phase != model.PsiOmegaSigma {
 		t.Fatalf("PreferOmegaSigma policy switched to %v", got)
 	}
 }
@@ -227,7 +227,7 @@ func TestQuickOraclePsiSpec(t *testing.T) {
 		for _, tick := range []model.Time{0, 5, 15, 35, 60, 200} {
 			clock.t = tick
 			for p := 0; p < n; p++ {
-				hist.Record(model.ProcessID(p), tick, psi.ValueAt(model.ProcessID(p)))
+				hist.Record(model.ProcessID(p), tick, psi.At(model.ProcessID(p)))
 			}
 		}
 		return model.CheckPsi(pattern, hist, model.DefaultCheckOptions()).OK
@@ -237,21 +237,19 @@ func TestQuickOraclePsiSpec(t *testing.T) {
 	}
 }
 
-func TestBoundModulesRecordHistories(t *testing.T) {
+func TestBindRecordsHistories(t *testing.T) {
 	pattern := model.NewFailurePattern(3)
 	clock := &fakeClock{t: 7}
 	omegaHist, sigmaHist := model.NewHistory(), model.NewHistory()
 
-	pair := NewBoundOmegaSigma(1,
-		&OracleOmega{Pattern: pattern, Clock: clock},
-		&OracleSigma{Pattern: pattern, Clock: clock},
-		clock, omegaHist, sigmaHist)
+	var omega Omega = Bind[model.ProcessID]{Proc: 1, Src: &OracleOmega{Pattern: pattern, Clock: clock}, Clock: clock, Hist: omegaHist}
+	var sigma Sigma = Bind[model.ProcessSet]{Proc: 1, Src: &OracleSigma{Pattern: pattern, Clock: clock}, Clock: clock, Hist: sigmaHist}
 
-	if got := pair.Leader(); got != 0 {
-		t.Fatalf("Leader = %v", got)
+	if got := omega.Sample(); got != 0 {
+		t.Fatalf("omega Sample = %v", got)
 	}
-	if got := pair.Quorum(); !got.Equal(model.AllProcesses(3)) {
-		t.Fatalf("Quorum = %v", got)
+	if got := sigma.Sample(); !got.Equal(model.AllProcesses(3)) {
+		t.Fatalf("sigma Sample = %v", got)
 	}
 	if omegaHist.Len() != 1 || sigmaHist.Len() != 1 {
 		t.Fatalf("histories not recorded: %d, %d", omegaHist.Len(), sigmaHist.Len())
@@ -262,24 +260,24 @@ func TestBoundModulesRecordHistories(t *testing.T) {
 	}
 
 	fsHist, psiHist := model.NewHistory(), model.NewHistory()
-	bfs := BoundFS{Proc: 2, Src: &OracleFS{Pattern: pattern, Clock: clock}, Clock: clock, Hist: fsHist}
-	if bfs.Signal() != model.Green {
-		t.Fatalf("Signal = %v", bfs.Signal())
+	bfs := Bind[model.FSValue]{Proc: 2, Src: &OracleFS{Pattern: pattern, Clock: clock}, Clock: clock, Hist: fsHist}
+	if bfs.Sample() != model.Green {
+		t.Fatalf("Sample = %v", bfs.Sample())
 	}
-	bpsi := BoundPsi{Proc: 0, Src: &OraclePsi{Pattern: pattern, Clock: clock}, Clock: clock, Hist: psiHist}
-	if bpsi.Value().Phase != model.PsiOmegaSigma {
-		t.Fatalf("Value = %v", bpsi.Value())
+	bpsi := Bind[model.PsiValue]{Proc: 0, Src: &OraclePsi{Pattern: pattern, Clock: clock}, Clock: clock, Hist: psiHist}
+	if bpsi.Sample().Phase != model.PsiOmegaSigma {
+		t.Fatalf("Sample = %v", bpsi.Sample())
 	}
 	if fsHist.Len() != 1 || psiHist.Len() == 0 {
 		t.Fatalf("fs/psi histories not recorded")
 	}
 }
 
-func TestBoundModulesWithoutHistory(t *testing.T) {
+func TestBindWithoutHistory(t *testing.T) {
 	pattern := model.NewFailurePattern(2)
 	clock := &fakeClock{}
-	b := BoundOmega{Proc: 0, Src: &OracleOmega{Pattern: pattern, Clock: clock}, Clock: clock}
-	if b.Leader() != 0 {
-		t.Fatalf("Leader wrong")
+	b := BindTo[model.ProcessID](0, &OracleOmega{Pattern: pattern, Clock: clock}, clock)
+	if b.Sample() != 0 {
+		t.Fatalf("Sample wrong")
 	}
 }

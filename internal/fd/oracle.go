@@ -27,8 +27,8 @@ type OracleSigma struct {
 	SuspicionDelay model.Time
 }
 
-// QuorumAt implements SigmaSource.
-func (o *OracleSigma) QuorumAt(model.ProcessID) model.ProcessSet {
+// At implements SigmaSource.
+func (o *OracleSigma) At(model.ProcessID) model.ProcessSet {
 	return visibleAlive(o.Pattern, o.Clock.Now(), o.SuspicionDelay)
 }
 
@@ -41,8 +41,8 @@ type OracleOmega struct {
 	SuspicionDelay model.Time
 }
 
-// LeaderAt implements OmegaSource.
-func (o *OracleOmega) LeaderAt(model.ProcessID) model.ProcessID {
+// At implements OmegaSource.
+func (o *OracleOmega) At(model.ProcessID) model.ProcessID {
 	alive := visibleAlive(o.Pattern, o.Clock.Now(), o.SuspicionDelay)
 	if leader, ok := alive.Min(); ok {
 		return leader
@@ -63,8 +63,8 @@ type OracleFS struct {
 	DetectionDelay model.Time
 }
 
-// SignalAt implements FSSource.
-func (o *OracleFS) SignalAt(model.ProcessID) model.FSValue {
+// At implements FSSource.
+func (o *OracleFS) At(model.ProcessID) model.FSValue {
 	first, ok := o.Pattern.FirstCrashTime()
 	if ok && first+o.DetectionDelay <= o.Clock.Now() {
 		return model.Red
@@ -128,8 +128,8 @@ func (o *OraclePsi) fs() FSSource {
 	return &OracleFS{Pattern: o.Pattern, Clock: o.Clock}
 }
 
-// ValueAt implements PsiSource.
-func (o *OraclePsi) ValueAt(p model.ProcessID) model.PsiValue {
+// At implements PsiSource.
+func (o *OraclePsi) At(p model.ProcessID) model.PsiValue {
 	now := o.Clock.Now()
 	if now < o.SwitchAfter {
 		return model.PsiValue{Phase: model.PsiBottom}
@@ -148,13 +148,13 @@ func (o *OraclePsi) ValueAt(p model.ProcessID) model.PsiValue {
 
 	switch mode {
 	case model.PsiFS:
-		return model.PsiValue{Phase: model.PsiFS, FS: o.fs().SignalAt(p)}
+		return model.PsiValue{Phase: model.PsiFS, FS: o.fs().At(p)}
 	default:
 		return model.PsiValue{
 			Phase: model.PsiOmegaSigma,
 			OS: model.OmegaSigmaValue{
-				Leader: o.omega().LeaderAt(p),
-				Quorum: o.sigma().QuorumAt(p),
+				Leader: o.omega().At(p),
+				Quorum: o.sigma().At(p),
 			},
 		}
 	}

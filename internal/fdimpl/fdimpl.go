@@ -78,9 +78,9 @@ func StartMajoritySigma(ep *net.Endpoint, interval time.Duration) *MajoritySigma
 	return s
 }
 
-// Quorum implements fd.Sigma: it returns the most recent majority of
+// Sample implements fd.Sigma: it returns the most recent majority of
 // responders (or the full set before the first round completes).
-func (s *MajoritySigma) Quorum() model.ProcessSet {
+func (s *MajoritySigma) Sample() model.ProcessSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.quorum.Clone()
@@ -200,8 +200,8 @@ func StartHeartbeatOmega(ep *net.Endpoint, interval, timeout time.Duration) *Hea
 	return o
 }
 
-// Leader implements fd.Omega.
-func (o *HeartbeatOmega) Leader() model.ProcessID {
+// Sample implements fd.Omega.
+func (o *HeartbeatOmega) Sample() model.ProcessID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.leader
@@ -305,8 +305,8 @@ func StartHeartbeatFS(ep *net.Endpoint, interval, timeout time.Duration) *Heartb
 	return f
 }
 
-// Signal implements fd.FS.
-func (f *HeartbeatFS) Signal() model.FSValue {
+// Sample implements fd.FS.
+func (f *HeartbeatFS) Sample() model.FSValue {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.red {

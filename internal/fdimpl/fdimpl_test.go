@@ -47,7 +47,7 @@ func TestMajoritySigmaConvergesToCorrectMajority(t *testing.T) {
 	correct := model.NewProcessSet(0, 1, 2)
 	ok := eventually(5*time.Second, func() bool {
 		for i := 0; i < 3; i++ {
-			q := sigmas[i].Quorum()
+			q := sigmas[i].Sample()
 			if !q.SubsetOf(correct) || !q.Contains(model.ProcessID(i)) {
 				return false
 			}
@@ -56,7 +56,7 @@ func TestMajoritySigmaConvergesToCorrectMajority(t *testing.T) {
 	})
 	if !ok {
 		for i := 0; i < 3; i++ {
-			t.Logf("sigma[%d] = %v", i, sigmas[i].Quorum())
+			t.Logf("sigma[%d] = %v", i, sigmas[i].Sample())
 		}
 		t.Fatalf("majority sigma did not converge to correct processes")
 	}
@@ -65,8 +65,8 @@ func TestMajoritySigmaConvergesToCorrectMajority(t *testing.T) {
 	// majorities of the same 5-process system).
 	for i := 0; i < 3; i++ {
 		for j := i + 1; j < 3; j++ {
-			if !sigmas[i].Quorum().Intersects(sigmas[j].Quorum()) {
-				t.Fatalf("disjoint majority quorums: %v vs %v", sigmas[i].Quorum(), sigmas[j].Quorum())
+			if !sigmas[i].Sample().Intersects(sigmas[j].Sample()) {
+				t.Fatalf("disjoint majority quorums: %v vs %v", sigmas[i].Sample(), sigmas[j].Sample())
 			}
 		}
 	}
@@ -77,7 +77,7 @@ func TestMajoritySigmaInitialQuorumIsFullSet(t *testing.T) {
 	defer nw.Close()
 	s := StartMajoritySigma(nw.Endpoint(0), time.Hour) // never completes a round
 	defer s.Stop()
-	if got := s.Quorum(); !got.Equal(model.AllProcesses(3)) {
+	if got := s.Sample(); !got.Equal(model.AllProcesses(3)) {
 		t.Fatalf("initial quorum = %v", got)
 	}
 }
@@ -102,7 +102,7 @@ func TestHeartbeatOmegaElectsLowestCorrect(t *testing.T) {
 	// Initially everyone should come to trust p0.
 	if !eventually(5*time.Second, func() bool {
 		for i := 0; i < n; i++ {
-			if omegas[i].Leader() != 0 {
+			if omegas[i].Sample() != 0 {
 				return false
 			}
 		}
@@ -115,14 +115,14 @@ func TestHeartbeatOmegaElectsLowestCorrect(t *testing.T) {
 	nw.Crash(0)
 	if !eventually(5*time.Second, func() bool {
 		for i := 1; i < n; i++ {
-			if omegas[i].Leader() != 1 {
+			if omegas[i].Sample() != 1 {
 				return false
 			}
 		}
 		return true
 	}) {
 		for i := 1; i < n; i++ {
-			t.Logf("omega[%d] = %v", i, omegas[i].Leader())
+			t.Logf("omega[%d] = %v", i, omegas[i].Sample())
 		}
 		t.Fatalf("omega did not converge to p1 after p0 crashed")
 	}
@@ -152,14 +152,14 @@ func TestHeartbeatFSTurnsRedOnlyAfterCrash(t *testing.T) {
 	// period.
 	time.Sleep(150 * time.Millisecond)
 	for i := 0; i < n; i++ {
-		if fss[i].Signal() != model.Green {
+		if fss[i].Sample() != model.Green {
 			t.Fatalf("fs[%d] red without any crash", i)
 		}
 	}
 
 	nw.Crash(2)
 	if !eventually(5*time.Second, func() bool {
-		return fss[0].Signal() == model.Red && fss[1].Signal() == model.Red
+		return fss[0].Sample() == model.Red && fss[1].Sample() == model.Red
 	}) {
 		t.Fatalf("fs did not turn red after crash")
 	}

@@ -98,35 +98,98 @@ type Sample struct {
 // are appended by the runtime or the simulator as processes query their
 // detector modules; the specification checkers in spec.go consume it.
 //
+// By default a history grows without bound — every query of a bound detector
+// records a sample, which is what the checkers need but is a real memory
+// hazard for count-only million-run sweeps. SetLimit (or NewHistoryWithLimit)
+// opts into a ring of the most recent samples instead; checkers then see a
+// sliding window, so perpetual clauses are only checked over the retained
+// suffix — keep full recording for checker paths and cap only where the
+// history is informational.
+//
 // A History is safe for concurrent use.
 type History struct {
 	mu      sync.Mutex
 	samples []Sample
+	// limit > 0 makes samples a ring of the most recent limit entries;
+	// start is the ring head (index of the oldest retained sample).
+	limit   int
+	start   int
+	dropped int64
 }
 
-// NewHistory returns an empty history.
+// NewHistory returns an empty, unbounded history.
 func NewHistory() *History { return &History{} }
 
-// Record appends a sample.
+// NewHistoryWithLimit returns an empty history retaining at most limit
+// samples (the most recent ones); limit <= 0 means unbounded.
+func NewHistoryWithLimit(limit int) *History {
+	h := &History{}
+	h.SetLimit(limit)
+	return h
+}
+
+// SetLimit caps the history at the most recent limit samples, dropping the
+// oldest ones now if it already holds more; limit <= 0 removes the cap.
+func (h *History) SetLimit(limit int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.linearize()
+	if limit > 0 && len(h.samples) > limit {
+		h.dropped += int64(len(h.samples) - limit)
+		h.samples = append([]Sample(nil), h.samples[len(h.samples)-limit:]...)
+	}
+	h.limit = limit
+}
+
+// linearize restores recording order in h.samples (ring head back to 0).
+// Callers must hold h.mu.
+func (h *History) linearize() {
+	if h.start == 0 {
+		return
+	}
+	out := make([]Sample, 0, len(h.samples))
+	out = append(out, h.samples[h.start:]...)
+	out = append(out, h.samples[:h.start]...)
+	h.samples, h.start = out, 0
+}
+
+// Record appends a sample; with a limit set, the oldest retained sample is
+// dropped once the ring is full.
 func (h *History) Record(p ProcessID, t Time, v any) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, Sample{Process: p, Time: t, Value: v})
+	s := Sample{Process: p, Time: t, Value: v}
+	if h.limit > 0 && len(h.samples) == h.limit {
+		h.samples[h.start] = s
+		h.start = (h.start + 1) % h.limit
+		h.dropped++
+		return
+	}
+	h.samples = append(h.samples, s)
 }
 
-// Len returns the number of recorded samples.
+// Len returns the number of retained samples.
 func (h *History) Len() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)
 }
 
-// Samples returns a copy of all samples in recording order.
+// Dropped returns how many samples the ring limit has discarded; 0 for an
+// unbounded history.
+func (h *History) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Samples returns a copy of the retained samples in recording order.
 func (h *History) Samples() []Sample {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make([]Sample, len(h.samples))
-	copy(out, h.samples)
+	out := make([]Sample, 0, len(h.samples))
+	out = append(out, h.samples[h.start:]...)
+	out = append(out, h.samples[:h.start]...)
 	return out
 }
 

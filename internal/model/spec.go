@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Verdict is the result of checking a recorded failure-detector history (or a
@@ -253,4 +254,136 @@ func CheckPsi(f *FailurePattern, h *History, opts CheckOptions) Verdict {
 		v = v.Merge(CheckOmegaSigma(f, osH, opts))
 	}
 	return v
+}
+
+// validateSuspects type-checks a suspect-list history (one ProcessSet per
+// sample), for the Chandra–Toueg classes P, ◇P, ◇S. Processes are visited in
+// sorted order so the first-offender failure message — which reaches result
+// fingerprints — is byte-stable.
+func validateSuspects(byProc map[ProcessID][]Sample, class string) Verdict {
+	for _, p := range sortedProcs(byProc) {
+		for _, s := range byProc[p] {
+			if _, ok := s.Value.(ProcessSet); !ok {
+				return Fail("%s: sample at %v time %d has type %T, want ProcessSet", class, s.Process, s.Time, s.Value)
+			}
+		}
+	}
+	return Ok()
+}
+
+// sortedProcs returns byProc's keys in ascending order.
+func sortedProcs(byProc map[ProcessID][]Sample) []ProcessID {
+	procs := make([]ProcessID, 0, len(byProc))
+	for p := range byProc {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return procs
+}
+
+// checkStrongCompleteness enforces the clause shared by P, ◇P and ◇S:
+// eventually every faulty process is (permanently) suspected by every correct
+// process — checked on the last sample of each correct process. byProc is the
+// caller's h.ByProcess() view, computed once per checker.
+func checkStrongCompleteness(f *FailurePattern, byProc map[ProcessID][]Sample, class string) Verdict {
+	v := Ok()
+	faulty := f.Faulty()
+	for _, p := range f.Correct().Slice() {
+		ss := byProc[p]
+		if len(ss) == 0 {
+			continue
+		}
+		last := ss[len(ss)-1].Value.(ProcessSet)
+		if !faulty.SubsetOf(last) {
+			v = v.Merge(Fail("%s completeness violated: correct %v finally suspects %v, missing faulty %v",
+				class, p, last, faulty.Minus(last)))
+		}
+	}
+	return v
+}
+
+// CheckPerfect validates a history of ProcessSet samples (suspect lists)
+// against the perfect failure detector P:
+//
+//   - Strong accuracy (perpetual): no process is suspected before it crashes —
+//     every suspected process at time t crashed at or before t.
+//   - Strong completeness: eventually every faulty process is permanently
+//     suspected by every correct process (checked on last samples).
+func CheckPerfect(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	byProc := h.ByProcess()
+	v := validateSuspects(byProc, "perfect")
+	if !v.OK {
+		return v
+	}
+	for _, p := range sortedProcs(byProc) {
+		for _, s := range byProc[p] {
+			for _, q := range s.Value.(ProcessSet).Slice() {
+				if ct := f.CrashTime(q); ct == NeverCrashes || ct > s.Time {
+					v = v.Merge(Fail("perfect accuracy violated: %v suspected %v at time %d before any crash of %v",
+						s.Process, q, s.Time, q))
+				}
+			}
+		}
+	}
+	if opts.RequireEventual {
+		v = v.Merge(checkStrongCompleteness(f, byProc, "perfect"))
+	}
+	return v
+}
+
+// CheckEventuallyPerfect validates a suspect-list history against ◇P:
+//
+//   - Eventual strong accuracy: eventually no correct process is suspected by
+//     any correct process (checked on last samples).
+//   - Strong completeness, as for P.
+//
+// The perpetual clause of P is deliberately absent: any finite prefix of
+// false suspicion is legal.
+func CheckEventuallyPerfect(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	byProc := h.ByProcess()
+	v := validateSuspects(byProc, "eventually-perfect")
+	if !v.OK || !opts.RequireEventual {
+		return v
+	}
+	correct := f.Correct()
+	for _, p := range correct.Slice() {
+		ss := byProc[p]
+		if len(ss) == 0 {
+			continue
+		}
+		last := ss[len(ss)-1].Value.(ProcessSet)
+		if wrong := last.Intersect(correct); !wrong.IsEmpty() {
+			v = v.Merge(Fail("eventually-perfect accuracy violated: correct %v finally suspects correct %v", p, wrong))
+		}
+	}
+	return v.Merge(checkStrongCompleteness(f, byProc, "eventually-perfect"))
+}
+
+// CheckEventuallyStrong validates a suspect-list history against ◇S:
+//
+//   - Eventual weak accuracy: eventually some correct process is never
+//     suspected by any correct process (checked on last samples: a correct
+//     process must exist outside every correct process's final suspect list).
+//   - Strong completeness, as for P.
+func CheckEventuallyStrong(f *FailurePattern, h *History, opts CheckOptions) Verdict {
+	byProc := h.ByProcess()
+	v := validateSuspects(byProc, "eventually-strong")
+	if !v.OK || !opts.RequireEventual {
+		return v
+	}
+	correct := f.Correct()
+	trusted := correct.Clone() // candidates nobody finally suspects
+	sampled := false
+	for _, p := range correct.Slice() {
+		ss := byProc[p]
+		if len(ss) == 0 {
+			continue
+		}
+		sampled = true
+		trusted = trusted.Minus(ss[len(ss)-1].Value.(ProcessSet))
+	}
+	if sampled && trusted.IsEmpty() {
+		v = v.Merge(Fail("eventually-strong accuracy violated: every correct process is finally suspected by some correct process"))
+	}
+	return v.Merge(checkStrongCompleteness(f, byProc, "eventually-strong"))
 }

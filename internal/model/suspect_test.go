@@ -1,0 +1,158 @@
+package model
+
+import (
+	"testing"
+)
+
+// record fills h with one suspect-list sample per (process, tick) from f.
+func recordSuspects(h *History, n int, ticks []Time, at func(p ProcessID, t Time) ProcessSet) {
+	for _, t := range ticks {
+		for i := 0; i < n; i++ {
+			p := ProcessID(i)
+			h.Record(p, t, at(p, t))
+		}
+	}
+}
+
+func TestCheckPerfectAccuracyViolation(t *testing.T) {
+	f := NewFailurePattern(3)
+	h := NewHistory()
+	// p1 suspects p2 at time 5, but p2 never crashes.
+	h.Record(1, 5, NewProcessSet(2))
+	if v := CheckPerfect(f, h, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("false suspicion passed the perfect accuracy clause")
+	}
+	// Suspicion after the crash is fine.
+	f2 := NewFailurePattern(3)
+	f2.Crash(2, 4)
+	h2 := NewHistory()
+	h2.Record(1, 5, NewProcessSet(2))
+	if v := CheckPerfect(f2, h2, SafetyOnlyCheckOptions()); !v.OK {
+		t.Fatalf("post-crash suspicion failed accuracy: %v", v)
+	}
+	// Suspicion before the crash time is not.
+	h3 := NewHistory()
+	h3.Record(1, 3, NewProcessSet(2))
+	if v := CheckPerfect(f2, h3, SafetyOnlyCheckOptions()); v.OK {
+		t.Fatalf("pre-crash suspicion passed accuracy")
+	}
+}
+
+func TestCheckCompletenessOnLastSamples(t *testing.T) {
+	f := NewFailurePattern(3)
+	f.Crash(2, 4)
+	h := NewHistory()
+	// p0 and p1 finally suspect the faulty p2: complete.
+	recordSuspects(h, 2, []Time{10}, func(ProcessID, Time) ProcessSet { return NewProcessSet(2) })
+	for name, check := range map[string]func(*FailurePattern, *History, CheckOptions) Verdict{
+		"P": CheckPerfect, "<>P": CheckEventuallyPerfect, "<>S": CheckEventuallyStrong,
+	} {
+		if v := check(f, h, DefaultCheckOptions()); !v.OK {
+			t.Fatalf("%s: complete history failed: %v", name, v)
+		}
+	}
+	// p1's final list misses p2: incomplete under every class.
+	h.Record(1, 20, NewProcessSet())
+	for name, check := range map[string]func(*FailurePattern, *History, CheckOptions) Verdict{
+		"P": CheckPerfect, "<>P": CheckEventuallyPerfect, "<>S": CheckEventuallyStrong,
+	} {
+		if v := check(f, h, DefaultCheckOptions()); v.OK {
+			t.Fatalf("%s: incomplete final list passed", name)
+		}
+	}
+}
+
+func TestCheckEventuallyPerfectForbidsFinalFalseSuspicion(t *testing.T) {
+	f := NewFailurePattern(3)
+	h := NewHistory()
+	// A false-suspicion prefix is fine as long as the final samples are clean.
+	h.Record(0, 1, NewProcessSet(1, 2))
+	recordSuspects(h, 3, []Time{50}, func(p ProcessID, _ Time) ProcessSet { return NewProcessSet() })
+	if v := CheckEventuallyPerfect(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("clean convergence failed ◇P: %v", v)
+	}
+	// A final sample still suspecting a correct process is not.
+	h.Record(0, 60, NewProcessSet(1))
+	if v := CheckEventuallyPerfect(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("final false suspicion passed ◇P")
+	}
+	// ...but it is legal under ◇S as long as someone stays trusted by all.
+	if v := CheckEventuallyStrong(f, h, DefaultCheckOptions()); !v.OK {
+		t.Fatalf("◇S rejected a single defamed correct process: %v", v)
+	}
+}
+
+func TestCheckEventuallyStrongNeedsOneTrustedCorrect(t *testing.T) {
+	f := NewFailurePattern(2)
+	h := NewHistory()
+	// Each correct process finally suspects the other: nobody is trusted by
+	// all correct processes — the weak-accuracy clause fails.
+	h.Record(0, 10, NewProcessSet(1))
+	h.Record(1, 10, NewProcessSet(0))
+	if v := CheckEventuallyStrong(f, h, DefaultCheckOptions()); v.OK {
+		t.Fatalf("mutual defamation passed ◇S")
+	}
+}
+
+func TestSuspectCheckersRejectWrongSampleType(t *testing.T) {
+	f := NewFailurePattern(2)
+	h := NewHistory()
+	h.Record(0, 1, 42)
+	for name, check := range map[string]func(*FailurePattern, *History, CheckOptions) Verdict{
+		"P": CheckPerfect, "<>P": CheckEventuallyPerfect, "<>S": CheckEventuallyStrong,
+	} {
+		if v := check(f, h, DefaultCheckOptions()); v.OK {
+			t.Fatalf("%s accepted a non-ProcessSet sample", name)
+		}
+	}
+}
+
+func TestHistoryRingLimit(t *testing.T) {
+	h := NewHistoryWithLimit(3)
+	for i := 0; i < 5; i++ {
+		h.Record(ProcessID(i%2), Time(i), i)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	if h.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", h.Dropped())
+	}
+	got := h.Samples()
+	for i, want := range []int{2, 3, 4} {
+		if got[i].Value.(int) != want {
+			t.Fatalf("Samples[%d] = %v, want %d (ring must keep the most recent in order)", i, got[i].Value, want)
+		}
+	}
+	// Lowering the limit on a full ring drops the oldest retained samples.
+	h.SetLimit(2)
+	got = h.Samples()
+	if len(got) != 2 || got[0].Value.(int) != 3 || got[1].Value.(int) != 4 {
+		t.Fatalf("after SetLimit(2): %v", got)
+	}
+	if h.Dropped() != 3 {
+		t.Fatalf("Dropped after shrink = %d, want 3", h.Dropped())
+	}
+	// Removing the cap restores unbounded growth.
+	h.SetLimit(0)
+	for i := 5; i < 10; i++ {
+		h.Record(0, Time(i), i)
+	}
+	if h.Len() != 7 {
+		t.Fatalf("uncapped Len = %d, want 7", h.Len())
+	}
+	first := h.Samples()[0]
+	if first.Value.(int) != 3 {
+		t.Fatalf("recording order lost across SetLimit: first = %v", first.Value)
+	}
+}
+
+func TestHistoryUnboundedByDefault(t *testing.T) {
+	h := NewHistory()
+	for i := 0; i < 100; i++ {
+		h.Record(0, Time(i), i)
+	}
+	if h.Len() != 100 || h.Dropped() != 0 {
+		t.Fatalf("default history capped: len=%d dropped=%d", h.Len(), h.Dropped())
+	}
+}

@@ -34,7 +34,7 @@ func NewPsiFSGroup(nw *net.Network, instance string, psi fd.PsiSource, fs fd.FSS
 	}
 	for i := 0; i < nw.N(); i++ {
 		ep := nw.Endpoint(model.ProcessID(i))
-		boundFS := fd.BoundFS{Proc: ep.ID(), Src: fs, Clock: nw.Clock()}
+		boundFS := fd.BindTo(ep.ID(), fs, nw.Clock())
 		g.Participants[i] = NewQCNBAC(ep, instance, boundFS, qcGroup[i], opts...)
 	}
 	return g

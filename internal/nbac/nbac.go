@@ -138,7 +138,7 @@ func (a *QCNBAC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 	defer ticker.Stop()
 	sawRed := false
 	for len(votes) < a.ep.N() {
-		if a.fs.Signal() == model.Red {
+		if a.fs.Sample() == model.Red {
 			sawRed = true
 			break
 		}
@@ -348,8 +348,8 @@ func StartFSFromNBAC(ctx context.Context, ep *net.Endpoint, newInstance func(k i
 	return f
 }
 
-// Signal implements fd.FS.
-func (f *FSFromNBAC) Signal() model.FSValue {
+// Sample implements fd.FS.
+func (f *FSFromNBAC) Sample() model.FSValue {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.red {

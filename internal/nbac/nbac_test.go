@@ -339,14 +339,14 @@ func TestFSFromNBACEmulation(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	for i, e := range emu.Emulators {
-		if e.Signal() != model.Green {
+		if e.Sample() != model.Green {
 			t.Fatalf("emulated FS at p%d red before any failure", i)
 		}
 	}
 
 	nw.Crash(2)
 	for {
-		if emu.Emulators[0].Signal() == model.Red && emu.Emulators[1].Signal() == model.Red {
+		if emu.Emulators[0].Sample() == model.Red && emu.Emulators[1].Sample() == model.Red {
 			break
 		}
 		if time.Now().After(deadline) {

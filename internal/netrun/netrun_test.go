@@ -18,7 +18,7 @@ func omegaSigmaDetectors(nw *net.Network) []Detector {
 	for i := 0; i < nw.N(); i++ {
 		p := model.ProcessID(i)
 		out[i] = func() any {
-			return model.OmegaSigmaValue{Leader: omega.LeaderAt(p), Quorum: sigma.QuorumAt(p)}
+			return model.OmegaSigmaValue{Leader: omega.At(p), Quorum: sigma.At(p)}
 		}
 	}
 	return out
@@ -94,7 +94,7 @@ func TestRunAllQCAutomatonQuits(t *testing.T) {
 	detectors := make([]Detector, n)
 	for i := 0; i < n; i++ {
 		p := model.ProcessID(i)
-		detectors[i] = func() any { return psi.ValueAt(p) }
+		detectors[i] = func() any { return psi.At(p) }
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)

@@ -93,8 +93,8 @@ func NewPsiQC(ep *net.Endpoint, instance string, psi fd.Psi, opts ...Option) *Ps
 	for _, fn := range opts {
 		fn(&o)
 	}
-	adapter := psiOmegaSigma{self: ep.ID(), n: ep.N(), psi: psi}
-	cons := consensus.NewBallotConsensus(ep, "qc."+instance, adapter, quorum.SigmaGuard{Source: adapter}, o.consOps...)
+	shared := psiOmegaSigma{self: ep.ID(), n: ep.N(), psi: psi}
+	cons := consensus.NewBallotConsensus(ep, "qc."+instance, psiOmega{shared}, quorum.SigmaGuard{Source: psiSigma{shared}}, o.consOps...)
 	return &PsiQC{
 		ep:      ep,
 		psi:     psi,
@@ -120,7 +120,7 @@ func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 	// paper's Figure 2, and like every step it advances the global logical
 	// clock (the runtime otherwise only ticks on message activity).
 	for {
-		val := q.psi.Value()
+		val := q.psi.Sample()
 		if val.Phase != model.PsiBottom {
 			break
 		}
@@ -139,7 +139,7 @@ func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 	ticker.Stop()
 
 	// Lines 2-4: if Ψ behaves like FS, a failure has occurred; return Quit.
-	if q.psi.Value().Phase == model.PsiFS {
+	if q.psi.Sample().Phase == model.PsiFS {
 		q.metrics.Inc("decided.quit")
 		return Decision{Quit: true}, nil
 	}
@@ -164,10 +164,11 @@ func (q *PsiQC) Run(ctx context.Context, input any) (any, error) {
 	return d, nil
 }
 
-// psiOmegaSigma adapts a Ψ module in its (Ω, Σ) regime to the Omega and Sigma
-// interfaces the consensus protocol needs. Before Ψ has switched (which only
-// happens if the adapter is queried outside Figure 2's order), it falls back
-// to trusting itself and the full process set — safe defaults that cannot
+// psiOmegaSigma carries the Ψ module its two projections share: psiOmega and
+// psiSigma expose a Ψ in its (Ω, Σ) regime as the Omega and Sigma modules the
+// consensus protocol needs. Before Ψ has switched (which only happens if a
+// projection is queried outside Figure 2's order), they fall back to trusting
+// the local process and the full process set — safe defaults that cannot
 // violate quorum intersection.
 type psiOmegaSigma struct {
 	self model.ProcessID
@@ -175,25 +176,34 @@ type psiOmegaSigma struct {
 	psi  fd.Psi
 }
 
-// Leader implements fd.Omega.
-func (a psiOmegaSigma) Leader() model.ProcessID {
-	v := a.psi.Value()
+// psiOmega is the Ω projection of a Ψ module.
+type psiOmega struct{ psiOmegaSigma }
+
+// Sample implements fd.Omega.
+func (a psiOmega) Sample() model.ProcessID {
+	v := a.psi.Sample()
 	if v.Phase == model.PsiOmegaSigma {
 		return v.OS.Leader
 	}
 	return a.self
 }
 
-// Quorum implements fd.Sigma (and quorum.SigmaSource).
-func (a psiOmegaSigma) Quorum() model.ProcessSet {
-	v := a.psi.Value()
+// psiSigma is the Σ projection of a Ψ module.
+type psiSigma struct{ psiOmegaSigma }
+
+// Sample implements fd.Sigma (and quorum.SigmaSource).
+func (a psiSigma) Sample() model.ProcessSet {
+	v := a.psi.Sample()
 	if v.Phase == model.PsiOmegaSigma {
 		return v.OS.Quorum
 	}
 	return model.AllProcesses(a.n)
 }
 
-var _ fd.OmegaSigma = psiOmegaSigma{}
+var (
+	_ fd.Omega = psiOmega{}
+	_ fd.Sigma = psiSigma{}
+)
 
 // Group is the set of Ψ-based QC participants of one instance, indexed by
 // process id.
@@ -212,7 +222,7 @@ func NewPsiGroup(nw *net.Network, instance string, psi fd.PsiSource, opts ...Opt
 	g := make(Group, nw.N())
 	for i := 0; i < nw.N(); i++ {
 		ep := nw.Endpoint(model.ProcessID(i))
-		bound := fd.BoundPsi{Proc: ep.ID(), Src: psi, Clock: nw.Clock()}
+		bound := fd.BindTo(ep.ID(), psi, nw.Clock())
 		g[i] = NewPsiQC(ep, instance, bound, opts...)
 	}
 	return g

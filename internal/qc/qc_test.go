@@ -209,12 +209,12 @@ func TestPsiOmegaSigmaAdapterFallback(t *testing.T) {
 	pattern := model.NewFailurePattern(3)
 	clock := net.NewClock()
 	psi := &fd.OraclePsi{Pattern: pattern, Clock: clock, SwitchAfter: 1000, Policy: fd.PreferOmegaSigma}
-	bound := fd.BoundPsi{Proc: 1, Src: psi, Clock: clock}
-	a := psiOmegaSigma{self: 1, n: 3, psi: bound}
-	if a.Leader() != 1 {
-		t.Fatalf("fallback leader = %v, want self", a.Leader())
+	bound := fd.BindTo(model.ProcessID(1), psi, clock)
+	shared := psiOmegaSigma{self: 1, n: 3, psi: bound}
+	if got := (psiOmega{shared}).Sample(); got != 1 {
+		t.Fatalf("fallback leader = %v, want self", got)
 	}
-	if !a.Quorum().Equal(model.AllProcesses(3)) {
-		t.Fatalf("fallback quorum = %v", a.Quorum())
+	if got := (psiSigma{shared}).Sample(); !got.Equal(model.AllProcesses(3)) {
+		t.Fatalf("fallback quorum = %v", got)
 	}
 }

@@ -49,9 +49,10 @@ func (g MajorityGuard) Satisfied(acked model.ProcessSet) bool {
 func (g MajorityGuard) Name() string { return fmt.Sprintf("majority(%d)", g.N) }
 
 // SigmaSource is the slice of the Sigma failure-detector interface the guard
-// needs: the quorum currently output at the guarding process.
+// needs: the quorum currently output at the guarding process (fd.Sigma —
+// any fd.Detector[model.ProcessSet] — satisfies it).
 type SigmaSource interface {
-	Quorum() model.ProcessSet
+	Sample() model.ProcessSet
 }
 
 // SigmaGuard is satisfied once the acknowledging set covers the quorum
@@ -62,7 +63,7 @@ type SigmaGuard struct {
 
 // Satisfied implements Guard.
 func (g SigmaGuard) Satisfied(acked model.ProcessSet) bool {
-	return g.Source.Quorum().SubsetOf(acked)
+	return g.Source.Sample().SubsetOf(acked)
 }
 
 // Name implements Guard.

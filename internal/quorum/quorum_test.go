@@ -33,7 +33,7 @@ func TestMajorityGuardEvenN(t *testing.T) {
 
 type fixedSigma struct{ q model.ProcessSet }
 
-func (f fixedSigma) Quorum() model.ProcessSet { return f.q }
+func (f fixedSigma) Sample() model.ProcessSet { return f.q }
 
 func TestSigmaGuard(t *testing.T) {
 	g := SigmaGuard{Source: fixedSigma{q: model.NewProcessSet(1, 3)}}

@@ -25,7 +25,7 @@ func NewSigmaGroup[V any](nw *net.Network, instance string, sigma fd.SigmaSource
 	g := make(Group[V], nw.N())
 	for i := 0; i < nw.N(); i++ {
 		ep := nw.Endpoint(model.ProcessID(i))
-		bound := fd.BoundSigma{Proc: ep.ID(), Src: sigma, Clock: nw.Clock()}
+		bound := fd.BindTo(ep.ID(), sigma, nw.Clock())
 		g[i] = New[V](ep, instance, quorum.SigmaGuard{Source: bound}, opts...)
 	}
 	return g

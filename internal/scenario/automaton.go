@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"weakestfd/internal/fd"
 	"weakestfd/internal/model"
 	"weakestfd/internal/netrun"
 	"weakestfd/internal/qc"
@@ -55,16 +56,32 @@ func (a Automaton) Setup(cl *Cluster) (*Instance, error) {
 		Inputs:  make([]any, n),
 		Check:   chk,
 	}
+	var omega fd.OmegaSource
+	var sigma fd.SigmaSource
+	var psi fd.PsiSource
+	var err error
+	if a.UsePsi {
+		if psi, err = cl.NeedPsi(); err != nil {
+			return nil, err
+		}
+	} else {
+		if omega, err = cl.NeedOmega(); err != nil {
+			return nil, err
+		}
+		if sigma, err = cl.NeedSigma(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < n; i++ {
 		p := model.ProcessID(i)
 		var det netrun.Detector
 		if a.UsePsi {
-			det = func() any { return cl.Oracles.Psi.ValueAt(p) }
+			det = func() any { return psi.At(p) }
 		} else {
 			det = func() any {
 				return model.OmegaSigmaValue{
-					Leader: cl.Oracles.Omega.LeaderAt(p),
-					Quorum: cl.Oracles.Sigma.QuorumAt(p),
+					Leader: omega.At(p),
+					Quorum: sigma.At(p),
 				}
 			}
 		}

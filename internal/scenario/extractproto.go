@@ -64,7 +64,11 @@ func (s SigmaExtraction) Setup(cl *Cluster) (*Instance, error) {
 	if s.Majority {
 		g = extract.NewSigmaExtractionGroupFromMajorityRegisters(cl.Net, cl.Instance, interval)
 	} else {
-		g = extract.NewSigmaExtractionGroupFromSigmaRegisters(cl.Net, cl.Instance, cl.Oracles.Sigma, interval)
+		sigma, err := cl.NeedSigma()
+		if err != nil {
+			return nil, err
+		}
+		g = extract.NewSigmaExtractionGroupFromSigmaRegisters(cl.Net, cl.Instance, sigma, interval)
 	}
 	inst := &Instance{
 		Runners: make([]Runner, n),
@@ -115,5 +119,5 @@ func (r *sigmaExtractRunner) Run(ctx context.Context, _ any) (any, error) {
 			return nil, fmt.Errorf("sigma extraction: %w", err)
 		}
 	}
-	return r.ex.Quorum(), nil
+	return r.ex.Sample(), nil
 }

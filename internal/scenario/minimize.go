@@ -37,7 +37,9 @@ type MinimizeResult struct {
 // Minimize shrinks a failing configuration to a minimal reproducer: it
 // greedily drops crash-schedule entries, rounds the surviving crash times
 // down (to zero, then to coarser units, then by halving), collapses the
-// delay range, zeroes the drop rate and bisects the detector delays — each
+// delay range, zeroes the drop rate, tries removing the detector
+// perturbation entirely (the zero-quality spec of the same class) and only
+// then bisects the surviving detector quality parameters — each
 // step kept only while the verdict still fails — until a fixpoint. This is
 // delta debugging over the schedule space: every candidate is one cheap
 // virtual-time run of proto.
@@ -118,27 +120,34 @@ func Minimize(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, 
 			}
 		}
 
-		// Bisect the detector delays toward zero (logical ticks, so the
-		// search space is small and the probes are cheap).
-		for _, dim := range []struct {
-			get func(*Config) *model.Time
-		}{
-			{func(c *Config) *model.Time { return &c.Detectors.SuspicionDelay }},
-			{func(c *Config) *model.Time { return &c.Detectors.DetectionDelay }},
-			{func(c *Config) *model.Time { return &c.Detectors.PsiSwitchAfter }},
-		} {
-			orig := *dim.get(&cur)
+		// Remove the detector perturbation entirely first: one run with the
+		// zero-quality spec (same class, every delay parameter reset) often
+		// replaces a whole sequence of per-parameter bisections.
+		if cur.Detector != cur.Detector.Zeroed() {
+			cand := cur
+			cand.Detector = cur.Detector.Zeroed()
+			if r, ok := m.fails(cand); ok {
+				cur, best, changed = cand, r, true
+			}
+		}
+
+		// Bisect the surviving detector quality parameters toward zero
+		// (logical ticks, so the search space is small and the probes are
+		// cheap). The parameter list comes from the spec itself, so new
+		// quality dimensions join the shrink automatically.
+		for dim := range cur.Detector.TimeParams() {
+			orig := *cur.Detector.TimeParams()[dim]
 			if orig == 0 {
 				continue
 			}
 			v, r, ok := m.bisectTime(orig, func(t model.Time) Config {
 				cand := cur
-				*dim.get(&cand) = t
+				*cand.Detector.TimeParams()[dim] = t
 				return cand
 			})
 			if ok && v < orig {
 				cand := cur
-				*dim.get(&cand) = v
+				*cand.Detector.TimeParams()[dim] = v
 				cur, best, changed = cand, r, true
 			}
 		}
@@ -233,9 +242,12 @@ func roundedDown(at time.Duration) []time.Duration {
 }
 
 // minimizeKey renders the dimensions Minimize mutates canonically, for the
-// verdict memo. Crash order is preserved: schedule order breaks (at, seq)
-// ties in the event queue, so it is part of the configuration's identity.
+// verdict memo. The detector is identified by its canonical spec fingerprint
+// (DetectorSpec.String), so the zero-spec pass and the per-parameter
+// bisections share memo entries whenever they land on the same spec. Crash
+// order is preserved: schedule order breaks (at, seq) ties in the event
+// queue, so it is part of the configuration's identity.
 func minimizeKey(cfg Config) string {
-	return fmt.Sprintf("%v|%v|%v|%g|%+v|%v",
-		cfg.Crashes, cfg.MinDelay, cfg.MaxDelay, cfg.DropRate, cfg.Detectors, cfg.Timeout)
+	return fmt.Sprintf("%v|%v|%v|%g|%s|%v",
+		cfg.Crashes, cfg.MinDelay, cfg.MaxDelay, cfg.DropRate, cfg.Detector, cfg.Timeout)
 }

@@ -7,6 +7,7 @@ import (
 
 	"weakestfd/internal/check"
 	"weakestfd/internal/consensus"
+	"weakestfd/internal/fd"
 	"weakestfd/internal/model"
 	"weakestfd/internal/nbac"
 	"weakestfd/internal/qc"
@@ -91,6 +92,10 @@ func (c Consensus) Setup(cl *Cluster) (*Instance, error) {
 		return nil, fmt.Errorf("consensus: Registers and Majority are mutually exclusive")
 	}
 	n := cl.Net.N()
+	omega, err := cl.NeedOmega()
+	if err != nil {
+		return nil, err
+	}
 	inst := &Instance{
 		Runners: make([]Runner, n),
 		Inputs:  make([]any, n),
@@ -105,19 +110,27 @@ func (c Consensus) Setup(cl *Cluster) (*Instance, error) {
 	}
 	switch {
 	case c.Registers:
-		g := consensus.NewRegisterConsensusGroup(cl.Net, cl.Instance, cl.Oracles.Omega, cl.Oracles.Sigma)
+		sigma, err := cl.NeedSigma()
+		if err != nil {
+			return nil, err
+		}
+		g := consensus.NewRegisterConsensusGroup(cl.Net, cl.Instance, omega, sigma)
 		for i, p := range g.Participants {
 			inst.Runners[i] = p
 		}
 		inst.Stop = g.Stop
 	case c.Majority:
-		g := consensus.NewOmegaMajorityGroup(cl.Net, cl.Instance, cl.Oracles.Omega, c.Options...)
+		g := consensus.NewOmegaMajorityGroup(cl.Net, cl.Instance, omega, c.Options...)
 		for i, p := range g {
 			inst.Runners[i] = p
 		}
 		inst.Stop = g.Stop
 	default:
-		g := consensus.NewOmegaSigmaGroup(cl.Net, cl.Instance, cl.Oracles.Omega, cl.Oracles.Sigma, c.Options...)
+		sigma, err := cl.NeedSigma()
+		if err != nil {
+			return nil, err
+		}
+		g := consensus.NewOmegaSigmaGroup(cl.Net, cl.Instance, omega, sigma, c.Options...)
 		for i, p := range g {
 			inst.Runners[i] = p
 		}
@@ -154,7 +167,11 @@ func (QC) Name() string { return "qc/psi" }
 // Setup implements Protocol.
 func (q QC) Setup(cl *Cluster) (*Instance, error) {
 	n := cl.Net.N()
-	g := qc.NewPsiGroup(cl.Net, cl.Instance, cl.Oracles.Psi, q.Options...)
+	psi, err := cl.NeedPsi()
+	if err != nil {
+		return nil, err
+	}
+	g := qc.NewPsiGroup(cl.Net, cl.Instance, psi, q.Options...)
 	inst := &Instance{
 		Runners: make([]Runner, n),
 		Inputs:  make([]any, n),
@@ -209,7 +226,15 @@ func (NBAC) Name() string { return "nbac/psi-fs" }
 // Setup implements Protocol.
 func (a NBAC) Setup(cl *Cluster) (*Instance, error) {
 	n := cl.Net.N()
-	g := nbac.NewPsiFSGroup(cl.Net, cl.Instance, cl.Oracles.Psi, cl.Oracles.FS, a.Options...)
+	psi, err := cl.NeedPsi()
+	if err != nil {
+		return nil, err
+	}
+	fs, err := cl.NeedFS()
+	if err != nil {
+		return nil, err
+	}
+	g := nbac.NewPsiFSGroup(cl.Net, cl.Instance, psi, fs, a.Options...)
 	inst := &Instance{
 		Runners: make([]Runner, n),
 		Inputs:  make([]any, n),
@@ -307,7 +332,15 @@ func (NBACQC) Name() string { return "qc/from-nbac" }
 // Setup implements Protocol.
 func (q NBACQC) Setup(cl *Cluster) (*Instance, error) {
 	n := cl.Net.N()
-	g := nbac.NewQCFromNBACGroup(cl.Net, cl.Instance, cl.Oracles.Psi, cl.Oracles.FS, q.Options...)
+	psi, err := cl.NeedPsi()
+	if err != nil {
+		return nil, err
+	}
+	fs, err := cl.NeedFS()
+	if err != nil {
+		return nil, err
+	}
+	g := nbac.NewQCFromNBACGroup(cl.Net, cl.Instance, psi, fs, q.Options...)
 	inst := &Instance{
 		Runners: make([]Runner, n),
 		Inputs:  make([]any, n),
@@ -361,13 +394,23 @@ func multiProposal(r, p int) int { return r*1_000_003 + p }
 func (m MultiConsensus) Setup(cl *Cluster) (*Instance, error) {
 	n := cl.Net.N()
 	k := m.rounds()
+	omega, err := cl.NeedOmega()
+	if err != nil {
+		return nil, err
+	}
+	var sigma fd.SigmaSource
+	if !m.Majority {
+		if sigma, err = cl.NeedSigma(); err != nil {
+			return nil, err
+		}
+	}
 	groups := make([]consensus.Group, k)
 	for r := range groups {
 		name := fmt.Sprintf("%s.mc%d", cl.Instance, r)
 		if m.Majority {
-			groups[r] = consensus.NewOmegaMajorityGroup(cl.Net, name, cl.Oracles.Omega, m.Options...)
+			groups[r] = consensus.NewOmegaMajorityGroup(cl.Net, name, omega, m.Options...)
 		} else {
-			groups[r] = consensus.NewOmegaSigmaGroup(cl.Net, name, cl.Oracles.Omega, cl.Oracles.Sigma, m.Options...)
+			groups[r] = consensus.NewOmegaSigmaGroup(cl.Net, name, omega, sigma, m.Options...)
 		}
 	}
 	inst := &Instance{
@@ -495,7 +538,11 @@ func (r Registers) Setup(cl *Cluster) (*Instance, error) {
 	if r.Majority {
 		g = register.NewMajorityGroup[int](cl.Net, cl.Instance, r.Options...)
 	} else {
-		g = register.NewSigmaGroup[int](cl.Net, cl.Instance, cl.Oracles.Sigma, r.Options...)
+		sigma, err := cl.NeedSigma()
+		if err != nil {
+			return nil, err
+		}
+		g = register.NewSigmaGroup[int](cl.Net, cl.Instance, sigma, r.Options...)
 	}
 	rec := &opRecorder{clock: cl.Net.Clock()}
 	inst := &Instance{

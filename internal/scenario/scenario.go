@@ -61,9 +61,11 @@ type Config struct {
 	DropRate float64
 	// Crashes is the fault schedule, in virtual time.
 	Crashes []Crash
-	// Detectors tunes the oracle detector family (suspicion and detection
-	// delays, Ψ switch time and policy).
-	Detectors fd.OracleConfig
+	// Detector is the declarative detector specification: a registry class
+	// ("omega-sigma", "perfect", "eventually-perfect", "eventually-strong",
+	// or anything registered on fd.DefaultRegistry) plus quality parameters.
+	// The zero value is the exact paper family.
+	Detector fd.DetectorSpec
 	// RequireTermination makes the spec check enforce that every correct
 	// process returns. New sets it; WithSafetyOnly clears it.
 	RequireTermination bool
@@ -99,23 +101,42 @@ func WithCrashes(crashes ...Crash) Option {
 	return func(c *Config) { c.Crashes = append([]Crash(nil), crashes...) }
 }
 
-// WithSuspicionDelay makes crashed processes linger in Σ quorums (and as Ω
-// leader candidates) for d logical ticks after their crash.
+// WithDetector selects the run's detector family declaratively: class plus
+// quality parameters. It replaces whatever spec the config carried.
+func WithDetector(spec fd.DetectorSpec) Option {
+	return func(c *Config) { c.Detector = spec }
+}
+
+// WithDetectorClass selects the detector class by registry name, keeping the
+// quality parameters already configured.
+func WithDetectorClass(class string) Option {
+	return func(c *Config) { c.Detector.Class = class }
+}
+
+// WithSuspicionDelay makes crashed processes linger in Σ quorums, as Ω
+// leader candidates and outside suspect lists for d logical ticks after
+// their crash.
 func WithSuspicionDelay(d model.Time) Option {
-	return func(c *Config) { c.Detectors.SuspicionDelay = d }
+	return func(c *Config) { c.Detector.SuspicionDelay = d }
 }
 
 // WithFSDetectionDelay makes the FS signal turn red only d logical ticks
 // after the first crash.
 func WithFSDetectionDelay(d model.Time) Option {
-	return func(c *Config) { c.Detectors.DetectionDelay = d }
+	return func(c *Config) { c.Detector.DetectionDelay = d }
+}
+
+// WithStabilizeAfter sets when the ◇ detector classes end their
+// false-suspicion prefix.
+func WithStabilizeAfter(d model.Time) Option {
+	return func(c *Config) { c.Detector.StabilizeAfter = d }
 }
 
 // WithPsiSwitch sets when Ψ leaves ⊥ and which regime it prefers.
 func WithPsiSwitch(after model.Time, policy fd.PsiPolicy) Option {
 	return func(c *Config) {
-		c.Detectors.PsiSwitchAfter = after
-		c.Detectors.PsiPolicy = policy
+		c.Detector.PsiSwitchAfter = after
+		c.Detector.PsiPolicy = policy
 	}
 }
 
@@ -167,18 +188,62 @@ func (s *Scenario) Config() Config {
 }
 
 // Cluster is the stood-up side of a scenario that a Protocol wires itself
-// onto: the network plus the oracle detector family over its live failure
-// pattern. Setup implementations hand Oracles.Omega/Sigma to the consensus
-// and register constructions and Oracles.Psi/FS to the QC/NBAC stack.
+// onto: the network plus the detector suite built from the scenario's
+// DetectorSpec over the live failure pattern. Setup implementations hand
+// Detectors.Omega/Sigma to the consensus and register constructions and
+// Detectors.Psi/FS to the QC/NBAC stack.
 type Cluster struct {
 	// Net is the run's network.
 	Net *net.Network
-	// Oracles is the detector family, configured per Config.Detectors.
-	Oracles *fd.Oracles
+	// Detectors is the detector suite built from Config.Detector. Fields
+	// the spec's class cannot honestly provide are nil; a Protocol's Setup
+	// must refuse to wire itself onto a missing detector (see
+	// Cluster.Need*), which is how sweeps report that a class does not
+	// solve a problem.
+	Detectors *fd.Suite
 	// Instance is the instance name protocols should run under.
 	Instance string
 	// Config is the scenario being run.
 	Config Config
+}
+
+// missing builds the Setup error for a detector the spec's class does not
+// provide — the formal "this class does not solve this problem" verdict of a
+// cross-detector sweep.
+func (cl *Cluster) missing(kind string) error {
+	return fmt.Errorf("detector spec %q provides no %s", cl.Config.Detector, kind)
+}
+
+// NeedOmega returns the suite's Ω source, or an error naming the spec.
+func (cl *Cluster) NeedOmega() (fd.OmegaSource, error) {
+	if cl.Detectors.Omega == nil {
+		return nil, cl.missing("Ω")
+	}
+	return cl.Detectors.Omega, nil
+}
+
+// NeedSigma returns the suite's Σ source, or an error naming the spec.
+func (cl *Cluster) NeedSigma() (fd.SigmaSource, error) {
+	if cl.Detectors.Sigma == nil {
+		return nil, cl.missing("Σ")
+	}
+	return cl.Detectors.Sigma, nil
+}
+
+// NeedFS returns the suite's FS source, or an error naming the spec.
+func (cl *Cluster) NeedFS() (fd.FSSource, error) {
+	if cl.Detectors.FS == nil {
+		return nil, cl.missing("FS")
+	}
+	return cl.Detectors.FS, nil
+}
+
+// NeedPsi returns the suite's Ψ source, or an error naming the spec.
+func (cl *Cluster) NeedPsi() (fd.PsiSource, error) {
+	if cl.Detectors.Psi == nil {
+		return nil, cl.missing("Ψ")
+	}
+	return cl.Detectors.Psi, nil
 }
 
 // Outcome is one process's result from a run: the input it was handed, what
@@ -241,11 +306,17 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	)
 	defer nw.Close()
 
+	suite, err := fd.Build(nw.Pattern(), nw.Clock(), cfg.Detector)
+	if err != nil {
+		res.Verdict = model.Fail("scenario detectors: %v", err)
+		res.Wall = time.Since(start)
+		return res
+	}
 	cl := &Cluster{
-		Net:      nw,
-		Oracles:  fd.NewOracles(nw.Pattern(), nw.Clock(), cfg.Detectors),
-		Instance: "scn",
-		Config:   cfg,
+		Net:       nw,
+		Detectors: suite,
+		Instance:  "scn",
+		Config:    cfg,
 	}
 
 	// Freeze dispatch while the protocol wires itself up and the fault
@@ -321,7 +392,7 @@ func (r Result) Fingerprint() string {
 	var b strings.Builder
 	cfg := r.Config
 	fmt.Fprintf(&b, "proto=%s n=%d seed=%d delay=[%v,%v] drop=%g", r.Protocol, cfg.N, cfg.Seed, cfg.MinDelay, cfg.MaxDelay, cfg.DropRate)
-	fmt.Fprintf(&b, " det={susp=%d fs=%d psi=%d/%d}", cfg.Detectors.SuspicionDelay, cfg.Detectors.DetectionDelay, cfg.Detectors.PsiSwitchAfter, cfg.Detectors.PsiPolicy)
+	fmt.Fprintf(&b, " det=%s", cfg.Detector)
 	crashes := append([]Crash(nil), cfg.Crashes...)
 	sort.Slice(crashes, func(i, j int) bool {
 		if crashes[i].At != crashes[j].At {

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"weakestfd/internal/fd"
 )
 
 // DelayRange is one delay distribution of a sweep grid.
@@ -57,10 +59,11 @@ type SeedSpan struct {
 }
 
 // Grid spans the scenario family a Sweep explores: the cross product of
-// seeds × delay ranges × crash schedules, each dimension falling back to the
-// base scenario's value when left empty. A 16-seed × 4-delay × 8-schedule
-// grid is 512 runs; the expansion is deterministic (row-major: seeds
-// outermost, crash schedules innermost), so run #k always denotes the same
+// seeds × detector specs × delay ranges × crash schedules, each dimension
+// falling back to the base scenario's value when left empty. A 16-seed ×
+// 4-detector × 4-delay × 2-schedule grid is 512 runs; the expansion is
+// deterministic (row-major: seeds outermost, then detectors, then delays,
+// crash schedules innermost), so run #k always denotes the same
 // configuration — which is what makes sharding across processes and
 // re-running a failure by index meaningful.
 type Grid struct {
@@ -70,6 +73,12 @@ type Grid struct {
 	// SeedSpan appends a contiguous, unmaterialised seed range after Seeds
 	// (the million-seed axis of sharded sweeps).
 	SeedSpan SeedSpan
+	// Detectors holds the detector-spec axis: each grid point runs under
+	// one of these specs. Empty = the base scenario's spec. This is the
+	// axis that asks the paper's own question — which detector class (at
+	// which quality) solves the problem — so Sweep additionally aggregates
+	// per-spec counts into SweepResult.Detectors when it is non-empty.
+	Detectors []fd.DetectorSpec
 	// Delays to run. Empty = the base scenario's delay range.
 	Delays []DelayRange
 	// Crashes holds alternative fault schedules. Empty = the base
@@ -101,20 +110,33 @@ func (g Grid) seedCount() int { return len(g.Seeds) + max(0, g.SeedSpan.N) }
 // Size returns the number of runs the grid expands to over a base scenario,
 // before sharding.
 func (g Grid) Size() int {
-	return max(1, g.seedCount()) * max(1, len(g.Delays)) * max(1, len(g.Crashes))
+	return max(1, g.seedCount()) * max(1, len(g.Detectors)) * max(1, len(g.Delays)) * max(1, len(g.Crashes))
+}
+
+// detectorIndexAt returns the position on the detector axis of global grid
+// index i; ok is false when the grid has no detector axis.
+func (g Grid) detectorIndexAt(i int) (int, bool) {
+	if len(g.Detectors) == 0 {
+		return 0, false
+	}
+	nc := max(1, len(g.Crashes))
+	nd := max(1, len(g.Delays))
+	return (i / (nc * nd)) % len(g.Detectors), true
 }
 
 // ConfigAt returns the configuration of global grid index i (row-major:
-// seeds outermost, crash schedules innermost) over the base config. It is
-// how Sweep materialises runs — lazily, one index at a time, so a
-// million-point grid never exists in memory — and how external tooling
-// (cmd/sweep, failure reports) maps an index back to its exact scenario.
+// seeds outermost, then detector specs, then delays, crash schedules
+// innermost) over the base config. It is how Sweep materialises runs —
+// lazily, one index at a time, so a million-point grid never exists in
+// memory — and how external tooling (cmd/sweep, failure reports) maps an
+// index back to its exact scenario.
 func (g Grid) ConfigAt(base Config, i int) Config {
 	if i < 0 || i >= g.Size() {
 		panic(fmt.Sprintf("scenario: grid index %d out of range 0..%d", i, g.Size()-1))
 	}
 	nc := max(1, len(g.Crashes))
 	nd := max(1, len(g.Delays))
+	ndet := max(1, len(g.Detectors))
 	cfg := base
 	if ci := i % nc; len(g.Crashes) > 0 {
 		cfg.Crashes = append([]Crash(nil), g.Crashes[ci]...)
@@ -124,7 +146,10 @@ func (g Grid) ConfigAt(base Config, i int) Config {
 	if di := (i / nc) % nd; len(g.Delays) > 0 {
 		cfg.MinDelay, cfg.MaxDelay = g.Delays[di].Min, g.Delays[di].Max
 	}
-	if si := i / (nc * nd); g.seedCount() > 0 {
+	if deti, ok := g.detectorIndexAt(i); ok {
+		cfg.Detector = g.Detectors[deti]
+	}
+	if si := i / (nc * nd * ndet); g.seedCount() > 0 {
 		if si < len(g.Seeds) {
 			cfg.Seed = g.Seeds[si]
 		} else {
@@ -157,9 +182,28 @@ type SweepResult struct {
 	// FailureIndices holds the global grid index of each retained failure,
 	// aligned with Failures.
 	FailureIndices []int
-	Elapsed        time.Duration
+	// Detectors aggregates this sweep's runs per detector spec, aligned
+	// with the grid's Detectors axis; nil when the grid has no detector
+	// axis. This is the sweep's cross-detector comparison table: which
+	// class (at which quality) solved the problem on how many points.
+	Detectors []DetectorCount
+	Elapsed   time.Duration
 	// RunsPerSec is the sweep's wall-clock throughput over executed runs.
 	RunsPerSec float64
+}
+
+// DetectorCount is one detector spec's share of a sweep: how many of its
+// grid points ran, passed, violated the spec, or were cancelled.
+type DetectorCount struct {
+	// Spec is the canonical rendering of the detector spec (its fingerprint).
+	Spec string
+	// Runs is the number of this sweep's grid points under the spec.
+	Runs int
+	// Passed, Faulted and Cancelled partition Runs exactly like the
+	// sweep-wide counts.
+	Passed    int
+	Faulted   int
+	Cancelled int
 }
 
 // AllPassed reports whether every grid point executed and passed.
@@ -167,7 +211,10 @@ func (r SweepResult) AllPassed() bool { return r.Passed == r.Runs }
 
 // Sweep expands the grid over the base scenario and runs every configuration
 // of its shard against proto, fanning runs across worker goroutines — the
-// "millions of runs" driver the virtual-time scheduler makes cheap.
+// "millions of runs" driver the virtual-time scheduler makes cheap. When the
+// grid carries a detector axis the result additionally reports per-spec
+// pass/fail counts, one invocation answering the paper's comparison question
+// across detector classes.
 // proto.Setup is called once per run and must therefore be reusable (the
 // built-in protocol descriptors are). The aggregation is deterministic: runs
 // are indexed by grid order, so identical inputs yield an identical
@@ -244,18 +291,33 @@ submit:
 	wg.Wait()
 
 	out := SweepResult{GridSize: size, IndexLo: lo, IndexHi: hi, Runs: hi - lo, Elapsed: time.Since(start)}
+	if len(grid.Detectors) > 0 {
+		out.Detectors = make([]DetectorCount, len(grid.Detectors))
+		for d, spec := range grid.Detectors {
+			out.Detectors[d].Spec = spec.String()
+		}
+	}
+	var scrap DetectorCount // increment sink when the grid has no detector axis
 	for j := range passed {
+		det := &scrap
+		if d, ok := grid.detectorIndexAt(lo + j); ok {
+			det = &out.Detectors[d]
+			det.Runs++
+		}
 		switch {
 		case passed[j]:
 			out.Passed++
+			det.Passed++
 		case faulted[j]:
 			out.Faulted++
+			det.Faulted++
 			if failed[j] != nil && keep > 0 && len(out.Failures) < keep {
 				out.Failures = append(out.Failures, *failed[j])
 				out.FailureIndices = append(out.FailureIndices, lo+j)
 			}
 		default:
 			out.Cancelled++
+			det.Cancelled++
 		}
 	}
 	if executed := out.Runs - out.Cancelled; executed > 0 && out.Elapsed > 0 {

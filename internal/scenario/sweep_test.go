@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"weakestfd/internal/consensus"
+	"weakestfd/internal/fd"
 	"weakestfd/internal/model"
 	"weakestfd/internal/nbac"
 )
@@ -50,6 +51,18 @@ func determinismFamily() []struct {
 		// each round's winner is schedule-determined; RoundDecision renders
 		// without its logical timestamp precisely so this entry holds.
 		{"multiconsensus/no-crash", New(4, WithSeed(19)), MultiConsensus{Rounds: 3}},
+		// The detector-spec axis: class P behaves like the exact oracle
+		// family crash-free (stable leader p0), and the ◇ classes are made
+		// schedule-determined by identical proposals — their chaotic prefix
+		// elects whoever, but every winner carries the same value.
+		{"consensus/perfect-class", New(5, WithSeed(20),
+			WithDetector(fd.MustParseSpec("perfect{suspect:3}"))), Consensus{}},
+		{"consensus/diamond-p-same-value", New(5, WithSeed(21),
+			WithDetector(fd.MustParseSpec("eventually-perfect{stabilize:40}"))),
+			Consensus{Proposals: []any{9, 9, 9, 9, 9}}},
+		{"consensus/diamond-s-same-value", New(5, WithSeed(22),
+			WithDetector(fd.MustParseSpec("eventually-strong{stabilize:40}"))),
+			Consensus{Proposals: []any{9, 9, 9, 9, 9}}},
 	}
 }
 
