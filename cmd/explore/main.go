@@ -1,0 +1,312 @@
+// Command explore is the coverage-guided schedule-space driver: instead of
+// expanding a uniform grid like cmd/sweep, it runs internal/explore's
+// fuzzer-style loop — a corpus of behaviour-novel configurations, seeded
+// deterministic mutators, an energy schedule chasing the edge where
+// behaviour last changed — minimises the failures it finds, and optionally
+// locates per-class solvability boundaries with -frontier.
+//
+// The whole run is a pure function of -seed (for schedule-determined
+// protocols, no -wall budget, -depth-signal off): re-invoking with the same
+// flags reproduces the report byte-for-byte up to the timing fields
+// (elapsed_ms, explore_runs_per_sec), which is asserted by CI.
+//
+// Examples:
+//
+//	explore -proto consensus -n 5 -seed 7 -runs 500 \
+//	    -classes 'omega-sigma,perfect,eventually-perfect{stabilize:50},eventually-strong{stabilize:50}' \
+//	    -timeout 250ms -minimize 3 -progress 2s
+//	explore -proto consensus -n 5 -runs 200 \
+//	    -frontier 'eventually-perfect:stabilize:100000;eventually-strong:stabilize:1000' \
+//	    -frontier-seeds 1,2,3
+//
+// Exit codes: 0 exploration completed (found failures are a result, not an
+// error), 2 usage or setup error, 3 cancelled (SIGINT/SIGTERM).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"weakestfd/internal/cliutil"
+	"weakestfd/internal/explore"
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/scenario"
+)
+
+// report is the JSON artifact of one invocation, styled after BENCH_net.json
+// and the cmd/sweep report: generated_by/go_version header plus the
+// exploration's own report and the frontier tables.
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	GoVersion   string  `json:"go_version"`
+	Proto       string  `json:"proto"`
+	N           int     `json:"n"`
+	Seed        int64   `json:"seed"`
+	Budget      int     `json:"budget"`
+	Runs        int     `json:"runs"`
+	Novel       int     `json:"novel"`
+	Duplicates  int     `json:"duplicates"`
+	Cancelled   int     `json:"cancelled,omitempty"`
+	FirstFail   int     `json:"first_failure_run,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	RunsPerSec  float64 `json:"explore_runs_per_sec"`
+
+	Corpus             []explore.Entry            `json:"corpus,omitempty"`
+	Mutators           []*explore.MutatorStat     `json:"mutators"`
+	Failures           []explore.Failure          `json:"failures,omitempty"`
+	Minimized          []explore.MinimizedFailure `json:"minimized,omitempty"`
+	MinimizeCandidates int                        `json:"minimize_candidates,omitempty"`
+	Frontier           []explore.Boundary         `json:"frontier,omitempty"`
+	FrontierRuns       int                        `json:"frontier_runs,omitempty"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		proto         = flag.String("proto", "consensus", "protocol: "+cliutil.ProtoNames)
+		n             = flag.Int("n", 5, "number of processes")
+		rounds        = flag.Int("rounds", 8, "instances per run (consensus/multi)")
+		coordinator   = flag.Int("coordinator", 0, "coordinator process (twopc)")
+		seed          = flag.Int64("seed", 1, "master seed; the whole exploration is a pure function of it")
+		runs          = flag.Int("runs", 256, "exploration run budget")
+		wall          = flag.Duration("wall", 0, "wall-clock budget (0 = none; a wall-bounded run is not reproducible)")
+		batch         = flag.Int("batch", 0, "generation size (0 = default)")
+		workers       = flag.Int("workers", 0, "concurrent runs per generation (0 = GOMAXPROCS)")
+		classes       = flag.String("classes", "omega-sigma,perfect,eventually-perfect{stabilize:50},eventually-strong{stabilize:50}", "detector-class alphabet the class mutator swaps between (registry grammar)")
+		crashes       = flag.String("crashes", "", "base crash schedule, entries p@time (mutators edit it; frontier probes run it as-is)")
+		delays        = flag.String("delays", "1ms:3ms", "base delay range min:max (the mutators' delay floor keeps crashes schedule-determined; see internal/explore)")
+		timeout       = flag.Duration("timeout", 250*time.Millisecond, "per-run wall-clock backstop (genuine non-termination failures each cost this)")
+		safetyOnly    = flag.Bool("safety-only", false, "check only safety clauses; also arms the drop-rate mutator")
+		minimize      = flag.Int("minimize", 3, "distinct failure signatures to minimize (0 or negative = none)")
+		depthSignal   = flag.Bool("depth-signal", false, "mix suspect-history depth into the novelty signature (trades reproducibility for sensitivity)")
+		frontier      = flag.String("frontier", "", "frontier axes 'class:param:max' split by ';', e.g. 'eventually-perfect:stabilize:100000;eventually-strong:stabilize:1000'")
+		frontierSeeds = flag.String("frontier-seeds", "", "probe seeds for the frontier search (default: the master seed)")
+		out           = flag.String("out", "", "report path (default stdout)")
+		progress      = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
+	)
+	flag.Parse()
+
+	p, err := cliutil.BuildProtocol(*proto, *n, *rounds, *coordinator)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	alphabet, err := cliutil.ParseDetectors(*classes)
+	if err != nil {
+		return usageErr("classes: %v", err)
+	}
+	delayRanges, err := cliutil.ParseDelays(*delays)
+	if err != nil || len(delayRanges) != 1 {
+		return usageErr("delays: want exactly one min:max range (got %q)", *delays)
+	}
+	axes, err := parseFrontier(*frontier)
+	if err != nil {
+		return usageErr("frontier: %v", err)
+	}
+	probeSeeds, probeSpan, err := cliutil.ParseSeeds(*frontierSeeds)
+	if err != nil {
+		return usageErr("frontier-seeds: %v", err)
+	}
+	// Every frontier probe costs one run per seed, so the cap applies to the
+	// expanded list regardless of which syntax produced it.
+	const maxProbeSeeds = 64
+	if total := len(probeSeeds) + probeSpan.N; total > maxProbeSeeds {
+		return usageErr("frontier-seeds: %d probe seeds is past any useful confirmation depth (max %d)", total, maxProbeSeeds)
+	}
+	for i := 0; i < probeSpan.N; i++ {
+		probeSeeds = append(probeSeeds, probeSpan.From+int64(i))
+	}
+
+	baseSchedules, err := cliutil.ParseCrashes(*crashes, *n)
+	if err != nil {
+		return usageErr("crashes: %v", err)
+	}
+	if len(baseSchedules) > 1 {
+		return usageErr("crashes: the base takes one schedule, not %d (the mutators explore variants)", len(baseSchedules))
+	}
+	baseOpts := []scenario.Option{
+		scenario.WithSeed(*seed),
+		scenario.WithDelays(delayRanges[0].Min, delayRanges[0].Max),
+		scenario.WithTimeout(*timeout),
+	}
+	if len(baseSchedules) == 1 {
+		baseOpts = append(baseOpts, scenario.WithCrashes(baseSchedules[0]...))
+	}
+	if *safetyOnly {
+		baseOpts = append(baseOpts, scenario.WithSafetyOnly())
+	}
+	base := scenario.New(*n, baseOpts...).Config()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The CLI has no sentinel baggage: 0 means "no minimisation", unlike the
+	// library's 0 → default-of-3 (the same contract cmd/sweep gives -keep).
+	minimizeLimit := *minimize
+	if minimizeLimit <= 0 {
+		minimizeLimit = -1
+	}
+
+	var done, failed atomic.Int64
+	opts := explore.Options{
+		Seed:          *seed,
+		Runs:          *runs,
+		Wall:          *wall,
+		Batch:         *batch,
+		Workers:       *workers,
+		Proto:         p,
+		Base:          base,
+		Classes:       alphabet,
+		MinimizeLimit: minimizeLimit,
+		DepthSignal:   *depthSignal,
+		OnRun: func(_ int, res *scenario.Result) {
+			done.Add(1)
+			if !res.Verdict.OK {
+				failed.Add(1)
+			}
+		},
+	}
+	if *progress > 0 {
+		stopProgress := make(chan struct{})
+		defer close(stopProgress)
+		go func() {
+			start := time.Now()
+			t := time.NewTicker(*progress)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-t.C:
+					d := done.Load()
+					fmt.Fprintf(os.Stderr, "explore: %d/%d runs (%d failing), %.0f runs/s\n",
+						d, *runs, failed.Load(), float64(d)/time.Since(start).Seconds())
+				}
+			}
+		}()
+	}
+
+	rep, err := explore.Explore(ctx, opts)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+
+	outRep := report{
+		GeneratedBy:        "cmd/explore " + strings.Join(os.Args[1:], " "),
+		GoVersion:          runtime.Version(),
+		Proto:              rep.Proto,
+		N:                  rep.N,
+		Seed:               rep.Seed,
+		Budget:             rep.Budget,
+		Runs:               rep.Runs,
+		Novel:              rep.Novel,
+		Duplicates:         rep.Duplicates,
+		Cancelled:          rep.Cancelled,
+		FirstFail:          rep.FirstFailureRun,
+		ElapsedMS:          float64(rep.Elapsed) / float64(time.Millisecond),
+		RunsPerSec:         rep.RunsPerSec,
+		Corpus:             rep.Corpus,
+		Mutators:           rep.Mutators,
+		Failures:           rep.Failures,
+		Minimized:          rep.Minimized,
+		MinimizeCandidates: rep.MinimizeCandidates,
+	}
+
+	if len(axes) > 0 && ctx.Err() == nil {
+		bounds, err := explore.Frontier(ctx, base, p, axes, probeSeeds)
+		outRep.Frontier = bounds
+		for _, b := range bounds {
+			outRep.FrontierRuns += b.Runs
+			fmt.Fprintf(os.Stderr, "explore: frontier %s:%s = %s\n", b.Spec, b.Param, describeBoundary(b))
+		}
+		if err != nil && ctx.Err() == nil {
+			return usageErr("frontier: %v", err)
+		}
+	}
+
+	data, err := json.MarshalIndent(outRep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: marshal report: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "explore: write %s: %v\n", *out, err)
+		return 2
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "explore: cancelled after %d of %d runs\n", rep.Runs, rep.Budget)
+		return 3
+	}
+	fmt.Fprintf(os.Stderr, "explore: %d runs, %d behaviour classes, %d failure signatures (%d minimized)\n",
+		rep.Runs, rep.Novel, len(rep.Failures), len(rep.Minimized))
+	return 0
+}
+
+// parseFrontier parses ';'-separated axes 'class:param:max'; the class may
+// carry a {...} parameter block (colons inside it do not split).
+func parseFrontier(s string) ([]explore.Axis, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var axes []explore.Axis
+	for _, entry := range strings.Split(s, ";") {
+		if strings.TrimSpace(entry) == "" {
+			continue
+		}
+		parts, err := cliutil.SplitTopLevel(strings.TrimSpace(entry), ':')
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad axis %q (want class:param:max)", entry)
+		}
+		spec, err := fd.ParseSpec(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, err
+		}
+		maxTicks, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil || maxTicks <= 0 {
+			return nil, fmt.Errorf("bad axis ceiling %q (want positive ticks)", parts[2])
+		}
+		axis := explore.Axis{Spec: spec, Param: strings.TrimSpace(parts[1]), Max: model.Time(maxTicks)}
+		if err := explore.ValidateAxis(axis); err != nil {
+			return nil, err
+		}
+		axes = append(axes, axis)
+	}
+	return axes, nil
+}
+
+// describeBoundary renders a boundary for the progress stream.
+func describeBoundary(b explore.Boundary) string {
+	switch {
+	case b.Unsolvable:
+		return "unsolvable at any quality"
+	case b.Censored:
+		return fmt.Sprintf("passes through the ceiling %d", b.Max)
+	default:
+		return fmt.Sprintf("max passing %d, min failing %d", b.MaxPassing, b.MinFailing)
+	}
+}
+
+func usageErr(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "explore: "+format+"\n", args...)
+	return 2
+}

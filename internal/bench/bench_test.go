@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"weakestfd/internal/consensus"
+	"weakestfd/internal/explore"
 	"weakestfd/internal/fd"
 	"weakestfd/internal/model"
 	"weakestfd/internal/nbac"
@@ -231,6 +232,32 @@ func sweepThroughput(runs int) scenario.SweepResult {
 	return scenario.Sweep(context.Background(), base, scenario.Grid{Seeds: seeds, Crashes: sweepCrashSets}, sweepProto())
 }
 
+// exploreThroughput runs one fixed-budget coverage-guided exploration, for
+// the committed explore_runs_per_sec data point: the full feedback loop
+// (signatures, corpus, energy, mutation planning) on top of the per-run
+// cost. The alphabet holds only the classes that solve consensus under
+// arbitrary crash schedules (oracle Σ and P's accurate complement both
+// route around any number of crashes), so no run waits out a
+// non-termination timeout — the metric measures engine throughput, not
+// wall-clock backstops; the ◇ classes' failure-finding lives in
+// internal/explore's own tests.
+func exploreThroughput(runs int) (*explore.Report, error) {
+	return explore.Explore(context.Background(), explore.Options{
+		Seed:  1,
+		Runs:  runs,
+		Proto: scenario.Consensus{},
+		Base: scenario.New(5,
+			scenario.WithDelays(time.Millisecond, 3*time.Millisecond),
+			scenario.WithTimeout(2*time.Second),
+		).Config(),
+		Classes: []fd.DetectorSpec{
+			{Class: fd.ClassOmegaSigma},
+			{Class: fd.ClassPerfect},
+		},
+		MinimizeLimit: -1,
+	})
+}
+
 // constOmega is a constant Ω source: the cheapest possible Source[V], so a
 // benchmark over it isolates the generic Bind[V] query path itself (process
 // binding, nil-history check, interface dispatch).
@@ -367,6 +394,14 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Errorf("scenario sweep: %d of %d runs failed", sweep.Faulted, sweep.Runs)
 	}
 	t.Logf("scenario sweep: %d runs, %.0f runs/s", sweep.Runs, sweep.RunsPerSec)
+	exp, err := exploreThroughput(512)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if exp.FirstFailureRun != 0 {
+		t.Errorf("explore throughput workload hit a failure at run %d (alphabet should be failure-free)", exp.FirstFailureRun)
+	}
+	t.Logf("explore: %d runs, %d behaviour classes, %.0f runs/s", exp.Runs, exp.Novel, exp.RunsPerSec)
 
 	bind := add("BindSample", BenchmarkBindSample)
 	if bind.AllocsPerOp() != 0 {
@@ -393,23 +428,29 @@ func TestEmitBenchJSON(t *testing.T) {
 
 	speedup := float64(real10.NsPerOp()) / virtual.NsPerOp
 	out := struct {
-		GeneratedBy    string        `json:"generated_by"`
-		GoVersion      string        `json:"go_version"`
-		DelayRange     string        `json:"delay_range"`
-		SpeedupN10     float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
-		SweepRuns      int           `json:"scenario_sweep_runs"`
-		SweepRunsSec   float64       `json:"scenario_sweep_runs_per_sec"`
-		MultiRoundsSec float64       `json:"multiconsensus_rounds_per_sec"`
-		Results        []benchResult `json:"results"`
+		GeneratedBy     string        `json:"generated_by"`
+		GoVersion       string        `json:"go_version"`
+		DelayRange      string        `json:"delay_range"`
+		SpeedupN10      float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
+		SweepRuns       int           `json:"scenario_sweep_runs"`
+		SweepRunsSec    float64       `json:"scenario_sweep_runs_per_sec"`
+		MultiRoundsSec  float64       `json:"multiconsensus_rounds_per_sec"`
+		ExploreRuns     int           `json:"explore_runs"`
+		ExploreRunsSec  float64       `json:"explore_runs_per_sec"`
+		ExploreCoverage int           `json:"explore_behaviour_classes"`
+		Results         []benchResult `json:"results"`
 	}{
-		GeneratedBy:    "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
-		GoVersion:      runtime.Version(),
-		DelayRange:     "[0, 200µs]",
-		SpeedupN10:     speedup,
-		SweepRuns:      sweep.Runs,
-		SweepRunsSec:   sweep.RunsPerSec,
-		MultiRoundsSec: mcRoundsPerSec,
-		Results:        results,
+		GeneratedBy:     "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
+		GoVersion:       runtime.Version(),
+		DelayRange:      "[0, 200µs]",
+		SpeedupN10:      speedup,
+		SweepRuns:       sweep.Runs,
+		SweepRunsSec:    sweep.RunsPerSec,
+		MultiRoundsSec:  mcRoundsPerSec,
+		ExploreRuns:     exp.Runs,
+		ExploreRunsSec:  exp.RunsPerSec,
+		ExploreCoverage: exp.Novel,
+		Results:         results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

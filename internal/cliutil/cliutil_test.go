@@ -1,0 +1,111 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"weakestfd/internal/scenario"
+)
+
+// TestSplitTopLevel pins the brace-aware splitter both CLIs lean on: commas
+// and colons inside {...} parameter blocks never split, top-level ones
+// always do, empties survive, unbalanced braces error.
+func TestSplitTopLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		sep  byte
+		want []string
+	}{
+		{"a,b,c", ',', []string{"a", "b", "c"}},
+		{"perfect{suspect:2,stabilize:9},omega-sigma", ',', []string{"perfect{suspect:2,stabilize:9}", "omega-sigma"}},
+		{"eventually-perfect{suspect:3}:stabilize:200", ':', []string{"eventually-perfect{suspect:3}", "stabilize", "200"}},
+		{"", ',', []string{""}},
+		{"a,,b", ',', []string{"a", "", "b"}},
+		{"{a,b}", ',', []string{"{a,b}"}},
+	} {
+		got, err := SplitTopLevel(tc.in, tc.sep)
+		if err != nil {
+			t.Fatalf("SplitTopLevel(%q, %q): %v", tc.in, tc.sep, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("SplitTopLevel(%q, %q) = %q, want %q", tc.in, tc.sep, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"a{b,c", "a}b", "x{y}}"} {
+		if _, err := SplitTopLevel(bad, ','); err == nil {
+			t.Errorf("SplitTopLevel(%q) accepted unbalanced braces", bad)
+		}
+	}
+}
+
+func TestParseSeedsFormsAndSpan(t *testing.T) {
+	seeds, span, err := ParseSeeds("1,2,7-9")
+	if err != nil || span.N != 0 || !reflect.DeepEqual(seeds, []int64{1, 2, 7, 8, 9}) {
+		t.Fatalf("mixed list: %v %+v %v", seeds, span, err)
+	}
+	seeds, span, err = ParseSeeds("5-1000004")
+	if err != nil || seeds != nil || span != (scenario.SeedSpan{From: 5, N: 1000000}) {
+		t.Fatalf("pure range should become a span: %v %+v %v", seeds, span, err)
+	}
+	if _, span, err := ParseSeeds("-9--7"); err != nil || span != (scenario.SeedSpan{From: -9, N: 3}) {
+		t.Fatalf("negative range: %+v %v", span, err)
+	}
+	seeds, _, err = ParseSeeds("-9--7,4")
+	if err != nil || !reflect.DeepEqual(seeds, []int64{-9, -8, -7, 4}) {
+		t.Fatalf("negative range in list: %v %v", seeds, err)
+	}
+	if _, _, err = ParseSeeds("3-1"); err == nil {
+		t.Fatalf("descending range accepted")
+	}
+}
+
+func TestParseDelaysAndCrashes(t *testing.T) {
+	delays, err := ParseDelays("0:200us,1ms:50ms")
+	if err != nil || len(delays) != 2 || delays[1].Max != 50*time.Millisecond {
+		t.Fatalf("delays: %v %v", delays, err)
+	}
+	crashes, err := ParseCrashes("-;2@300us;0@0s,1@2ms", 3)
+	if err != nil || len(crashes) != 3 || crashes[0] != nil || len(crashes[2]) != 2 {
+		t.Fatalf("crashes: %v %v", crashes, err)
+	}
+	if _, err = ParseCrashes("5@1ms", 3); err == nil {
+		t.Fatalf("out-of-range crash process accepted")
+	}
+}
+
+func TestParseDetectorsValidatesRegistry(t *testing.T) {
+	specs, err := ParseDetectors("omega-sigma,heartbeat{interval:500},eventually-strong{stabilize:50}")
+	if err != nil || len(specs) != 3 {
+		t.Fatalf("detector list: %v %v", specs, err)
+	}
+	if _, err = ParseDetectors("no-such-class"); err == nil {
+		t.Fatalf("unknown detector class accepted")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	sh, err := ParseShard("3/8")
+	if err != nil || sh != (scenario.Shard{Index: 3, Count: 8}) {
+		t.Fatalf("shard: %+v %v", sh, err)
+	}
+	for _, bad := range []string{"0/4", "5/4", "x/2", "3"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("shard %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildProtocolNames(t *testing.T) {
+	for _, name := range []string{"consensus", "consensus/multi", "qc", "nbac", "twopc", "registers", "extract/sigma"} {
+		if _, err := BuildProtocol(name, 5, 4, 0); err != nil {
+			t.Errorf("BuildProtocol(%s): %v", name, err)
+		}
+	}
+	if _, err := BuildProtocol("twopc", 3, 1, 7); err == nil {
+		t.Errorf("out-of-range coordinator accepted")
+	}
+	if _, err := BuildProtocol("nope", 3, 1, 0); err == nil {
+		t.Errorf("unknown protocol accepted")
+	}
+}

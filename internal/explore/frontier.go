@@ -1,0 +1,201 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/scenario"
+)
+
+// The solvability-frontier search: the paper ranks detector classes by what
+// they solve; the quality parameters of a class interpolate *within* it
+// (suspicion lag, stabilisation time, detection lag — 0 is the exact
+// detector, larger is weaker). For each class×parameter axis, Frontier
+// binary-searches the largest parameter value at which the protocol still
+// passes — turning the sweep driver's fixed grid points into a measured
+// boundary, e.g. "◇P solves consensus on this crash schedule up to
+// stabilize=K and not at K+1".
+//
+// The searched parameters weaken monotonically in principle; the measured
+// boundary is a *resource-bounded* fact — a run that cannot outlast its
+// perturbation within the configured wall-clock backstop counts as not
+// solving — which is exactly what makes the boundary finite and locatable
+// for axes whose failures are starvation, not structure. Structural
+// boundaries (a class that cannot solve the problem at any quality, like ◇S
+// consensus under a crashed fallback-quorum member) report as Unsolvable;
+// axes whose ceiling still passes report as Censored.
+
+// Axis is one frontier search dimension: a detector class (with any fixed
+// quality parameters) and the grammar key of the parameter to bisect, up to
+// the ceiling Max.
+type Axis struct {
+	// Spec is the detector class under search; its other parameters stay
+	// fixed at their configured values.
+	Spec fd.DetectorSpec
+	// Param is the spec-grammar key of the searched parameter (suspect,
+	// detect, stabilize, switch, ... — see fd.SpecParamKeys). It must be a
+	// parameter the class's builder consumes (fd.Registry.Params).
+	Param string
+	// Max is the search ceiling, in the parameter's own units.
+	Max model.Time
+}
+
+// String renders the axis as "class:param:max".
+func (a Axis) String() string { return fmt.Sprintf("%s:%s:%d", a.Spec, a.Param, a.Max) }
+
+// Boundary is the measured solvability boundary of one axis.
+type Boundary struct {
+	// Spec and Param identify the axis (Spec in canonical spec grammar).
+	Spec  string     `json:"spec"`
+	Param string     `json:"param"`
+	Max   model.Time `json:"max"`
+	// Unsolvable: the protocol fails even at parameter 0 (the exact
+	// detector of the class) — the class does not solve the problem on this
+	// schedule at any quality.
+	Unsolvable bool `json:"unsolvable,omitempty"`
+	// Censored: the protocol still passes at Max — the boundary, if any,
+	// lies beyond the search ceiling.
+	Censored bool `json:"censored,omitempty"`
+	// MaxPassing and MinFailing bracket the boundary: the largest probed
+	// value that passed and the smallest that failed. For an interior
+	// boundary MinFailing == MaxPassing + 1; Censored leaves MinFailing 0,
+	// Unsolvable leaves MaxPassing 0 meaningless (MinFailing is 0 itself).
+	MaxPassing model.Time `json:"max_passing"`
+	MinFailing model.Time `json:"min_failing"`
+	// Probes counts distinct parameter values probed; Runs the scenario
+	// runs they cost (probes × seeds).
+	Probes int `json:"probes"`
+	Runs   int `json:"runs"`
+}
+
+// Frontier locates the solvability boundary of each axis over the base
+// configuration: a probe at value q runs proto once per seed (base.Seed when
+// seeds is empty) with the axis's spec, its searched parameter set to q; the
+// probe passes only if every seeded run passes. Binary search assumes pass
+// monotonicity in q (pass at q ⇒ pass at all smaller q), which holds for
+// the quality parameters by construction and is pinned by the monotonicity
+// tests; a non-monotone axis still terminates, reporting one valid bracket.
+//
+// The search is deterministic for deterministic protocols: same base, axes
+// and seeds — same boundaries. Cancelling ctx aborts with an error.
+func Frontier(ctx context.Context, base scenario.Config, proto scenario.Protocol, axes []Axis, seeds []int64) ([]Boundary, error) {
+	if proto == nil {
+		return nil, fmt.Errorf("frontier: proto is required")
+	}
+	if base.N <= 0 {
+		return nil, fmt.Errorf("frontier: base config is required (N = %d)", base.N)
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	out := make([]Boundary, 0, len(axes))
+	for _, axis := range axes {
+		b, err := searchAxis(ctx, base, proto, axis, seeds)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ValidateAxis checks the axis against the registry: the class must be
+// registered, Param one of the parameters its builder consumes with a
+// positive ceiling, and — the assumption the bisection leans on — the
+// parameter must follow the degradation convention (fd.ParamWeakens: 0 is
+// the exact detector, larger is strictly weaker). The heartbeat pacing
+// parameters are rejected here: their zero means "default" and a larger
+// timeout is *stronger*, so a bisection over them would report a boundary
+// that does not exist. Frontier itself validates too; CLIs call this at
+// flag time.
+func ValidateAxis(a Axis) error {
+	class, ok := fd.DefaultRegistry().Resolve(a.Spec.Class)
+	if !ok {
+		return fmt.Errorf("frontier axis %s: unknown class %q", a, a.Spec.Class)
+	}
+	if a.Max <= 0 {
+		return fmt.Errorf("frontier axis %s: ceiling must be positive", a)
+	}
+	consumed := false
+	for _, key := range fd.DefaultRegistry().Params(class) {
+		if key == a.Param {
+			consumed = true
+			break
+		}
+	}
+	if !consumed {
+		return fmt.Errorf("frontier axis %s: class %s does not consume parameter %q (it consumes: %v)",
+			a, class, a.Param, fd.DefaultRegistry().Params(class))
+	}
+	if !fd.ParamWeakens(a.Param) {
+		return fmt.Errorf("frontier axis %s: parameter %q does not follow the weakening convention (0 = exact, larger = weaker) the bisection needs", a, a.Param)
+	}
+	return nil
+}
+
+// searchAxis bisects one axis.
+func searchAxis(ctx context.Context, base scenario.Config, proto scenario.Protocol, axis Axis, seeds []int64) (Boundary, error) {
+	b := Boundary{Spec: axis.Spec.String(), Param: axis.Param, Max: axis.Max}
+	if err := ValidateAxis(axis); err != nil {
+		return b, err
+	}
+
+	passAt := func(q model.Time) (bool, error) {
+		b.Probes++
+		for _, seed := range seeds {
+			cfg := base.Clone()
+			cfg.Seed = seed
+			cfg.Detector = axis.Spec
+			p, ok := cfg.Detector.Param(axis.Param)
+			if !ok {
+				return false, fmt.Errorf("frontier axis %s: no such parameter", axis)
+			}
+			*p = q
+			res := scenario.FromConfig(cfg).Run(ctx, proto)
+			b.Runs++
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("frontier axis %s: cancelled: %w", axis, err)
+			}
+			if !res.Verdict.OK {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	ok, err := passAt(0)
+	if err != nil {
+		return b, err
+	}
+	if !ok {
+		b.Unsolvable = true
+		return b, nil
+	}
+	ok, err = passAt(axis.Max)
+	if err != nil {
+		return b, err
+	}
+	if ok {
+		b.Censored = true
+		b.MaxPassing = axis.Max
+		return b, nil
+	}
+
+	lo, hi := model.Time(0), axis.Max // lo passes, hi fails
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := passAt(mid)
+		if err != nil {
+			return b, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	b.MaxPassing, b.MinFailing = lo, hi
+	return b, nil
+}

@@ -1,0 +1,180 @@
+package explore
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/scenario"
+)
+
+// The novelty signature: a deliberately lossy rendering of one run that
+// answers "did this run exhibit a behaviour class we have not seen yet?".
+// It abstracts Result.Fingerprint along two lines:
+//
+//   - Config features are bucketed and the seed is dropped entirely: a new
+//     seed over the same schedule shape is the same territory, not a
+//     discovery, so uniform seed churn cannot inflate the corpus.
+//   - Outcomes are kept as shape, not values: which processes decided,
+//     which errored, and the partition of decided values (who agreed with
+//     whom), plus the *classes* of the spec violations — the clause that
+//     failed, stripped of the tick counts and process details that vary
+//     between identically-seeded runs.
+//
+// Everything the signature reads is schedule-determined, so for the
+// deterministic protocols the signature — and hence the whole exploration —
+// is byte-reproducible per seed. Result.HistoryDepth is the one deliberate
+// exception: it is a real behaviour signal (how hard the run worked its
+// detectors) but, like tick counts, it is scheduling-dependent, so it joins
+// the signature only when Options.DepthSignal opts in.
+
+// SignatureOf renders res's novelty signature: the bucketed configuration
+// territory plus the behaviour part (BehaviourOf). withDepth additionally
+// mixes in the log-bucketed suspect-history depth (see Options.DepthSignal).
+func SignatureOf(res *scenario.Result, withDepth bool) string {
+	cfg := res.Config
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s n=%d det=%s delay=%d drop=%d crashes=%s",
+		res.Protocol, cfg.N, specShape(cfg.Detector),
+		durationBucket(cfg.MaxDelay),
+		boolBit(cfg.DropRate > 0), crashShape(cfg.Crashes))
+	fmt.Fprintf(&b, " %s", BehaviourOf(res))
+	if withDepth {
+		fmt.Fprintf(&b, " hist=%d", logBucket(uint64(res.HistoryDepth)))
+	}
+	return b.String()
+}
+
+// BehaviourOf is the pure behaviour part of the signature — what the run
+// *did* (verdict class and outcome shape), with every configuration feature
+// left out. The energy schedule treats a run whose behaviour part is new as
+// a hot discovery, while a new configuration territory with already-seen
+// behaviour is only lukewarm: territory is worth holding, behaviour change
+// is worth chasing.
+func BehaviourOf(res *scenario.Result) string {
+	return fmt.Sprintf("verdict=%s out=%s", verdictClass(res.Verdict.OK, res.Verdict.Violations), outcomeShape(res.Outcomes, res.Config.Crashes))
+}
+
+func boolBit(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// logBucket is the shared coarse scale: 0 for 0, else ceil(log4) — about
+// four buckets per two orders of magnitude, deliberately crude: every extra
+// bucket multiplies the signature space, and an inflated space turns
+// coverage guidance back into a random walk.
+func logBucket(v uint64) int {
+	return (bits.Len64(v) + 1) / 2
+}
+
+// durationBucket buckets a duration on the log4 scale of 250µs units.
+func durationBucket(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return logBucket(uint64(d / (250 * time.Microsecond)))
+}
+
+// specShape renders a detector spec with its quality parameters bucketed:
+// the class and which parameters are perturbed (and roughly how hard) are
+// behaviour classes; every exact tick value is not.
+func specShape(spec fd.DetectorSpec) string {
+	var parts []string
+	for _, key := range fd.SpecParamKeys() {
+		p, _ := spec.Param(key)
+		if p != nil && *p != 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", key, logBucket(uint64(*p))))
+		}
+	}
+	class := spec.Class
+	if class == "" {
+		class = "omega-sigma"
+	}
+	if len(parts) == 0 {
+		return class
+	}
+	return class + "{" + strings.Join(parts, ",") + "}"
+}
+
+// crashShape renders the crash schedule as the sorted set of crashing
+// processes with bucketed times — who crashes and roughly when, with
+// schedule order abstracted away.
+func crashShape(crashes []scenario.Crash) string {
+	if len(crashes) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(crashes))
+	for i, c := range crashes {
+		parts[i] = fmt.Sprintf("%d@%d", int(c.P), durationBucket(c.At))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// verdictClass is "pass", or the sorted set of violation classes — each
+// violation reduced to its clause prefix (the text before the first ':'),
+// which names the failed clause ("consensus termination violated",
+// "scenario setup", ...) while dropping the process- and tick-level detail
+// that varies between runs of the same failure mode.
+func verdictClass(ok bool, violations []string) string {
+	if ok {
+		return "pass"
+	}
+	seen := map[string]bool{}
+	var classes []string
+	for _, v := range violations {
+		class := v
+		if i := strings.IndexByte(v, ':'); i >= 0 {
+			class = v[:i]
+		}
+		if !seen[class] {
+			seen[class] = true
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	return "fail(" + strings.Join(classes, ";") + ")"
+}
+
+// outcomeShape renders per-process outcomes in process order: 'x' for a
+// process with a scheduled crash, 'e' errored, '-' took no step, or v<k>
+// where k indexes the distinct decided values in first-seen order — so
+// "everyone agreed" reads v0v0v0 and a split reads v0v1v0, independent of
+// the concrete values (which carry the seed). Crash-scheduled processes are
+// masked because whether such a process squeezes its decision in before its
+// crash fires is a goroutine race even for a fixed seed — the one per-process
+// outcome that is not schedule-determined, and novelty minted from it would
+// break the reproducibility contract.
+func outcomeShape(outs []scenario.Outcome, crashes []scenario.Crash) string {
+	crashing := map[int]bool{}
+	for _, c := range crashes {
+		crashing[int(c.P)] = true
+	}
+	var b strings.Builder
+	classes := map[string]int{}
+	for _, o := range outs {
+		switch {
+		case crashing[int(o.Process)]:
+			b.WriteByte('x')
+		case o.Returned:
+			key := fmt.Sprint(o.Value)
+			k, ok := classes[key]
+			if !ok {
+				k = len(classes)
+				classes[key] = k
+			}
+			fmt.Fprintf(&b, "v%d", k)
+		case o.Err != nil:
+			b.WriteByte('e')
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

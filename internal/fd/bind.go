@@ -36,6 +36,30 @@ func BindTo[V any](p model.ProcessID, src Source[V], clock TimeSource) Bind[V] {
 	return Bind[V]{Proc: p, Src: src, Clock: clock}
 }
 
+// Recorded wraps a system-wide source over n processes so that every query
+// records the sampled value into hist: At(p) routes through one pre-built
+// per-process Bind, so history recording stays implemented exactly once (in
+// Bind) while callers keep the Source[V] shape. Give hist a ring cap
+// (model.History.SetLimit) when the samples are informational — a sweep's
+// novelty signal, not a checker input — so recording stays O(cap) per run.
+func Recorded[V any](src Source[V], clock TimeSource, n int, hist *model.History) Source[V] {
+	r := &recordedSource[V]{binds: make([]Bind[V], n)}
+	for p := range r.binds {
+		r.binds[p] = Bind[V]{Proc: model.ProcessID(p), Src: src, Clock: clock, Hist: hist}
+	}
+	return r
+}
+
+// recordedSource is the Source[V] view over the per-process Binds.
+type recordedSource[V any] struct {
+	binds []Bind[V]
+}
+
+// At implements Source[V].
+func (r *recordedSource[V]) At(p model.ProcessID) V {
+	return r.binds[int(p)].Sample()
+}
+
 var (
 	_ Omega    = Bind[model.ProcessID]{}
 	_ Sigma    = Bind[model.ProcessSet]{}

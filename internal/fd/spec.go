@@ -17,15 +17,19 @@ import (
 // fingerprint. The zero value is the exact paper family — "omega-sigma" with
 // crashes visible immediately and Ψ switching at time zero.
 //
-// All delays are logical ticks of the run's clock. Which parameters matter
-// depends on the class:
+// All delays are logical ticks of the run's clock, except the heartbeat
+// pacing parameters, which message-passing classes read as microseconds of
+// virtual time. Which parameters matter depends on the class:
 //
 //	omega-sigma        suspicion (Σ/Ω lag), detection (FS lag), switch + policy (Ψ)
 //	perfect            suspicion (completeness lag; accuracy stays perpetual)
 //	eventually-perfect suspicion, stabilize (end of the false-suspicion prefix)
 //	eventually-strong  suspicion, stabilize
+//	heartbeat          interval, timeout (virtual-time µs; internal/fdimpl)
 //
-// Parameters a class does not consume are ignored by its builder.
+// Parameters a class does not consume are ignored by its builder; the
+// registry records which keys each class consumes (Registry.Params), which
+// is what mutation and frontier searches enumerate.
 type DetectorSpec struct {
 	// Class is the registry name of the detector family; empty means
 	// "omega-sigma", the paper's (Ω, Σ, FS, Ψ) oracle family.
@@ -41,21 +45,48 @@ type DetectorSpec struct {
 	StabilizeAfter model.Time `json:"stabilize,omitempty"`
 	// PsiSwitchAfter is the tick at which Ψ leaves ⊥.
 	PsiSwitchAfter model.Time `json:"psi_switch,omitempty"`
+	// HeartbeatInterval is the pacing of message-passing detector classes,
+	// in microseconds of virtual time (0 = the implementation's default).
+	HeartbeatInterval model.Time `json:"hb_interval,omitempty"`
+	// HeartbeatTimeout is the silence threshold of message-passing detector
+	// classes, in microseconds of virtual time (0 = the implementation's
+	// default).
+	HeartbeatTimeout model.Time `json:"hb_timeout,omitempty"`
 	// PsiPolicy selects Ψ's regime at switch time.
 	PsiPolicy PsiPolicy `json:"psi_policy,omitempty"`
 }
 
 // specParam is one named quality parameter of the spec grammar, in canonical
 // render order. One table drives parsing, rendering and the minimiser's
-// shrink dimensions.
+// shrink dimensions. weakens marks the degradation axes — 0 is the exact
+// detector and larger values are strictly weaker quality, the monotone
+// convention a frontier bisection relies on. The heartbeat pacing
+// parameters do not weaken: 0 means "the implementation's default" and a
+// larger timeout is *stronger*, so searches that assume the convention must
+// skip them (fd.ParamWeakens).
 var specParams = []struct {
-	key string
-	get func(*DetectorSpec) *model.Time
+	key     string
+	weakens bool
+	get     func(*DetectorSpec) *model.Time
 }{
-	{"suspect", func(s *DetectorSpec) *model.Time { return &s.SuspicionDelay }},
-	{"detect", func(s *DetectorSpec) *model.Time { return &s.DetectionDelay }},
-	{"stabilize", func(s *DetectorSpec) *model.Time { return &s.StabilizeAfter }},
-	{"switch", func(s *DetectorSpec) *model.Time { return &s.PsiSwitchAfter }},
+	{"suspect", true, func(s *DetectorSpec) *model.Time { return &s.SuspicionDelay }},
+	{"detect", true, func(s *DetectorSpec) *model.Time { return &s.DetectionDelay }},
+	{"stabilize", true, func(s *DetectorSpec) *model.Time { return &s.StabilizeAfter }},
+	{"switch", true, func(s *DetectorSpec) *model.Time { return &s.PsiSwitchAfter }},
+	{"interval", false, func(s *DetectorSpec) *model.Time { return &s.HeartbeatInterval }},
+	{"timeout", false, func(s *DetectorSpec) *model.Time { return &s.HeartbeatTimeout }},
+}
+
+// ParamWeakens reports whether the named parameter follows the degradation
+// convention (0 = exact, larger = weaker); false for unknown keys and for
+// parameters with inverted or defaulted-at-zero semantics.
+func ParamWeakens(key string) bool {
+	for _, p := range specParams {
+		if p.key == key {
+			return p.weakens
+		}
+	}
+	return false
 }
 
 // TimeParams returns pointers to the spec's logical-tick quality parameters,
@@ -66,6 +97,30 @@ func (s *DetectorSpec) TimeParams() []*model.Time {
 		out[i] = p.get(s)
 	}
 	return out
+}
+
+// SpecParamKeys returns the grammar keys of the quality parameters, in
+// canonical render order — the full axis alphabet a mutation or frontier
+// search can enumerate (restrict it per class with Registry.Params).
+func SpecParamKeys() []string {
+	out := make([]string, len(specParams))
+	for i, p := range specParams {
+		out[i] = p.key
+	}
+	return out
+}
+
+// Param returns a pointer to the quality parameter named by the grammar key,
+// or false for an unknown key. It is the programmatic form of the spec
+// grammar, used by the frontier search and the config mutators to perturb
+// one named axis.
+func (s *DetectorSpec) Param(key string) (*model.Time, bool) {
+	for _, p := range specParams {
+		if p.key == key {
+			return p.get(s), true
+		}
+	}
+	return nil, false
 }
 
 // Zeroed returns the spec with every quality parameter reset: the same class
@@ -248,11 +303,36 @@ type Suite struct {
 	// Suspects is the Chandra–Toueg suspect-list view, nil unless the class
 	// is one of P, ◇P, ◇S.
 	Suspects SuspectSource
+	// Stop tears down whatever the builder stood up (message-passing
+	// classes run background protocols per process); nil for the oracle
+	// classes, which have nothing to stop. Callers that Build a suite own
+	// calling it.
+	Stop func()
 }
 
-// Builder constructs a detector suite of one class over a live failure
-// pattern and clock.
-type Builder func(pattern *model.FailurePattern, clock TimeSource, spec DetectorSpec) (*Suite, error)
+// Env is the build context a detector class constructs its suite over: the
+// live failure pattern and clock every class needs, plus the hooks only some
+// classes consume.
+type Env struct {
+	// Pattern is the run's live failure pattern.
+	Pattern *model.FailurePattern
+	// Clock is the run's logical clock.
+	Clock TimeSource
+	// Runtime is the run's message-passing runtime (a *net.Network when the
+	// scenario harness builds the suite), for detector classes implemented
+	// over communication rather than over the oracle pattern; nil when only
+	// oracle classes are in play. Builders that need it must type-assert and
+	// error helpfully when it is absent.
+	Runtime any
+	// SuspectHist, if non-nil, receives every suspect-list sample the built
+	// suite serves (recorded through fd.Bind's history hook): give it a
+	// model.History ring cap and sweeps can measure detector activity
+	// without unbounded memory. Classes without a suspect view ignore it.
+	SuspectHist *model.History
+}
+
+// Builder constructs a detector suite of one class over a build environment.
+type Builder func(env Env, spec DetectorSpec) (*Suite, error)
 
 // Registered class names of the built-in families.
 const (
@@ -281,41 +361,62 @@ var classAliases = map[string]string{
 	"<>s":       ClassEventuallyStrong,
 }
 
+// classEntry is one registered class: its builder plus the grammar keys its
+// builder consumes.
+type classEntry struct {
+	build  Builder
+	params []string
+}
+
 // Registry maps detector class names to suite builders. The zero value is
 // empty; NewRegistry returns one with the built-in classes registered.
 // Registries are safe for concurrent use.
 type Registry struct {
-	mu       sync.RWMutex
-	builders map[string]Builder
+	mu      sync.RWMutex
+	classes map[string]classEntry
 }
 
 // NewRegistry returns a registry with the built-in classes (omega-sigma,
 // perfect, eventually-perfect, eventually-strong) registered.
 func NewRegistry() *Registry {
 	r := &Registry{}
-	r.Register(ClassOmegaSigma, buildOmegaSigma)
-	r.Register(ClassPerfect, buildSuspectClass(ShapePerfect))
-	r.Register(ClassEventuallyPerfect, buildSuspectClass(ShapeEventuallyPerfect))
-	r.Register(ClassEventuallyStrong, buildSuspectClass(ShapeEventuallyStrong))
+	r.Register(ClassOmegaSigma, buildOmegaSigma, "suspect", "detect", "switch")
+	r.Register(ClassPerfect, buildSuspectClass(ShapePerfect), "suspect")
+	r.Register(ClassEventuallyPerfect, buildSuspectClass(ShapeEventuallyPerfect), "suspect", "stabilize")
+	r.Register(ClassEventuallyStrong, buildSuspectClass(ShapeEventuallyStrong), "suspect", "stabilize")
 	return r
 }
 
-// Register adds (or replaces) a class builder.
-func (r *Registry) Register(class string, b Builder) {
+// Register adds (or replaces) a class builder. The optional params name the
+// spec-grammar keys the class's builder consumes (see SpecParamKeys); they
+// are what Params reports to mutation and frontier searches, so a class
+// registered without them is treated as consuming no quality parameter.
+func (r *Registry) Register(class string, b Builder, params ...string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.builders == nil {
-		r.builders = make(map[string]Builder)
+	if r.classes == nil {
+		r.classes = make(map[string]classEntry)
 	}
-	r.builders[class] = b
+	r.classes[class] = classEntry{build: b, params: params}
+}
+
+// Params returns the spec-grammar keys the class's builder consumes (aliases
+// resolved), in the order they were registered; nil for an unknown class.
+func (r *Registry) Params(class string) []string {
+	if canon, ok := classAliases[class]; ok {
+		class = canon
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.classes[class].params...)
 }
 
 // Classes returns the registered class names, sorted.
 func (r *Registry) Classes() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.builders))
-	for c := range r.builders {
+	out := make([]string, 0, len(r.classes))
+	for c := range r.classes {
 		out = append(out, c)
 	}
 	sort.Strings(out)
@@ -330,21 +431,21 @@ func (r *Registry) Resolve(class string) (string, bool) {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.builders[class]
+	_, ok := r.classes[class]
 	return class, ok
 }
 
-// Build constructs the suite the spec describes over the given pattern and
-// clock. Unknown classes error with the registered alternatives.
-func (r *Registry) Build(pattern *model.FailurePattern, clock TimeSource, spec DetectorSpec) (*Suite, error) {
+// Build constructs the suite the spec describes over the given environment.
+// Unknown classes error with the registered alternatives.
+func (r *Registry) Build(env Env, spec DetectorSpec) (*Suite, error) {
 	class, ok := r.Resolve(spec.Class)
 	if !ok {
 		return nil, fmt.Errorf("fd: unknown detector class %q (registered: %s)", spec.Class, strings.Join(r.Classes(), ", "))
 	}
 	r.mu.RLock()
-	b := r.builders[class]
+	b := r.classes[class].build
 	r.mu.RUnlock()
-	suite, err := b(pattern, clock, spec)
+	suite, err := b(env, spec)
 	if err != nil {
 		return nil, fmt.Errorf("fd: build %s: %w", spec, err)
 	}
@@ -359,25 +460,27 @@ var defaultRegistry = NewRegistry()
 // classes; callers may Register additional classes on it.
 func DefaultRegistry() *Registry { return defaultRegistry }
 
-// Build constructs spec's suite using the default registry.
+// Build constructs spec's suite using the default registry, over an
+// oracle-only environment (no runtime, no history). The scenario harness
+// builds through DefaultRegistry().Build with a full Env instead.
 func Build(pattern *model.FailurePattern, clock TimeSource, spec DetectorSpec) (*Suite, error) {
-	return defaultRegistry.Build(pattern, clock, spec)
+	return defaultRegistry.Build(Env{Pattern: pattern, Clock: clock}, spec)
 }
 
 // buildOmegaSigma is the paper's oracle family — Ω, Σ, FS and Ψ over the
 // live pattern, Ψ's regimes wired to the very same Ω/Σ/FS detectors so the
 // whole family shares one consistent view (including the configured delays).
-func buildOmegaSigma(pattern *model.FailurePattern, clock TimeSource, spec DetectorSpec) (*Suite, error) {
-	omega := &OracleOmega{Pattern: pattern, Clock: clock, SuspicionDelay: spec.SuspicionDelay}
-	sigma := &OracleSigma{Pattern: pattern, Clock: clock, SuspicionDelay: spec.SuspicionDelay}
-	fs := &OracleFS{Pattern: pattern, Clock: clock, DetectionDelay: spec.DetectionDelay}
+func buildOmegaSigma(env Env, spec DetectorSpec) (*Suite, error) {
+	omega := &OracleOmega{Pattern: env.Pattern, Clock: env.Clock, SuspicionDelay: spec.SuspicionDelay}
+	sigma := &OracleSigma{Pattern: env.Pattern, Clock: env.Clock, SuspicionDelay: spec.SuspicionDelay}
+	fs := &OracleFS{Pattern: env.Pattern, Clock: env.Clock, DetectionDelay: spec.DetectionDelay}
 	return &Suite{
 		Omega: omega,
 		Sigma: sigma,
 		FS:    fs,
 		Psi: &OraclePsi{
-			Pattern:     pattern,
-			Clock:       clock,
+			Pattern:     env.Pattern,
+			Clock:       env.Clock,
 			SwitchAfter: spec.PsiSwitchAfter,
 			Policy:      spec.PsiPolicy,
 			Omega:       omega,
@@ -390,16 +493,22 @@ func buildOmegaSigma(pattern *model.FailurePattern, clock TimeSource, spec Detec
 // buildSuspectClass derives a full-as-honestly-possible suite from the
 // suspect oracle of the given shape. P derives everything (its list is
 // accurate, so the complement is a true Σ and non-emptiness a true failure
-// signal); the ◇ classes derive Ω and a majority-fallback Σ only.
+// signal); the ◇ classes derive Ω and a majority-fallback Σ only. With
+// env.SuspectHist set, the suspect source is wrapped so every sample the
+// derived detectors take is recorded — the derivations query through the
+// wrapper, so the recorded history is exactly what the protocol consumed.
 func buildSuspectClass(shape SuspectShape) Builder {
-	return func(pattern *model.FailurePattern, clock TimeSource, spec DetectorSpec) (*Suite, error) {
-		n := pattern.N()
-		sus := &OracleSuspects{
-			Pattern:        pattern,
-			Clock:          clock,
+	return func(env Env, spec DetectorSpec) (*Suite, error) {
+		n := env.Pattern.N()
+		var sus SuspectSource = &OracleSuspects{
+			Pattern:        env.Pattern,
+			Clock:          env.Clock,
 			Shape:          shape,
 			SuspicionDelay: spec.SuspicionDelay,
 			StabilizeAfter: spec.StabilizeAfter,
+		}
+		if env.SuspectHist != nil {
+			sus = Recorded(sus, env.Clock, n, env.SuspectHist)
 		}
 		suite := &Suite{
 			Suspects: sus,
@@ -410,8 +519,8 @@ func buildSuspectClass(shape SuspectShape) Builder {
 			fs := SuspectFS{Suspects: sus}
 			suite.FS = fs
 			suite.Psi = &OraclePsi{
-				Pattern:     pattern,
-				Clock:       clock,
+				Pattern:     env.Pattern,
+				Clock:       env.Clock,
 				SwitchAfter: spec.PsiSwitchAfter,
 				Policy:      spec.PsiPolicy,
 				Omega:       suite.Omega,

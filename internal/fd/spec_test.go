@@ -147,11 +147,62 @@ func TestRegistryAliasesAndUnknown(t *testing.T) {
 
 func TestRegistryRegisterCustomClass(t *testing.T) {
 	r := NewRegistry()
-	r.Register("custom", func(pattern *model.FailurePattern, clock TimeSource, spec DetectorSpec) (*Suite, error) {
-		return &Suite{Omega: &OracleOmega{Pattern: pattern, Clock: clock}}, nil
-	})
-	suite, err := r.Build(model.NewFailurePattern(2), &fakeClock{}, DetectorSpec{Class: "custom"})
+	r.Register("custom", func(env Env, spec DetectorSpec) (*Suite, error) {
+		return &Suite{Omega: &OracleOmega{Pattern: env.Pattern, Clock: env.Clock}}, nil
+	}, "suspect")
+	suite, err := r.Build(Env{Pattern: model.NewFailurePattern(2), Clock: &fakeClock{}}, DetectorSpec{Class: "custom"})
 	if err != nil || suite.Omega == nil {
 		t.Fatalf("custom class: %v, %+v", err, suite)
+	}
+	if got := r.Params("custom"); len(got) != 1 || got[0] != "suspect" {
+		t.Fatalf("Params(custom) = %v", got)
+	}
+}
+
+func TestRegistryParamsPerClass(t *testing.T) {
+	r := NewRegistry()
+	for class, want := range map[string][]string{
+		ClassOmegaSigma:        {"suspect", "detect", "switch"},
+		ClassPerfect:           {"suspect"},
+		ClassEventuallyPerfect: {"suspect", "stabilize"},
+		"diamond-s":            {"suspect", "stabilize"}, // aliases resolve
+	} {
+		if got := r.Params(class); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Params(%s) = %v, want %v", class, got, want)
+		}
+	}
+	if got := r.Params("nope"); got != nil {
+		t.Fatalf("Params(unknown) = %v, want nil", got)
+	}
+}
+
+func TestSpecParamLookup(t *testing.T) {
+	spec := DetectorSpec{Class: ClassOmegaSigma}
+	keys := SpecParamKeys()
+	want := []string{"suspect", "detect", "stabilize", "switch", "interval", "timeout"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("SpecParamKeys = %v, want %v", keys, want)
+	}
+	for i, key := range keys {
+		p, ok := spec.Param(key)
+		if !ok {
+			t.Fatalf("Param(%q) not found", key)
+		}
+		*p = model.Time(i + 1)
+	}
+	if _, ok := spec.Param("policy"); ok {
+		t.Fatalf("Param(policy) resolved; policy is not a time parameter")
+	}
+	// The pointers returned by Param alias TimeParams in canonical order.
+	for i, p := range spec.TimeParams() {
+		if *p != model.Time(i+1) {
+			t.Fatalf("param %d = %d after writes through Param", i, *p)
+		}
+	}
+	if want := "omega-sigma{suspect:1,detect:2,stabilize:3,switch:4,interval:5,timeout:6}"; spec.String() != want {
+		t.Fatalf("rendered %q, want %q", spec.String(), want)
+	}
+	if again := MustParseSpec(spec.String()); again != spec {
+		t.Fatalf("round trip: %+v != %+v", again, spec)
 	}
 }

@@ -27,6 +27,10 @@
 //
 // All three run a background goroutine per process; callers must Stop them
 // (or close the network) when done.
+//
+// The whole family is also packaged as the "heartbeat" class of
+// fd.DefaultRegistry (see heartbeat.go), so scenario sweeps and explore runs
+// can compare the implemented detectors against the oracles on one grid.
 package fdimpl
 
 import (

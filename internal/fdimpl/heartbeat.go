@@ -1,0 +1,110 @@
+package fdimpl
+
+// The "heartbeat" detector class: the message-passing detectors of this
+// package packaged as an fd.Registry class, so sweeps and explore runs can
+// put the implemented detectors on the same grid axis as the oracles and
+// measure where the implementations' extra assumptions (partial synchrony
+// for Ω and FS accuracy, a correct majority for Σ liveness) actually bite.
+//
+// The class builds, per process, a HeartbeatOmega, a MajoritySigma and a
+// HeartbeatFS over the run's *net.Network (handed in through fd.Env.Runtime)
+// and serves them as system-wide sources. It provides no Ψ — a
+// message-passing Ψ needs its own agreement machinery to make every process
+// pick the same regime, which no timeout argument gives you — so the QC/NBAC
+// stack refuses to set up under it, which is itself a sweep-visible result.
+//
+// Quality parameters (registry grammar, both in microseconds of virtual
+// time; 0 = default):
+//
+//	heartbeat{interval:N}  heartbeat/probe period   (default 1000 = 1ms)
+//	heartbeat{timeout:N}   silence threshold        (default 5000 = 5ms)
+//
+// A timeout below the network's typical delay plus the interval makes the
+// detectors false-suspect permanently — deliberately reachable, since that
+// boundary is exactly what a frontier search over the class measures.
+
+import (
+	"fmt"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+)
+
+// ClassHeartbeat is the registry name of the message-passing detector class.
+const ClassHeartbeat = "heartbeat"
+
+// Defaults of the heartbeat pacing parameters, chosen for the runtime's
+// default [0, 200µs] delay range: the timeout clears the worst default delay
+// by an order of magnitude, so false suspicion needs either a perturbed spec
+// or a genuinely slower network.
+const (
+	DefaultHeartbeatInterval = time.Millisecond
+	DefaultHeartbeatTimeout  = 5 * time.Millisecond
+)
+
+func init() {
+	fd.DefaultRegistry().Register(ClassHeartbeat, BuildHeartbeat, "interval", "timeout")
+}
+
+// hbDuration converts a spec parameter (virtual-time microseconds) into a
+// duration, applying the default for the zero value.
+func hbDuration(v model.Time, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	return time.Duration(v) * time.Microsecond
+}
+
+// BuildHeartbeat is the fd.Builder of the heartbeat class. It needs the
+// run's *net.Network in env.Runtime; the returned suite's Stop tears the
+// whole ensemble down and must be called (the detectors run one goroutine
+// per process each). Build it under Network.Freeze so the ensemble boots
+// simultaneously — the scenario harness does.
+func BuildHeartbeat(env fd.Env, spec fd.DetectorSpec) (*fd.Suite, error) {
+	nw, ok := env.Runtime.(*net.Network)
+	if !ok {
+		return nil, fmt.Errorf("heartbeat class needs a *net.Network runtime, got %T", env.Runtime)
+	}
+	interval := hbDuration(spec.HeartbeatInterval, DefaultHeartbeatInterval)
+	timeout := hbDuration(spec.HeartbeatTimeout, DefaultHeartbeatTimeout)
+
+	n := nw.N()
+	omegas := make([]fd.Detector[model.ProcessID], n)
+	sigmas := make([]fd.Detector[model.ProcessSet], n)
+	fss := make([]fd.Detector[model.FSValue], n)
+	stops := make([]func(), 0, 3*n)
+	for i := 0; i < n; i++ {
+		ep := nw.Endpoint(model.ProcessID(i))
+		o := StartHeartbeatOmega(ep, interval, timeout)
+		s := StartMajoritySigma(ep, interval)
+		f := StartHeartbeatFS(ep, interval, timeout)
+		omegas[i], sigmas[i], fss[i] = o, s, f
+		stops = append(stops, o.Stop, s.Stop, f.Stop)
+	}
+	return &fd.Suite{
+		Omega: moduleSource[model.ProcessID]{mods: omegas},
+		Sigma: moduleSource[model.ProcessSet]{mods: sigmas},
+		FS:    moduleSource[model.FSValue]{mods: fss},
+		Stop: func() {
+			for _, stop := range stops {
+				stop()
+			}
+		},
+	}, nil
+}
+
+// moduleSource serves per-process detector modules as one system-wide
+// source: At(p) samples p's own module, the inverse of the fd.Bind direction
+// the oracle classes take. (An oracle is one global object bound outward to
+// processes; an implementation is n process-local objects bound inward into
+// one source.)
+type moduleSource[V any] struct {
+	mods []fd.Detector[V]
+}
+
+// At implements fd.Source[V].
+func (s moduleSource[V]) At(p model.ProcessID) V {
+	return s.mods[int(p)].Sample()
+}

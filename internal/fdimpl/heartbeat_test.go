@@ -1,0 +1,103 @@
+package fdimpl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"weakestfd/internal/fd"
+	"weakestfd/internal/model"
+	"weakestfd/internal/net"
+)
+
+// TestHeartbeatClassBuildsFullEnsemble: the registry class stands up Ω, Σ
+// and FS over the run's network, honestly refuses to fake Ψ or a suspect
+// list, and Stop tears the whole ensemble down.
+func TestHeartbeatClassBuildsFullEnsemble(t *testing.T) {
+	const n = 4
+	nw := net.NewNetwork(n, net.WithSeed(11))
+	defer nw.Close()
+
+	nw.Freeze()
+	suite, err := fd.DefaultRegistry().Build(
+		fd.Env{Pattern: nw.Pattern(), Clock: nw.Clock(), Runtime: nw},
+		fd.MustParseSpec("heartbeat{interval:2000,timeout:30000}"),
+	)
+	nw.Thaw()
+	if err != nil {
+		t.Fatalf("build heartbeat suite: %v", err)
+	}
+	defer suite.Stop()
+
+	if suite.Omega == nil || suite.Sigma == nil || suite.FS == nil {
+		t.Fatalf("heartbeat suite incomplete: %+v", suite)
+	}
+	if suite.Psi != nil || suite.Suspects != nil {
+		t.Fatalf("heartbeat suite fakes Ψ or a suspect list: %+v", suite)
+	}
+	if suite.Spec.Class != ClassHeartbeat {
+		t.Fatalf("suite spec = %+v", suite.Spec)
+	}
+
+	// The implemented detectors converge like their oracle counterparts:
+	// everyone elects p0, quorums intersect, signal green while crash-free.
+	if !eventually(5*time.Second, func() bool {
+		for i := 0; i < n; i++ {
+			if suite.Omega.At(model.ProcessID(i)) != 0 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("heartbeat omega did not converge to p0")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			qi, qj := suite.Sigma.At(model.ProcessID(i)), suite.Sigma.At(model.ProcessID(j))
+			if !qi.Intersects(qj) {
+				t.Fatalf("disjoint heartbeat quorums: %v vs %v", qi, qj)
+			}
+		}
+	}
+	if got := suite.FS.At(0); got != model.Green {
+		t.Fatalf("crash-free heartbeat FS = %v, want green", got)
+	}
+}
+
+// TestHeartbeatClassNeedsRuntime: building the class without a network in
+// the environment is a helpful error, not a panic — the oracle-only fd.Build
+// path cannot serve message-passing detectors.
+func TestHeartbeatClassNeedsRuntime(t *testing.T) {
+	_, err := fd.Build(model.NewFailurePattern(3), net.NewClock(), fd.DetectorSpec{Class: ClassHeartbeat})
+	if err == nil || !strings.Contains(err.Error(), "net.Network") {
+		t.Fatalf("runtime-less heartbeat build: %v", err)
+	}
+}
+
+// TestHeartbeatClassStopIsIdempotentUnderCrash: stopping the ensemble after
+// some of its processes crashed must not hang (crashed loops exited through
+// their endpoint context already).
+func TestHeartbeatClassStopIsIdempotentUnderCrash(t *testing.T) {
+	nw := net.NewNetwork(3, net.WithSeed(12))
+	defer nw.Close()
+	nw.Freeze()
+	suite, err := fd.DefaultRegistry().Build(
+		fd.Env{Pattern: nw.Pattern(), Clock: nw.Clock(), Runtime: nw},
+		fd.DetectorSpec{Class: ClassHeartbeat},
+	)
+	nw.Thaw()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	nw.Crash(2)
+	done := make(chan struct{})
+	go func() {
+		suite.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("suite.Stop hung after a crash")
+	}
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"weakestfd/internal/fd"
+)
+
+// TestSuspectHistoryRecordedWithRingCap: a suspect-class run records the
+// samples its derived detectors actually took, bounded by the configured
+// ring cap, and surfaces the depth in the Result. The oracle family has no
+// suspect view, so its depth stays zero.
+func TestSuspectHistoryRecordedWithRingCap(t *testing.T) {
+	ctx := context.Background()
+
+	res := New(4, WithDetector(fd.MustParseSpec("eventually-perfect{stabilize:40}"))).Run(ctx, Consensus{})
+	if !res.Verdict.OK {
+		t.Fatalf("◇P consensus failed: %v", res.Verdict)
+	}
+	if res.HistoryDepth == 0 {
+		t.Fatalf("suspect-class run recorded no history")
+	}
+	if res.HistoryDepth > DefaultHistoryLimit {
+		t.Fatalf("history depth %d exceeds the default ring cap %d", res.HistoryDepth, DefaultHistoryLimit)
+	}
+
+	// A tiny cap still records (and reports what it dropped): every process
+	// samples Ω and Σ at least once, so a cap of 3 at n=4 must overflow.
+	res = New(4,
+		WithDetector(fd.DetectorSpec{Class: fd.ClassPerfect}),
+		WithHistoryLimit(3),
+	).Run(ctx, Consensus{})
+	if !res.Verdict.OK {
+		t.Fatalf("P consensus failed: %v", res.Verdict)
+	}
+	if res.HistoryDepth != 3 {
+		t.Fatalf("capped history depth = %d, want exactly the cap 3", res.HistoryDepth)
+	}
+	if res.HistoryDropped == 0 {
+		t.Fatalf("a consensus run takes more than 3 samples; Dropped = 0")
+	}
+
+	// Disabled recording, and the oracle family (no suspect view), stay 0.
+	res = New(4, WithDetector(fd.DetectorSpec{Class: fd.ClassPerfect}), WithHistoryLimit(0)).Run(ctx, Consensus{})
+	if res.HistoryDepth != 0 || res.HistoryDropped != 0 {
+		t.Fatalf("disabled recording still measured depth %d (dropped %d)", res.HistoryDepth, res.HistoryDropped)
+	}
+	res = New(4).Run(ctx, Consensus{})
+	if !res.Verdict.OK || res.HistoryDepth != 0 {
+		t.Fatalf("oracle family: verdict %v, depth %d", res.Verdict, res.HistoryDepth)
+	}
+}
+
+// TestConfigCloneIsDeep: mutating a clone's crash schedule leaves the
+// original untouched — the contract exploration mutators rely on.
+func TestConfigCloneIsDeep(t *testing.T) {
+	orig := New(3, WithCrash(1, time.Millisecond)).Config()
+	mut := orig.Clone()
+	mut.Crashes[0].P = 2
+	mut.Crashes = append(mut.Crashes, Crash{P: 0, At: 0})
+	mut.Seed = 99
+	if orig.Crashes[0].P != 1 || len(orig.Crashes) != 1 || orig.Seed == 99 {
+		t.Fatalf("clone aliases the original: %+v", orig)
+	}
+}
+
+// TestConfigKeyIdentity: Key distinguishes every behaviour-determining
+// dimension (including seed and crash order) and is stable for clones.
+func TestConfigKeyIdentity(t *testing.T) {
+	base := New(3, WithCrash(1, time.Millisecond), WithCrash(2, time.Millisecond)).Config()
+	if base.Key() != base.Clone().Key() {
+		t.Fatalf("clone changed the key")
+	}
+	perturb := []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.MaxDelay += time.Millisecond },
+		func(c *Config) { c.DropRate = 0.5 },
+		func(c *Config) { c.Detector.Class = fd.ClassPerfect },
+		func(c *Config) { c.Detector.StabilizeAfter = 7 },
+		func(c *Config) { c.Crashes[0].At = 0 },
+		func(c *Config) { c.Crashes[0], c.Crashes[1] = c.Crashes[1], c.Crashes[0] },
+		func(c *Config) { c.RequireTermination = false },
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, p := range perturb {
+		cfg := base.Clone()
+		p(&cfg)
+		key := cfg.Key()
+		if j, dup := seen[key]; dup {
+			t.Fatalf("perturbation %d collides with %d: %q", i, j, key)
+		}
+		seen[key] = i
+	}
+}
+
+// TestConsensusUnderHeartbeatClass: the message-passing detector class
+// solves consensus on the same scenarios the oracles do — crash-free and
+// with a crashed initial leader — while the QC stack honestly refuses it
+// (no message-passing Ψ).
+func TestConsensusUnderHeartbeatClass(t *testing.T) {
+	ctx := context.Background()
+	spec := fd.MustParseSpec("heartbeat{interval:500,timeout:4000}")
+
+	res := New(4, WithDetector(spec)).Run(ctx, Consensus{})
+	if !res.Verdict.OK {
+		t.Fatalf("crash-free heartbeat consensus failed: %v", res.Verdict)
+	}
+	if !strings.Contains(res.Fingerprint(), "det=heartbeat{interval:500,timeout:4000}") {
+		t.Fatalf("fingerprint lacks the heartbeat spec:\n%s", res.Fingerprint())
+	}
+
+	res = New(4, WithDetector(spec), WithCrash(0, 0), WithTimeout(10*time.Second)).Run(ctx, Consensus{})
+	if !res.Verdict.OK {
+		t.Fatalf("heartbeat consensus with crashed leader failed: %v", res.Verdict)
+	}
+
+	res = New(4, WithDetector(spec)).Run(ctx, QC{})
+	if res.Verdict.OK || !strings.Contains(strings.Join(res.Verdict.Violations, " "), "provides no") {
+		t.Fatalf("QC under heartbeat: %v, want a setup refusal naming the missing Ψ", res.Verdict)
+	}
+}
+
+// TestSweepHeartbeatAgainstOracleAxis is the PR 4 follow-up made real: one
+// sweep comparing the implemented detectors against the oracle family on the
+// same grid. Both classes must solve every point of a crash-free grid.
+func TestSweepHeartbeatAgainstOracleAxis(t *testing.T) {
+	grid := Grid{
+		Seeds: []int64{71, 72, 73},
+		Detectors: []fd.DetectorSpec{
+			{Class: fd.ClassOmegaSigma},
+			fd.MustParseSpec("heartbeat{interval:500,timeout:4000}"),
+		},
+	}
+	res := Sweep(context.Background(), New(4), grid, Consensus{})
+	if !res.AllPassed() {
+		t.Fatalf("oracle-vs-heartbeat sweep failed: %d of %d, first: %v", res.Faulted, res.Runs, firstViolation(res))
+	}
+	for _, d := range res.Detectors {
+		if d.Passed != d.Runs {
+			t.Fatalf("detector %q passed %d of %d", d.Spec, d.Passed, d.Runs)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"weakestfd/internal/fd"
+	_ "weakestfd/internal/fdimpl" // registers the message-passing "heartbeat" detector class
 	"weakestfd/internal/model"
 	"weakestfd/internal/net"
 	"weakestfd/internal/trace"
@@ -72,6 +73,37 @@ type Config struct {
 	// Timeout bounds the run in wall-clock time (a liveness backstop; the
 	// run itself never waits out virtual delays). New sets 30s.
 	Timeout time.Duration
+	// HistoryLimit caps the run's suspect-list sample history (a
+	// model.History ring of the most recent samples, recorded through
+	// fd.Bind for detector classes with a suspect view). New sets
+	// DefaultHistoryLimit; 0 or negative disables recording. The retained
+	// depth is surfaced as Result.HistoryDepth — bounded detector-activity
+	// signal, not a checker input.
+	HistoryLimit int
+}
+
+// DefaultHistoryLimit is the suspect-history ring cap New configures: deep
+// enough to characterise a run's detector activity, shallow enough that a
+// million-run sweep pays O(cap) per run, not O(queries).
+const DefaultHistoryLimit = 256
+
+// Clone returns a deep copy of the configuration (the crash schedule is the
+// only reference field). It is the mutation hook exploration loops start
+// from: mutate the clone, the original stays intact.
+func (c Config) Clone() Config {
+	c.Crashes = append([]Crash(nil), c.Crashes...)
+	return c
+}
+
+// Key renders every behaviour-determining field canonically — the identity
+// of a configuration for deduplication (an exploration corpus, a tried-set).
+// Unlike Result.Fingerprint it includes nothing about outcomes, and unlike
+// the minimiser's memo key it includes the seed and the system size. Crash
+// order is preserved: schedule order breaks (at, seq) ties in the event
+// queue, so it is part of the identity.
+func (c Config) Key() string {
+	return fmt.Sprintf("n=%d seed=%d delay=[%v,%v] drop=%g det=%s crashes=%v term=%t timeout=%v",
+		c.N, c.Seed, c.MinDelay, c.MaxDelay, c.DropRate, c.Detector, c.Crashes, c.RequireTermination, c.Timeout)
 }
 
 // Option configures a scenario.
@@ -145,6 +177,10 @@ func WithPsiSwitch(after model.Time, policy fd.PsiPolicy) Option {
 // deliberately starved (drop rates, majority loss under majority guards).
 func WithSafetyOnly() Option { return func(c *Config) { c.RequireTermination = false } }
 
+// WithHistoryLimit caps the run's suspect-list sample history at the most
+// recent limit samples; limit <= 0 disables recording entirely.
+func WithHistoryLimit(limit int) Option { return func(c *Config) { c.HistoryLimit = limit } }
+
 // WithTimeout bounds the run in wall-clock time.
 func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
 
@@ -169,6 +205,7 @@ func New(n int, opts ...Option) *Scenario {
 		MaxDelay:           200 * time.Microsecond,
 		RequireTermination: true,
 		Timeout:            30 * time.Second,
+		HistoryLimit:       DefaultHistoryLimit,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -181,11 +218,7 @@ func New(n int, opts ...Option) *Scenario {
 func FromConfig(cfg Config) *Scenario { return &Scenario{cfg: cfg} }
 
 // Config returns a copy of the scenario's configuration.
-func (s *Scenario) Config() Config {
-	cfg := s.cfg
-	cfg.Crashes = append([]Crash(nil), s.cfg.Crashes...)
-	return cfg
-}
+func (s *Scenario) Config() Config { return s.cfg.Clone() }
 
 // Cluster is the stood-up side of a scenario that a Protocol wires itself
 // onto: the network plus the detector suite built from the scenario's
@@ -282,6 +315,14 @@ type Result struct {
 	VirtualEnd time.Duration
 	// Wall is the run's wall-clock duration.
 	Wall time.Duration
+	// HistoryDepth is how many suspect-list samples the run's history ring
+	// retained (bounded by Config.HistoryLimit); HistoryDropped counts the
+	// samples the cap discarded. Together they are a cheap detector-activity
+	// signal — usable in novelty signatures without unbounded memory — but,
+	// like tick counts, they are scheduling-dependent and therefore excluded
+	// from Fingerprint. Zero for classes without a suspect view.
+	HistoryDepth   int
+	HistoryDropped int64
 }
 
 // Run stands the scenario up, executes the protocol on it, tears everything
@@ -306,11 +347,33 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	)
 	defer nw.Close()
 
-	suite, err := fd.Build(nw.Pattern(), nw.Clock(), cfg.Detector)
+	var hist *model.History
+	if cfg.HistoryLimit > 0 {
+		hist = model.NewHistoryWithLimit(cfg.HistoryLimit)
+	}
+
+	// Freeze dispatch while the detector suite and the protocol wire
+	// themselves up and the fault schedule is laid out, so every event of
+	// the initial batch — including the boot messages of message-passing
+	// detector classes — gets its (time, seq) slot before anything is
+	// delivered.
+	nw.Freeze()
+	suite, err := fd.DefaultRegistry().Build(fd.Env{
+		Pattern:     nw.Pattern(),
+		Clock:       nw.Clock(),
+		Runtime:     nw,
+		SuspectHist: hist,
+	}, cfg.Detector)
 	if err != nil {
+		nw.Thaw()
 		res.Verdict = model.Fail("scenario detectors: %v", err)
 		res.Wall = time.Since(start)
 		return res
+	}
+	if suite.Stop != nil {
+		// Registered after the network's Close, so detector ensembles stop
+		// before their endpoints disappear under them.
+		defer suite.Stop()
 	}
 	cl := &Cluster{
 		Net:       nw,
@@ -319,10 +382,6 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 		Config:    cfg,
 	}
 
-	// Freeze dispatch while the protocol wires itself up and the fault
-	// schedule is laid out, so every event of the initial batch gets its
-	// (time, seq) slot before anything is delivered.
-	nw.Freeze()
 	inst, err := proto.Setup(cl)
 	if err != nil {
 		nw.Thaw()
@@ -376,6 +435,10 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	res.VirtualEnd = nw.VirtualNow()
 	res.Metrics = nw.Metrics().Snapshot()
 	res.Trace = log.Events()
+	if hist != nil {
+		res.HistoryDepth = hist.Len()
+		res.HistoryDropped = hist.Dropped()
+	}
 	res.Wall = time.Since(start)
 	return res
 }
