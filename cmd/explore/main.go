@@ -98,7 +98,13 @@ func run() int {
 		out           = flag.String("out", "", "report path (default stdout)")
 		progress      = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
 	)
+	var prof cliutil.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return usageErr("%v", err)
+	}
+	defer prof.Stop()
 
 	p, err := cliutil.BuildProtocol(*proto, *n, *rounds, *coordinator)
 	if err != nil {

@@ -147,7 +147,13 @@ func run() int {
 		minimize    = flag.Bool("minimize", false, "shrink the first retained failure to a minimal reproducer")
 		progress    = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
 	)
+	var prof cliutil.ProfileFlags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		return usageErr("%v", err)
+	}
+	defer prof.Stop()
 
 	sp := def
 	if *gridFile != "" {

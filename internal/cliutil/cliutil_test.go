@@ -1,6 +1,9 @@
 package cliutil
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -108,4 +111,36 @@ func TestBuildProtocolNames(t *testing.T) {
 	if _, err := BuildProtocol("nope", 3, 1, 0); err == nil {
 		t.Errorf("unknown protocol accepted")
 	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var pf ProfileFlags
+	pf.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Stop()
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+
+	// Disabled flags are a no-op on both sides.
+	var off ProfileFlags
+	if err := off.Start(); err != nil {
+		t.Fatalf("disabled Start: %v", err)
+	}
+	off.Stop()
 }

@@ -1,0 +1,80 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags is the shared -cpuprofile/-memprofile plumbing of the
+// schedule-space CLIs (cmd/sweep, cmd/explore). Both drivers exist to run
+// millions of scheduled executions, so "where does a grid spend its time and
+// allocations" is a first-class question; registering the same two flags
+// here keeps the profiling story identical across them.
+//
+// Usage:
+//
+//	var prof cliutil.ProfileFlags
+//	prof.Register(flag.CommandLine)
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+type ProfileFlags struct {
+	// CPUPath and MemPath are the destination files ("" disables each).
+	CPUPath string
+	MemPath string
+
+	cpuFile *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on fs.
+func (pf *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&pf.CPUPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&pf.MemPath, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call after flag
+// parsing; pair with a deferred Stop.
+func (pf *ProfileFlags) Start() error {
+	if pf.CPUPath == "" {
+		return nil
+	}
+	f, err := os.Create(pf.CPUPath)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	pf.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if either was
+// requested. Errors are reported on stderr rather than returned: profiling
+// failure at teardown must not change the driver's exit code, which sweeps'
+// calling scripts interpret (pass/fail/cancelled).
+func (pf *ProfileFlags) Stop() {
+	if pf.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := pf.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		}
+		pf.cpuFile = nil
+	}
+	if pf.MemPath != "" {
+		f, err := os.Create(pf.MemPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise the final live set before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+}

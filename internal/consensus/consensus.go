@@ -48,46 +48,28 @@ const (
 	msgDecide   = "decide"
 )
 
-type prepareReq struct {
-	Ballot Ballot
-}
-
-type promiseAck struct {
-	Ballot      Ballot
-	Accepted    Ballot
-	AcceptedVal Value
-	HasAccepted bool
-}
-
-type acceptReq struct {
-	Ballot Ballot
-	Val    Value
-}
-
-type acceptedAck struct {
-	Ballot Ballot
-}
-
-type rejectAck struct {
-	Ballot Ballot
-	Higher Ballot
-}
-
-type decideMsg struct {
-	Val Value
-}
-
+// Wire format. Every message carries its ballot in the envelope's Aux word
+// and nothing in the payload unless a value travels with it, so the ack-heavy
+// acceptor paths allocate no payload box per message:
+//
+//	prepare   Aux=ballot
+//	promise   Aux=ballot  Aux2=accepted ballot (-1: none)  Payload=accepted value
+//	accept    Aux=ballot  Payload=value
+//	accepted  Aux=ballot
+//	reject    Aux=ballot  Aux2=higher promised ballot
+//	decide    Payload=value
+//
 // BallotConsensus is one process's participant in a single consensus
 // instance. All processes of the network must create one (they all act as
 // acceptors); any subset may call Propose.
 type BallotConsensus struct {
-	ep       *net.Endpoint
-	instance string
-	omega    fd.Omega
-	guard    quorum.Guard
-	metrics  *trace.Metrics
-	poll     time.Duration
-	backoff  time.Duration
+	ep      *net.Endpoint
+	inst    net.Instance
+	omega   fd.Omega
+	guard   quorum.Guard
+	metrics *trace.Metrics
+	poll    time.Duration
+	backoff time.Duration
 
 	mu          sync.Mutex
 	promised    Ballot
@@ -97,14 +79,25 @@ type BallotConsensus struct {
 	maxSeen     Ballot
 	decided     bool
 	decision    Value
-	decidedCh   chan struct{}
 
-	attempt *attempt
+	attempt   *attempt
+	scratch   *attempt // the one attempt struct a proposer reuses across phases and ballots
+	decidedCh chan struct{} // closed when this participant learns the decision
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	done     chan struct{}
+	stop *stopper
 }
+
+// stopper is a close-once signal. A group's participants share one stop
+// signal and one decision signal, so each costs one channel for all n
+// processes; a standalone participant gets its own pair.
+type stopper struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newStopper() *stopper { return &stopper{ch: make(chan struct{})} }
+
+func (s *stopper) signal() { s.once.Do(func() { close(s.ch) }) }
 
 // attempt tracks the proposer side of one ballot.
 type attempt struct {
@@ -143,40 +136,59 @@ func WithPollInterval(d time.Duration) Option { return func(o *options) { o.poll
 // contending leader finish, free in wall-clock terms. Default 2ms.
 func WithBackoff(d time.Duration) Option { return func(o *options) { o.backoff = d } }
 
+// resolveOptions folds the option list into one shared options struct; the
+// default metrics sink is created only when the caller supplied none.
+func resolveOptions(opts []Option) *options {
+	o := &options{poll: time.Millisecond, backoff: 2 * time.Millisecond}
+	for _, fn := range opts {
+		fn(o)
+	}
+	if o.metrics == nil {
+		o.metrics = trace.NewMetrics()
+	}
+	return o
+}
+
 // NewBallotConsensus creates the participant for the process behind ep in the
 // consensus instance named by instance. omega supplies the leader hint;
 // guard decides when a quorum of acceptors has been gathered.
 func NewBallotConsensus(ep *net.Endpoint, instance string, omega fd.Omega, guard quorum.Guard, opts ...Option) *BallotConsensus {
-	o := options{metrics: trace.NewMetrics(), poll: time.Millisecond, backoff: 2 * time.Millisecond}
-	for _, fn := range opts {
-		fn(&o)
-	}
-	c := &BallotConsensus{
-		ep:        ep,
-		instance:  "cons." + instance,
-		omega:     omega,
-		guard:     guard,
-		metrics:   o.metrics,
-		poll:      o.poll,
-		backoff:   o.backoff,
-		promised:  -1,
-		accepted:  -1,
-		maxSeen:   -1,
-		decidedCh: make(chan struct{}),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-	}
-	go c.run()
+	c := &BallotConsensus{}
+	c.init(ep, ep.Instance("cons."+instance), omega, guard, resolveOptions(opts), newStopper())
 	return c
+}
+
+// init wires a (possibly slab-allocated) participant in place and registers
+// its delivery handler. Group constructors pass shared options and a shared
+// stop signal; the per-participant state is just the struct, its decided
+// channel and the handler registration — the acceptor role runs reactively
+// on the network's dispatch goroutine, so a participant spawns no goroutine
+// at all.
+func (c *BallotConsensus) init(ep *net.Endpoint, inst net.Instance, omega fd.Omega, guard quorum.Guard, o *options, stop *stopper) {
+	c.ep = ep
+	c.inst = inst
+	c.omega = omega
+	c.guard = guard
+	c.metrics = o.metrics
+	c.poll = o.poll
+	c.backoff = o.backoff
+	c.promised = -1
+	c.accepted = -1
+	c.maxSeen = -1
+	c.decidedCh = make(chan struct{})
+	c.stop = stop
+	inst.Handle(c)
 }
 
 // Metrics returns the participant's metrics sink.
 func (c *BallotConsensus) Metrics() *trace.Metrics { return c.metrics }
 
-// Stop shuts down the participant's message loop.
+// Stop shuts down the participant: its delivery handler discards everything
+// after the stop signal, and pending Propose calls return. For a participant
+// built by a group constructor the stop signal is shared, so the first Stop
+// stops every participant of the group; the remaining calls are no-ops.
 func (c *BallotConsensus) Stop() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	<-c.done
+	c.stop.signal()
 }
 
 // Decision returns the decided value, if this participant has learned it.
@@ -192,52 +204,66 @@ func (c *BallotConsensus) Decision() (Value, bool) {
 // blocked Propose costs no wall-clock time.
 func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 	c.metrics.Inc("propose")
-	// The poll ticker exists only while this loop is the one blocking: a
-	// virtual-time ticker whose owner stops receiving (here: while leading a
-	// ballot, which blocks in awaitAttempt on its own ticker) would freeze
-	// the network's virtual clock, so it is stopped before every nested
-	// blocking call and re-created on the next non-leader wait.
-	var ticker *net.Timer
-	stopTicker := func() {
-		if ticker != nil {
-			ticker.Stop()
-			ticker = nil
-		}
-	}
-	defer stopTicker()
+	// One poll ticker serves the whole call: the non-leader wait below and
+	// the leader's quorum waits inside awaitAttempt park on the same lease,
+	// so a Propose costs one timer lease however many ballots it leads. The
+	// lease must always be consumed by whichever select is currently
+	// blocking — an unconsumed virtual-time fire holds the clock until its
+	// owner receives it — so the ticker is stopped around Sleep (the one
+	// blocking call that does not receive from it) and at every exit. The
+	// stops are spelled out instead of deferred: a defer closure over the
+	// ticker variable is a heap allocation on every Propose.
+	ticker := c.ep.NewTicker(c.poll)
 	for {
 		if val, ok := c.Decision(); ok {
+			ticker.Stop()
 			return val, nil
 		}
 		if c.omega.Sample() == c.ep.ID() {
-			stopTicker()
-			if val, ok, err := c.lead(ctx, v); err != nil {
+			if val, ok, err := c.lead(ctx, v, ticker); err != nil {
+				ticker.Stop()
 				return nil, err
 			} else if ok {
+				ticker.Stop()
 				return val, nil
 			}
 			// Failed ballot: back off so a contending (old) leader can finish.
+			ticker.Stop()
 			if err := c.ep.Sleep(ctx, c.backoff); err != nil {
 				return nil, fmt.Errorf("consensus propose: %w", err)
 			}
+			ticker = c.ep.NewTicker(c.poll)
 			continue
 		}
-		if ticker == nil {
-			ticker = c.ep.NewTicker(c.poll)
-		}
 		select {
-		case <-ctx.Done():
-			return nil, fmt.Errorf("consensus propose: %w", ctx.Err())
 		case <-c.ep.Context().Done():
+			ticker.Stop()
 			return nil, fmt.Errorf("consensus propose: %w", c.ep.Context().Err())
-		case <-c.stop:
-			return nil, fmt.Errorf("consensus propose: participant stopped")
 		case <-c.decidedCh:
 		case <-ticker.C:
 			// A "nop" step while waiting: advance the logical clock so
 			// time-based detector behaviour (suspicion delays, leadership
-			// changes) makes progress even without message traffic.
+			// changes) makes progress even without message traffic. The
+			// caller's context and the stop signal are re-checked here
+			// rather than parked on — two fewer channels per select, and
+			// every blocked select costs one runtime sudog per channel, per
+			// waiter, re-allocated after each GC. The latency cost is one
+			// poll tick; the ticker keeps firing through both conditions
+			// (cancellation and group Stop leave the network running), and
+			// the cases above cover the events that do silence it: crash
+			// and close fire the endpoint context, a decision closes
+			// decidedCh.
 			c.ep.Clock().Tick()
+			if err := ctx.Err(); err != nil {
+				ticker.Stop()
+				return nil, fmt.Errorf("consensus propose: %w", err)
+			}
+			select {
+			case <-c.stop.ch:
+				ticker.Stop()
+				return nil, fmt.Errorf("consensus propose: participant stopped")
+			default:
+			}
 		}
 	}
 }
@@ -252,14 +278,14 @@ func (c *BallotConsensus) Run(ctx context.Context, input any) (any, error) {
 // lead runs one ballot as the proposer. It returns (value, true, nil) when a
 // decision was reached, (nil, false, nil) when the ballot was preempted, and
 // an error when the context was cancelled.
-func (c *BallotConsensus) lead(ctx context.Context, proposal Value) (Value, bool, error) {
+func (c *BallotConsensus) lead(ctx context.Context, proposal Value, ticker *net.Timer) (Value, bool, error) {
 	c.metrics.Inc("ballots")
 	ballot := c.nextBallot()
 
 	// Phase 1: prepare.
 	att := c.newAttempt(ballot, msgPrepare)
-	c.ep.Broadcast(c.instance, msgPrepare, prepareReq{Ballot: ballot})
-	ok, err := c.awaitAttempt(ctx, att)
+	c.inst.BroadcastAux(msgPrepare, int64(ballot), 0, nil)
+	ok, err := c.awaitAttempt(ctx, att, ticker)
 	if err != nil || !ok {
 		c.clearAttempt()
 		return nil, false, err
@@ -277,15 +303,15 @@ func (c *BallotConsensus) lead(ctx context.Context, proposal Value) (Value, bool
 	// Phase 2: accept.
 	att2 := c.newAttempt(ballot, msgAccept)
 	att2.valueSent = value
-	c.ep.Broadcast(c.instance, msgAccept, acceptReq{Ballot: ballot, Val: value})
-	ok, err = c.awaitAttempt(ctx, att2)
+	c.inst.BroadcastAux(msgAccept, int64(ballot), 0, value)
+	ok, err = c.awaitAttempt(ctx, att2, ticker)
 	c.clearAttempt()
 	if err != nil || !ok {
 		return nil, false, err
 	}
 
 	// Decision: tell everyone (including ourselves).
-	c.ep.Broadcast(c.instance, msgDecide, decideMsg{Val: value})
+	c.inst.Broadcast(msgDecide, value)
 	c.learn(value)
 	return value, true, nil
 }
@@ -304,15 +330,29 @@ func (c *BallotConsensus) nextBallot() Ballot {
 	return b
 }
 
+// newAttempt readies the proposer's attempt state for one phase of one
+// ballot. The attempt struct, its acknowledgement set and its update channel
+// are reused across phases and ballots (a participant runs at most one
+// attempt at a time), so a proposal's steady state allocates them once.
 func (c *BallotConsensus) newAttempt(b Ballot, phase string) *attempt {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	att := &attempt{
-		ballot:  b,
-		phase:   phase,
-		acked:   model.NewProcessSet(),
-		bestBal: -1,
-		updated: make(chan struct{}, 1),
+	att := c.scratch
+	if att == nil {
+		att = &attempt{acked: model.NewProcessSetCap(c.ep.N()), updated: make(chan struct{}, 1)}
+		c.scratch = att
+	}
+	att.ballot = b
+	att.phase = phase
+	att.acked.Clear()
+	att.rejected = false
+	att.bestBal = -1
+	att.bestVal = nil
+	att.hasBest = false
+	att.valueSent = nil
+	select {
+	case <-att.updated:
+	default:
 	}
 	c.attempt = att
 	return att
@@ -327,14 +367,16 @@ func (c *BallotConsensus) clearAttempt() {
 // awaitAttempt waits until the attempt's acknowledgement set satisfies the
 // quorum guard (true), the attempt is rejected by a higher ballot (false), or
 // the context is cancelled.
-func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt) (bool, error) {
-	ticker := c.ep.NewTicker(c.poll)
-	defer ticker.Stop()
+func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt, ticker *net.Timer) (bool, error) {
 	for {
+		// The guard is consulted under the participant's mutex with the live
+		// acknowledgement set: guards only read the set (quorum.Guard's
+		// contract), so the clone the old code took per poll iteration was
+		// pure garbage.
 		c.mu.Lock()
 		rejected := att.rejected
-		acked := att.acked.Clone()
 		decided := c.decided
+		satisfied := !rejected && !decided && c.guard.Satisfied(att.acked)
 		c.mu.Unlock()
 		if decided {
 			// Someone already decided; the proposer can stop immediately.
@@ -344,7 +386,7 @@ func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt) (bool,
 			c.metrics.Inc("ballots.preempted")
 			return false, nil
 		}
-		if c.guard.Satisfied(acked) {
+		if satisfied {
 			return true, nil
 		}
 		select {
@@ -352,14 +394,18 @@ func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt) (bool,
 			return false, fmt.Errorf("consensus ballot %d: %w", att.ballot, ctx.Err())
 		case <-c.ep.Context().Done():
 			return false, fmt.Errorf("consensus ballot %d: %w", att.ballot, c.ep.Context().Err())
-		case <-c.stop:
-			return false, fmt.Errorf("consensus ballot %d: participant stopped", att.ballot)
 		case <-att.updated:
 		case <-ticker.C:
 			// Nop step: keeps Σ re-evaluation (whose output can shrink as
 			// suspicion delays expire) and the logical clock moving while
-			// acknowledgements are outstanding.
+			// acknowledgements are outstanding. Stop is re-checked on the
+			// tick instead of parked on, as in Propose.
 			c.ep.Clock().Tick()
+			select {
+			case <-c.stop.ch:
+				return false, fmt.Errorf("consensus ballot %d: participant stopped", att.ballot)
+			default:
+			}
 		}
 	}
 }
@@ -377,69 +423,72 @@ func (c *BallotConsensus) learn(v Value) {
 	close(c.decidedCh)
 }
 
-// run is the single reader of the participant's message stream; it plays the
-// acceptor role and routes proposer acknowledgements.
-func (c *BallotConsensus) run() {
-	defer close(c.done)
-	inbox := c.ep.Subscribe(c.instance)
-	for {
-		select {
-		case <-c.stop:
-			return
-		case <-c.ep.Context().Done():
-			return
-		case msg := <-inbox:
-			c.handle(msg)
-		}
+// HandleMessage implements net.Handler: it plays the acceptor role and
+// routes proposer acknowledgements, running synchronously on the network's
+// dispatch goroutine. There is no receive loop and no goroutine behind it —
+// an idle acceptor costs nothing. The dispatcher already suppresses
+// deliveries to crashed processes, so the only gate needed here is the stop
+// signal; everything it does (mutex-guarded state updates, non-blocking
+// notifies, sends and broadcasts, which merely enqueue) is non-blocking, as
+// Handle requires.
+func (c *BallotConsensus) HandleMessage(msg net.Message) {
+	select {
+	case <-c.stop.ch:
+		return
+	default:
 	}
+	c.handle(msg)
 }
 
 func (c *BallotConsensus) handle(msg net.Message) {
 	switch msg.Type {
 	case msgPrepare:
-		req := msg.Payload.(prepareReq)
+		ballot := Ballot(msg.Aux)
 		c.mu.Lock()
-		if req.Ballot > c.maxSeen {
-			c.maxSeen = req.Ballot
+		if ballot > c.maxSeen {
+			c.maxSeen = ballot
 		}
-		if req.Ballot >= c.promised {
-			c.promised = req.Ballot
-			ack := promiseAck{Ballot: req.Ballot, Accepted: c.accepted, AcceptedVal: c.acceptedVal, HasAccepted: c.hasAccepted}
+		if ballot >= c.promised {
+			c.promised = ballot
+			accepted, acceptedVal := Ballot(-1), Value(nil)
+			if c.hasAccepted {
+				accepted, acceptedVal = c.accepted, c.acceptedVal
+			}
 			c.mu.Unlock()
-			c.ep.Send(msg.From, c.instance, msgPromise, ack)
+			c.inst.SendAux(msg.From, msgPromise, int64(ballot), int64(accepted), acceptedVal)
 			return
 		}
 		higher := c.promised
 		c.mu.Unlock()
-		c.ep.Send(msg.From, c.instance, msgReject, rejectAck{Ballot: req.Ballot, Higher: higher})
+		c.inst.SendAux(msg.From, msgReject, int64(ballot), int64(higher), nil)
 
 	case msgAccept:
-		req := msg.Payload.(acceptReq)
+		ballot := Ballot(msg.Aux)
 		c.mu.Lock()
-		if req.Ballot > c.maxSeen {
-			c.maxSeen = req.Ballot
+		if ballot > c.maxSeen {
+			c.maxSeen = ballot
 		}
-		if req.Ballot >= c.promised {
-			c.promised = req.Ballot
-			c.accepted = req.Ballot
-			c.acceptedVal = req.Val
+		if ballot >= c.promised {
+			c.promised = ballot
+			c.accepted = ballot
+			c.acceptedVal = msg.Payload
 			c.hasAccepted = true
 			c.mu.Unlock()
-			c.ep.Send(msg.From, c.instance, msgAccepted, acceptedAck{Ballot: req.Ballot})
+			c.inst.SendAux(msg.From, msgAccepted, int64(ballot), 0, nil)
 			return
 		}
 		higher := c.promised
 		c.mu.Unlock()
-		c.ep.Send(msg.From, c.instance, msgReject, rejectAck{Ballot: req.Ballot, Higher: higher})
+		c.inst.SendAux(msg.From, msgReject, int64(ballot), int64(higher), nil)
 
 	case msgPromise:
-		ack := msg.Payload.(promiseAck)
+		ballot, accepted := Ballot(msg.Aux), Ballot(msg.Aux2)
 		c.mu.Lock()
-		if att := c.attempt; att != nil && att.phase == msgPrepare && att.ballot == ack.Ballot {
+		if att := c.attempt; att != nil && att.phase == msgPrepare && att.ballot == ballot {
 			att.acked.Add(msg.From)
-			if ack.HasAccepted && ack.Accepted > att.bestBal {
-				att.bestBal = ack.Accepted
-				att.bestVal = ack.AcceptedVal
+			if accepted >= 0 && accepted > att.bestBal {
+				att.bestBal = accepted
+				att.bestVal = msg.Payload
 				att.hasBest = true
 			}
 			notify(att.updated)
@@ -447,36 +496,37 @@ func (c *BallotConsensus) handle(msg net.Message) {
 		c.mu.Unlock()
 
 	case msgAccepted:
-		ack := msg.Payload.(acceptedAck)
+		ballot := Ballot(msg.Aux)
 		c.mu.Lock()
-		if att := c.attempt; att != nil && att.phase == msgAccept && att.ballot == ack.Ballot {
+		if att := c.attempt; att != nil && att.phase == msgAccept && att.ballot == ballot {
 			att.acked.Add(msg.From)
 			notify(att.updated)
 		}
 		c.mu.Unlock()
 
 	case msgReject:
-		ack := msg.Payload.(rejectAck)
+		ballot, higher := Ballot(msg.Aux), Ballot(msg.Aux2)
 		c.mu.Lock()
-		if ack.Higher > c.maxSeen {
-			c.maxSeen = ack.Higher
+		if higher > c.maxSeen {
+			c.maxSeen = higher
 		}
-		if att := c.attempt; att != nil && att.ballot == ack.Ballot {
+		if att := c.attempt; att != nil && att.ballot == ballot {
 			att.rejected = true
 			notify(att.updated)
 		}
 		c.mu.Unlock()
 
 	case msgDecide:
-		dec := msg.Payload.(decideMsg)
 		c.mu.Lock()
 		already := c.decided
 		c.mu.Unlock()
-		c.learn(dec.Val)
+		c.learn(msg.Payload)
 		if !already {
 			// Relay the decision once, so that every correct process learns it
-			// even if the original proposer crashed mid-broadcast.
-			c.ep.Broadcast(c.instance, msgDecide, decideMsg{Val: dec.Val})
+			// even if the original proposer crashed mid-broadcast. The relay
+			// forwards the incoming payload box as-is, so the n relays of a
+			// decision wave allocate nothing.
+			c.inst.Broadcast(msgDecide, msg.Payload)
 		}
 	}
 }

@@ -21,31 +21,47 @@ func (g Group) Stop() {
 	}
 }
 
+// newGroup allocates the shared machinery and one contiguous slab of
+// participants, wiring each through init with the guard returned by guardAt.
+// Sharing one options struct (and hence one Metrics unless the caller supplied
+// their own) and one stop channel across the group keeps the per-participant
+// setup cost to the struct, its decided channel and the handler registration;
+// the Ω bindings come as one slab whose elements are boxed by pointer, which
+// allocates nothing per participant.
+func newGroup(nw *net.Network, instance string, omega fd.OmegaSource, guardAt func(i int) quorum.Guard, opts []Option) Group {
+	n := nw.N()
+	o := resolveOptions(opts)
+	stop := newStopper()
+	name := "cons." + instance
+	omegas := fd.BindAll(omega, nw.Clock(), n)
+	parts := make([]BallotConsensus, n)
+	g := make(Group, n)
+	for i := 0; i < n; i++ {
+		ep := nw.Endpoint(model.ProcessID(i))
+		parts[i].init(ep, ep.Instance(name), &omegas[i], guardAt(i), o, stop)
+		g[i] = &parts[i]
+	}
+	return g
+}
+
 // NewOmegaSigmaGroup builds the (Ω, Σ) consensus of Corollary 2 over every
 // process of the network: leadership comes from omega's module at each
 // process, quorums from sigma's.
 func NewOmegaSigmaGroup(nw *net.Network, instance string, omega fd.OmegaSource, sigma fd.SigmaSource, opts ...Option) Group {
-	g := make(Group, nw.N())
-	for i := 0; i < nw.N(); i++ {
-		ep := nw.Endpoint(model.ProcessID(i))
-		boundOmega := fd.BindTo(ep.ID(), omega, nw.Clock())
-		boundSigma := fd.BindTo(ep.ID(), sigma, nw.Clock())
-		g[i] = NewBallotConsensus(ep, instance, boundOmega, quorum.SigmaGuard{Source: boundSigma}, opts...)
+	sigmas := fd.BindAll(sigma, nw.Clock(), nw.N())
+	guards := make([]quorum.SigmaGuard, nw.N())
+	for i := range guards {
+		guards[i] = quorum.SigmaGuard{Source: &sigmas[i]}
 	}
-	return g
+	return newGroup(nw, instance, omega, func(i int) quorum.Guard { return &guards[i] }, opts)
 }
 
 // NewOmegaMajorityGroup builds the classical Ω-plus-majority consensus (the
 // regime of [4], baseline of experiment E5): same protocol, but quorums are
 // plain majorities, so liveness is lost once a majority has crashed.
 func NewOmegaMajorityGroup(nw *net.Network, instance string, omega fd.OmegaSource, opts ...Option) Group {
-	g := make(Group, nw.N())
-	for i := 0; i < nw.N(); i++ {
-		ep := nw.Endpoint(model.ProcessID(i))
-		boundOmega := fd.BindTo(ep.ID(), omega, nw.Clock())
-		g[i] = NewBallotConsensus(ep, instance, boundOmega, quorum.MajorityGuard{N: nw.N()}, opts...)
-	}
-	return g
+	var guard quorum.Guard = quorum.MajorityGuard{N: nw.N()}
+	return newGroup(nw, instance, omega, func(int) quorum.Guard { return guard }, opts)
 }
 
 // RegisterGroup is the set of register-based consensus participants of one

@@ -36,6 +36,19 @@ func BindTo[V any](p model.ProcessID, src Source[V], clock TimeSource) Bind[V] {
 	return Bind[V]{Proc: p, Src: src, Clock: clock}
 }
 
+// BindAll returns the no-history bindings of src at every process of an
+// n-process system as one contiguous slice. Group constructors store
+// &binds[p] in their Detector-typed fields: converting a pointer to an
+// interface allocates nothing, so binding a whole group costs one allocation
+// instead of one boxed Bind value per process.
+func BindAll[V any](src Source[V], clock TimeSource, n int) []Bind[V] {
+	binds := make([]Bind[V], n)
+	for p := range binds {
+		binds[p] = Bind[V]{Proc: model.ProcessID(p), Src: src, Clock: clock}
+	}
+	return binds
+}
+
 // Recorded wraps a system-wide source over n processes so that every query
 // records the sampled value into hist: At(p) routes through one pre-built
 // per-process Bind, so history recording stays implemented exactly once (in

@@ -25,11 +25,31 @@ type OracleSigma struct {
 	// process keeps appearing in quorums. Zero means crashes are visible
 	// immediately.
 	SuspicionDelay model.Time
+
+	mu         sync.Mutex
+	cached     model.ProcessSet
+	haveCache  bool
+	validUntil model.Time // cache holds for query times < validUntil
+	version    uint64     // pattern version the cache was computed at
 }
 
-// At implements SigmaSource.
+// At implements SigmaSource. The returned set is shared across samples and
+// must be treated as immutable: the visible-alive set only changes when a
+// crash is recorded or a suspicion delay expires, so consecutive samples
+// reuse one memoized set instead of rebuilding it on every query — the
+// quorum-guard poll loops of the protocols sample Σ on every tick.
 func (o *OracleSigma) At(model.ProcessID) model.ProcessSet {
-	return visibleAlive(o.Pattern, o.Clock.Now(), o.SuspicionDelay)
+	now := o.Clock.Now()
+	version := o.Pattern.Version()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.haveCache && o.version == version && now < o.validUntil {
+		return o.cached
+	}
+	o.cached, o.validUntil = o.Pattern.VisiblyAlive(now, o.SuspicionDelay)
+	o.haveCache = true
+	o.version = version
+	return o.cached
 }
 
 // OracleOmega is the leader detector Ω: it outputs the lowest-id process whose
@@ -43,8 +63,7 @@ type OracleOmega struct {
 
 // At implements OmegaSource.
 func (o *OracleOmega) At(model.ProcessID) model.ProcessID {
-	alive := visibleAlive(o.Pattern, o.Clock.Now(), o.SuspicionDelay)
-	if leader, ok := alive.Min(); ok {
+	if leader, ok := o.Pattern.MinVisiblyAlive(o.Clock.Now(), o.SuspicionDelay); ok {
 		return leader
 	}
 	// All processes crashed: the output is unconstrained by the spec
@@ -105,27 +124,46 @@ type OraclePsi struct {
 	mu      sync.Mutex
 	decided bool
 	mode    model.PsiPhase
+
+	fallbackOnce sync.Once
+	fbOmega      OmegaSource
+	fbSigma      SigmaSource
+	fbFS         FSSource
+}
+
+// fallbacks interns the default regime detectors once, so a Ψ sampled in a
+// hot loop does not allocate a fresh oracle per query (and the Σ fallback
+// keeps its memoized sample across queries).
+func (o *OraclePsi) fallbacks() {
+	o.fallbackOnce.Do(func() {
+		o.fbOmega = o.Omega
+		o.fbSigma = o.Sigma
+		o.fbFS = o.FS
+		if o.fbOmega == nil {
+			o.fbOmega = &OracleOmega{Pattern: o.Pattern, Clock: o.Clock}
+		}
+		if o.fbSigma == nil {
+			o.fbSigma = &OracleSigma{Pattern: o.Pattern, Clock: o.Clock}
+		}
+		if o.fbFS == nil {
+			o.fbFS = &OracleFS{Pattern: o.Pattern, Clock: o.Clock}
+		}
+	})
 }
 
 func (o *OraclePsi) omega() OmegaSource {
-	if o.Omega != nil {
-		return o.Omega
-	}
-	return &OracleOmega{Pattern: o.Pattern, Clock: o.Clock}
+	o.fallbacks()
+	return o.fbOmega
 }
 
 func (o *OraclePsi) sigma() SigmaSource {
-	if o.Sigma != nil {
-		return o.Sigma
-	}
-	return &OracleSigma{Pattern: o.Pattern, Clock: o.Clock}
+	o.fallbacks()
+	return o.fbSigma
 }
 
 func (o *OraclePsi) fs() FSSource {
-	if o.FS != nil {
-		return o.FS
-	}
-	return &OracleFS{Pattern: o.Pattern, Clock: o.Clock}
+	o.fallbacks()
+	return o.fbFS
 }
 
 // At implements PsiSource.
@@ -172,17 +210,10 @@ func (o *OraclePsi) Mode() model.PsiPhase {
 }
 
 // visibleAlive returns the processes whose crash is not yet visible at time
-// now given the suspicion delay.
+// now given the suspicion delay. The set is freshly built and owned by the
+// caller.
 func visibleAlive(pattern *model.FailurePattern, now, delay model.Time) model.ProcessSet {
-	alive := model.NewProcessSet()
-	n := pattern.N()
-	for i := 0; i < n; i++ {
-		p := model.ProcessID(i)
-		ct := pattern.CrashTime(p)
-		if ct == model.NeverCrashes || ct+delay > now {
-			alive.Add(p)
-		}
-	}
+	alive, _ := pattern.VisiblyAlive(now, delay)
 	return alive
 }
 

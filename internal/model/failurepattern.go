@@ -25,10 +25,11 @@ const NeverCrashes = Time(1<<62 - 1)
 //
 // The type is safe for concurrent use.
 type FailurePattern struct {
-	mu     sync.RWMutex
-	n      int
-	crash  map[ProcessID]Time
-	frozen bool
+	mu      sync.RWMutex
+	n       int
+	crash   map[ProcessID]Time
+	frozen  bool
+	version uint64
 }
 
 // NewFailurePattern returns a failure pattern over n processes in which every
@@ -56,6 +57,17 @@ func (f *FailurePattern) Crash(p ProcessID, t Time) {
 		return
 	}
 	f.crash[p] = t
+	f.version++
+}
+
+// Version returns a counter that changes whenever the pattern records a new
+// (or earlier) crash. Detectors that derive values from the pattern can use
+// it to cache across queries: a sample computed at version v over inputs that
+// otherwise only depend on time stays valid while Version() == v.
+func (f *FailurePattern) Version() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.version
 }
 
 // Freeze marks the pattern immutable; later Crash calls panic. Tests freeze a
@@ -105,6 +117,49 @@ func (f *FailurePattern) AliveAt(t Time) ProcessSet {
 		}
 	}
 	return alive
+}
+
+// MinVisiblyAlive returns the lowest-id process whose crash (if any) is not
+// yet visible at time now given the suspicion delay, and true; or (0, false)
+// if every process's crash is visible. It takes the pattern lock once and
+// allocates nothing, unlike building the full alive set just to take its
+// minimum — the Ω oracle calls this on every sample.
+func (f *FailurePattern) MinVisiblyAlive(now, delay Time) (ProcessID, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for i := 0; i < f.n; i++ {
+		ct, crashed := f.crash[ProcessID(i)]
+		if !crashed || ct+delay > now {
+			return ProcessID(i), true
+		}
+	}
+	return 0, false
+}
+
+// VisiblyAlive returns the set of processes whose crash (if any) is not yet
+// visible at time now given the suspicion delay, together with the first time
+// at which that set next changes given the crashes recorded so far
+// (NeverCrashes if it never does). The expiry lets callers cache the set: it
+// is valid for every query time in [now, next).
+func (f *FailurePattern) VisiblyAlive(now, delay Time) (ProcessSet, Time) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	alive := NewProcessSetCap(f.n)
+	next := NeverCrashes
+	for i := 0; i < f.n; i++ {
+		ct, crashed := f.crash[ProcessID(i)]
+		if !crashed {
+			alive.Add(ProcessID(i))
+			continue
+		}
+		if visibleAt := ct + delay; visibleAt > now {
+			alive.Add(ProcessID(i))
+			if visibleAt < next {
+				next = visibleAt
+			}
+		}
+	}
+	return alive, next
 }
 
 // Faulty returns faulty(F): every process with a recorded crash, regardless of

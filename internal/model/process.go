@@ -34,6 +34,12 @@ func NewProcessSet(ps ...ProcessID) ProcessSet {
 	return s
 }
 
+// NewProcessSetCap returns an empty set with room for n members, for callers
+// that know the eventual size and want to avoid incremental map growth.
+func NewProcessSetCap(n int) ProcessSet {
+	return ProcessSet{members: make(map[ProcessID]struct{}, n)}
+}
+
 // AllProcesses returns the set {0, ..., n-1}.
 func AllProcesses(n int) ProcessSet {
 	s := ProcessSet{members: make(map[ProcessID]struct{}, n)}
@@ -53,6 +59,11 @@ func (s *ProcessSet) ensure() {
 func (s *ProcessSet) Add(p ProcessID) {
 	s.ensure()
 	s.members[p] = struct{}{}
+}
+
+// Clear removes every member, keeping the allocated capacity for reuse.
+func (s *ProcessSet) Clear() {
+	clear(s.members)
 }
 
 // Remove deletes p from the set; it is a no-op if p is absent.

@@ -24,3 +24,8 @@ func (c *Clock) Now() model.Time { return model.Time(c.now.Load()) }
 
 // Tick advances the clock by one and returns the new time.
 func (c *Clock) Tick() model.Time { return model.Time(c.now.Add(1)) }
+
+// TickN advances the clock by n ticks at once and returns the first of the n
+// new times, so a batch of n sends can reserve the same contiguous run of
+// timestamps that n individual Tick calls would have produced.
+func (c *Clock) TickN(n int) model.Time { return model.Time(c.now.Add(int64(n)) - int64(n) + 1) }

@@ -2,6 +2,7 @@ package net
 
 import (
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,14 +23,19 @@ const (
 
 // event is one pending delivery in the scheduler's priority queue, ordered by
 // (at, seq): at is the virtual-nanosecond delivery time, seq the enqueue
-// sequence number that breaks ties FIFO. A crash event reuses msg.To as the
+// sequence number that breaks ties FIFO. A message event carries the mailbox
+// it resolves to, interned at enqueue time, so the dispatcher delivers
+// without any per-message map lookup. A timer event carries the core and the
+// lease generation it was scheduled under. A crash event reuses msg.To as the
 // crashing process.
 type event struct {
 	at   int64
 	seq  uint64
 	kind eventKind
+	tgen uint64
 	msg  Message
-	tm   *Timer
+	tm   *timerCore
+	box  *mailbox
 }
 
 // splitmix64 is the cheap, statistically solid PRNG used to draw message
@@ -87,8 +93,9 @@ type eventQueue struct {
 	quit        chan struct{} // closed on close()
 }
 
-func newEventQueue(seed int64, minDelay, maxDelay time.Duration, dropRate float64, realtime bool) *eventQueue {
+func newEventQueue(n int, seed int64, minDelay, maxDelay time.Duration, dropRate float64, realtime bool) *eventQueue {
 	q := &eventQueue{
+		heap:     make([]event, 0, eventHeapCap(n)),
 		rng:      splitmix64{x: uint64(seed)},
 		dropRng:  splitmix64{x: uint64(seed) ^ 0xd1b54a32d192ed03},
 		minDelay: int64(minDelay),
@@ -105,6 +112,28 @@ func newEventQueue(seed int64, minDelay, maxDelay time.Duration, dropRate float6
 		q.epoch = time.Now()
 	}
 	return q
+}
+
+// eventHeapCap sizes the event heap's initial backing array. The queue's
+// high-water mark is set by broadcast storms — every participant reacting to
+// one round of traffic with a broadcast of its own enqueues O(n²) events
+// before the dispatcher drains them — so growing the heap from zero by
+// append-doubling re-copies ~2× the peak on every fresh network. That churn,
+// not the events themselves, dominated bytes/op of the consensus benchmarks
+// (events are value types inside this one array; there is no per-event
+// allocation to pool away). Pre-sizing to n² removes it; the clamp keeps tiny
+// test networks cheap and bounds the up-front cost at large n, where one
+// further doubling round is acceptable.
+func eventHeapCap(n int) int {
+	const minCap, maxCap = 64, 32768
+	c := n * n
+	if c < minCap {
+		return minCap
+	}
+	if c > maxCap {
+		return maxCap
+	}
+	return c
 }
 
 // dropThresholdFor converts a drop probability into the uint64 comparison
@@ -141,14 +170,23 @@ func (q *eventQueue) drawDelay() int64 {
 	return q.minDelay + int64(q.rng.next()%span)
 }
 
-// pushMessage enqueues a message delivery at now+delay. It reports false if
-// the queue is already closed or the lossy-link knob dropped the message. The
-// delay is drawn under the queue lock, so enqueue order determines RNG
-// consumption order; during a Freeze the virtual clock is necessarily still,
-// so a frozen batch shares one base time and its delivery order is exactly
-// the (delay, seq) sort. Drop decisions consume a dedicated RNG stream, so
-// the delay sequence of the surviving messages is unchanged.
-func (q *eventQueue) pushMessage(msg Message) bool {
+// base returns the enqueue-time origin deliveries are stamped from. Caller
+// holds q.mu.
+func (q *eventQueue) base() int64 {
+	if q.realtime {
+		return int64(time.Since(q.epoch))
+	}
+	return q.vnow
+}
+
+// pushMessage enqueues a delivery of msg into box at now+delay. It reports
+// false if the queue is already closed or the lossy-link knob dropped the
+// message. The delay is drawn under the queue lock, so enqueue order
+// determines RNG consumption order; during a Freeze the virtual clock is
+// necessarily still, so a frozen batch shares one base time and its delivery
+// order is exactly the (delay, seq) sort. Drop decisions consume a dedicated
+// RNG stream, so the delay sequence of the surviving messages is unchanged.
+func (q *eventQueue) pushMessage(msg Message, box *mailbox) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -158,17 +196,76 @@ func (q *eventQueue) pushMessage(msg Message) bool {
 		q.mu.Unlock()
 		return false
 	}
-	at := q.drawDelay()
-	if q.realtime {
-		at += int64(time.Since(q.epoch))
-	} else {
-		at += q.vnow
-	}
+	at := q.base() + q.drawDelay()
 	q.seq++
-	q.heapPush(event{at: at, seq: q.seq, kind: evMessage, msg: msg})
+	q.heapPush(event{at: at, seq: q.seq, kind: evMessage, msg: msg, box: box})
 	q.mu.Unlock()
 	q.poke(q.notify)
 	return true
+}
+
+// pushBroadcast enqueues one delivery of tmpl per process under a single lock
+// acquisition: recipient i gets tmpl with To=i, SentAt=tmpl.SentAt+i, and its
+// mailbox resolved from boxes[i]. It returns the number of deliveries
+// enqueued (the rest were dropped by the lossy-link knob) and ok=false if the
+// queue was already closed.
+//
+// Determinism contract: the RNG consumption per recipient — drop draw first
+// (only when losses are enabled), then, for survivors only, one delay draw
+// and one sequence number — is exactly the per-call order of pushMessage, in
+// recipient order 0..n-1. A broadcast therefore consumes the seeded streams
+// identically to the n-call serial loop it replaces, and the resulting
+// (deliveryTime, seq) schedule is byte-identical; only the number of lock
+// acquisitions and heap operations changes. The batch is appended and the
+// heap re-established in one pass: a full bottom-up heapify when the run is
+// large relative to the heap (container/heap's Init strategy, O(len) beats
+// n× sift-up's O(n·log len)), per-element sift-up otherwise.
+func (q *eventQueue) pushBroadcast(tmpl Message, boxes []mailbox) (enqueued int, ok bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, false
+	}
+	base := q.base()
+	start := len(q.heap)
+	for i := range boxes {
+		if q.dropThreshold > 0 && q.dropRng.next() < q.dropThreshold {
+			continue
+		}
+		at := base + q.drawDelay()
+		q.seq++
+		m := tmpl
+		m.To = model.ProcessID(i)
+		m.SentAt = tmpl.SentAt + model.Time(i)
+		q.heap = append(q.heap, event{at: at, seq: q.seq, kind: evMessage, msg: m, box: &boxes[i]})
+	}
+	enqueued = len(q.heap) - start
+	if enqueued > 0 {
+		q.restoreAppended(start)
+	}
+	q.mu.Unlock()
+	if enqueued > 0 {
+		q.poke(q.notify)
+	}
+	return enqueued, true
+}
+
+// restoreAppended re-establishes the heap invariant after a run of events was
+// appended at index start. For a small run each element sifts up; for a run
+// comparable to the heap size a full bottom-up heapify is cheaper (O(len)
+// versus O(run·log len)). Caller holds q.mu.
+func (q *eventQueue) restoreAppended(start int) {
+	n := len(q.heap)
+	run := n - start
+	if run*bits.Len(uint(n)) > n {
+		for i := n/2 - 1; i >= 0; i-- {
+			q.siftDown(i, n)
+		}
+		return
+	}
+	for i := start; i < n; i++ {
+		q.siftUp(i)
+	}
 }
 
 // pushCrash enqueues a crash of process p at the absolute virtual time at. The
@@ -187,15 +284,16 @@ func (q *eventQueue) pushCrash(p model.ProcessID, at int64) {
 	q.poke(q.notify)
 }
 
-// scheduleTimer enqueues a timer fire at the absolute virtual time at.
-func (q *eventQueue) scheduleTimer(t *Timer, at int64) {
+// scheduleTimer enqueues a fire of timer core tc's lease gen at the absolute
+// virtual time at.
+func (q *eventQueue) scheduleTimer(tc *timerCore, at int64, gen uint64) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return
 	}
 	q.seq++
-	q.heapPush(event{at: at, seq: q.seq, kind: evTimer, tm: t})
+	q.heapPush(event{at: at, seq: q.seq, kind: evTimer, tm: tc, tgen: gen})
 	q.mu.Unlock()
 	q.poke(q.notify)
 }
@@ -376,7 +474,10 @@ func eventLess(a, b event) bool {
 
 func (q *eventQueue) heapPush(ev event) {
 	q.heap = append(q.heap, ev)
-	i := len(q.heap) - 1
+	q.siftUp(len(q.heap) - 1)
+}
+
+func (q *eventQueue) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !eventLess(q.heap[i], q.heap[parent]) {
@@ -387,12 +488,7 @@ func (q *eventQueue) heapPush(ev event) {
 	}
 }
 
-func (q *eventQueue) heapPopHead() {
-	n := len(q.heap) - 1
-	q.heap[0] = q.heap[n]
-	q.heap[n] = event{} // release payload reference
-	q.heap = q.heap[:n]
-	i := 0
+func (q *eventQueue) siftDown(i, n int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -408,4 +504,12 @@ func (q *eventQueue) heapPopHead() {
 		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
 		i = smallest
 	}
+}
+
+func (q *eventQueue) heapPopHead() {
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap[n] = event{} // release payload reference
+	q.heap = q.heap[:n]
+	q.siftDown(0, n)
 }

@@ -148,7 +148,8 @@ func TestCrashWithoutLogDoesNotPanic(t *testing.T) {
 // The mailbox ring must wrap, grow, and preserve FIFO across both, with
 // consumed slots released.
 func TestMailboxRingWrapsAndGrows(t *testing.T) {
-	m := newMailbox()
+	m := new(mailbox)
+	m.init()
 	defer m.stop()
 	out := m.subscribe()
 	next := 0
@@ -234,10 +235,10 @@ func TestDropThresholdEdgeCases(t *testing.T) {
 // reliable link: with the old unclamped conversion a rounded product of
 // exactly 2⁶⁴ could yield threshold 0 and deliver everything.
 func TestDropRateJustBelowOneDropsMessages(t *testing.T) {
-	q := newEventQueue(1, 0, 0, math.Nextafter(1, 0), false)
+	q := newEventQueue(2, 1, 0, 0, math.Nextafter(1, 0), false)
 	delivered := 0
 	for i := 0; i < 200; i++ {
-		if q.pushMessage(Message{To: 0}) {
+		if q.pushMessage(Message{To: 0}, nil) {
 			delivered++
 		}
 	}

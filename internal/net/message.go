@@ -11,12 +11,21 @@ import (
 // value. Instance lets independent protocol instances share one network
 // without seeing each other's traffic (the runtime does not interpret it
 // beyond routing; protocols filter on it).
+//
+// Aux and Aux2 are two protocol-defined scalar words carried inline in the
+// envelope. Control messages whose whole content is one or two integers
+// (ballot numbers, round counters, sequence numbers) can ride in them with a
+// nil Payload, sparing the interface boxing a struct payload costs on every
+// send — on the ack-heavy paths of the quorum protocols that box is the
+// dominant steady-state allocation. They are zero when unused.
 type Message struct {
 	From     model.ProcessID
 	To       model.ProcessID
 	Type     string
 	Instance string
 	Payload  any
+	Aux      int64
+	Aux2     int64
 	SentAt   model.Time
 }
 

@@ -22,6 +22,11 @@
 // Endpoint.NewTimer) ride the same event heap, which is how heartbeat-style
 // failure detectors stay meaningful when time is virtual. See ARCHITECTURE.md
 // for the scheduler's design and its determinism guarantees.
+//
+// Protocol instances are interned: the first use of an instance name resolves
+// it to a per-network instState carrying the contiguous mailbox array and the
+// per-instance counters, and an Instance handle (Endpoint.Instance) lets hot
+// loops send, broadcast and receive with no per-call map lookup at all.
 package net
 
 import (
@@ -92,6 +97,16 @@ func WithLog(l *trace.Log) Option {
 	return func(n *Network) { n.log = l }
 }
 
+// WithSerialBroadcast makes Broadcast enqueue its n per-recipient sends one
+// at a time (n queue-lock acquisitions and n sift-ups) instead of through the
+// batched single-lock fast path. Both paths consume the seeded RNG streams in
+// exactly the same per-recipient order and therefore produce byte-identical
+// (deliveryTime, seq) schedules; the knob exists so determinism tests can
+// prove that equivalence and benchmarks can measure the batching win.
+func WithSerialBroadcast() Option {
+	return func(n *Network) { n.serial = true }
+}
+
 // Network is an in-memory asynchronous network of n processes. Create one
 // with NewNetwork, hand each protocol participant its Endpoint, inject
 // crashes with Crash, and Close it when the run is over.
@@ -106,17 +121,31 @@ type Network struct {
 	seed     int64
 	dropRate float64
 	realtime bool
+	serial   bool
 
 	q *eventQueue
 
 	cSent      *trace.Counter
 	cDelivered *trace.Counter
 	cDropped   *trace.Counter
-	instSent   sync.Map // instance string -> *trace.Counter, interned once
+	cCrashes   *trace.Counter
 
-	endpoints []*Endpoint
+	instMu    sync.RWMutex
+	instances map[string]*instState
+
+	endpoints []Endpoint
 	closed    atomic.Bool
 	wg        sync.WaitGroup
+}
+
+// instState is the interned per-instance state: the instance's sent counter
+// and its mailboxes, one per process, in one contiguous allocation. Message
+// events resolve their mailbox at enqueue time, so the dispatcher and the
+// receivers never look an instance up again.
+type instState struct {
+	name  string
+	sent  *trace.Counter
+	boxes []mailbox // indexed by ProcessID
 }
 
 // NewNetwork creates a network of n processes with no crashes yet.
@@ -139,17 +168,15 @@ func NewNetwork(n int, opts ...Option) *Network {
 	nw.cSent = nw.metrics.Counter("msgs.sent")
 	nw.cDelivered = nw.metrics.Counter("msgs.delivered")
 	nw.cDropped = nw.metrics.Counter("msgs.dropped")
-	nw.q = newEventQueue(nw.seed, nw.minDelay, nw.maxDelay, nw.dropRate, nw.realtime)
-	nw.endpoints = make([]*Endpoint, n)
-	for i := 0; i < n; i++ {
-		ctx, cancel := context.WithCancel(context.Background())
-		nw.endpoints[i] = &Endpoint{
-			id:     model.ProcessID(i),
-			net:    nw,
-			ctx:    ctx,
-			cancel: cancel,
-			boxes:  make(map[string]*mailbox),
-		}
+	nw.cCrashes = nw.metrics.Counter("crashes")
+	nw.q = newEventQueue(n, nw.seed, nw.minDelay, nw.maxDelay, nw.dropRate, nw.realtime)
+	nw.instances = make(map[string]*instState)
+	nw.endpoints = make([]Endpoint, n)
+	for i := range nw.endpoints {
+		ep := &nw.endpoints[i]
+		ep.id = model.ProcessID(i)
+		ep.net = nw
+		ep.ctx.done = make(chan struct{})
 	}
 	nw.wg.Add(1)
 	go nw.dispatch()
@@ -171,7 +198,39 @@ func (nw *Network) Metrics() *trace.Metrics { return nw.metrics }
 
 // Endpoint returns process p's endpoint.
 func (nw *Network) Endpoint(p model.ProcessID) *Endpoint {
-	return nw.endpoints[int(p)]
+	return &nw.endpoints[int(p)]
+}
+
+// intern resolves an instance name to its interned state, creating it on
+// first use. The fast path is a read-locked plain map lookup — unlike a
+// sync.Map it does not box the string key into an interface, so a cold call
+// site that still sends by name costs no allocation.
+func (nw *Network) intern(name string) *instState {
+	nw.instMu.RLock()
+	st := nw.instances[name]
+	nw.instMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	nw.instMu.Lock()
+	if st = nw.instances[name]; st == nil {
+		st = &instState{
+			name:  name,
+			sent:  nw.metrics.Counter("msgs.sent." + name),
+			boxes: make([]mailbox, nw.n),
+		}
+		for i := range st.boxes {
+			st.boxes[i].init()
+		}
+		if nw.closed.Load() {
+			for i := range st.boxes {
+				st.boxes[i].stop()
+			}
+		}
+		nw.instances[name] = st
+	}
+	nw.instMu.Unlock()
+	return st
 }
 
 // Crash kills process p: its crash is recorded in the failure pattern at the
@@ -179,15 +238,15 @@ func (nw *Network) Endpoint(p model.ProcessID) *Endpoint {
 // no further messages are delivered to or accepted from it. Crashing an
 // already-crashed process is a no-op.
 func (nw *Network) Crash(p model.ProcessID) {
-	ep := nw.endpoints[int(p)]
+	ep := &nw.endpoints[int(p)]
 	if ep.crashed.Swap(true) {
 		return
 	}
 	t := nw.clock.Tick()
 	nw.pattern.Crash(p, t)
 	nw.log.Append(t, p, "crash", "process crashed")
-	nw.metrics.Inc("crashes")
-	ep.cancel()
+	nw.cCrashes.Inc()
+	ep.ctx.cancel()
 	ep.stopTimers()
 }
 
@@ -213,8 +272,8 @@ func (nw *Network) Crashed(p model.ProcessID) bool {
 // Alive returns the set of processes that have not crashed.
 func (nw *Network) Alive() model.ProcessSet {
 	s := model.NewProcessSet()
-	for i, ep := range nw.endpoints {
-		if !ep.crashed.Load() {
+	for i := range nw.endpoints {
+		if !nw.endpoints[i].crashed.Load() {
 			s.Add(model.ProcessID(i))
 		}
 	}
@@ -228,16 +287,21 @@ func (nw *Network) Close() {
 	if nw.closed.Swap(true) {
 		return
 	}
-	for _, ep := range nw.endpoints {
-		ep.cancel()
+	for i := range nw.endpoints {
+		ep := &nw.endpoints[i]
+		ep.ctx.cancel()
 		ep.stopTimers()
 	}
 	if dropped := nw.q.close(); dropped > 0 {
 		nw.cDropped.Add(int64(dropped))
 	}
 	nw.wg.Wait()
-	for _, ep := range nw.endpoints {
-		ep.closeBoxes()
+	nw.instMu.RLock()
+	defer nw.instMu.RUnlock()
+	for _, st := range nw.instances {
+		for i := range st.boxes {
+			st.boxes[i].stop()
+		}
 	}
 }
 
@@ -253,40 +317,62 @@ func (nw *Network) Freeze() { nw.q.setHeld(true) }
 // Thaw resumes event dispatch after Freeze.
 func (nw *Network) Thaw() { nw.q.setHeld(false) }
 
-// send enqueues an asynchronous delivery of msg. It is a no-op if the network
-// is closed or the sender has crashed.
-func (nw *Network) send(msg Message) {
-	if nw.closed.Load() || nw.Crashed(msg.From) {
+// sendTo enqueues an asynchronous delivery to one process. It is a no-op if
+// the network is closed or the sender has crashed.
+func (nw *Network) sendTo(st *instState, from, to model.ProcessID, typ string, aux, aux2 int64, payload any) {
+	if nw.closed.Load() || nw.Crashed(from) {
 		nw.cDropped.Inc()
 		return
 	}
-	if int(msg.To) < 0 || int(msg.To) >= nw.n {
-		panic(fmt.Sprintf("net: send to out-of-range process %v", msg.To))
+	if int(to) < 0 || int(to) >= nw.n {
+		panic(fmt.Sprintf("net: send to out-of-range process %v", to))
 	}
-	msg.SentAt = nw.clock.Tick()
+	sentAt := nw.clock.Tick()
 	nw.cSent.Inc()
-	nw.instCounter(msg.Instance).Inc()
-	if !nw.q.pushMessage(msg) {
+	st.sent.Inc()
+	msg := Message{From: from, To: to, Instance: st.name, Type: typ, Payload: payload, Aux: aux, Aux2: aux2, SentAt: sentAt}
+	if !nw.q.pushMessage(msg, &st.boxes[int(to)]) {
 		nw.cDropped.Inc()
 	}
 }
 
-// instCounter returns the interned per-instance sent counter, building the
-// "msgs.sent.<instance>" key only on the first send of each instance.
-func (nw *Network) instCounter(instance string) *trace.Counter {
-	if c, ok := nw.instSent.Load(instance); ok {
-		return c.(*trace.Counter)
+// broadcast enqueues one delivery per process. On the default fast path the
+// whole fan-out is one eventQueue.pushBroadcast call: the logical clock is
+// advanced n ticks at once and the queue lock taken once, but the
+// per-recipient RNG consumption and sequence numbering are exactly those of
+// n sendTo calls in recipient order — see pushBroadcast for the contract.
+// With WithSerialBroadcast it degenerates to that n-call loop.
+func (nw *Network) broadcast(st *instState, from model.ProcessID, typ string, aux, aux2 int64, payload any) {
+	if nw.closed.Load() || nw.Crashed(from) {
+		nw.cDropped.Add(int64(nw.n))
+		return
 	}
-	c, _ := nw.instSent.LoadOrStore(instance, nw.metrics.Counter("msgs.sent."+instance))
-	return c.(*trace.Counter)
+	if nw.serial {
+		for i := 0; i < nw.n; i++ {
+			nw.sendTo(st, from, model.ProcessID(i), typ, aux, aux2, payload)
+		}
+		return
+	}
+	first := nw.clock.TickN(nw.n)
+	nw.cSent.Add(int64(nw.n))
+	st.sent.Add(int64(nw.n))
+	tmpl := Message{From: from, Instance: st.name, Type: typ, Payload: payload, Aux: aux, Aux2: aux2, SentAt: first}
+	enqueued, ok := nw.q.pushBroadcast(tmpl, st.boxes)
+	if !ok {
+		enqueued = 0
+	}
+	if d := nw.n - enqueued; d > 0 {
+		nw.cDropped.Add(int64(d))
+	}
 }
 
 // dispatch is the single delivery goroutine: it drains the event queue in
-// (deliveryTime, seq) order, delivering messages into mailboxes, firing
-// timers and executing scheduled crashes. Events that are due at the same
-// virtual instant are popped as one batch under a single lock acquisition
-// (the delivery path is handoff-bound, so per-event locking was the hot
-// spot). No goroutine is ever spawned per message.
+// (deliveryTime, seq) order, delivering messages into their pre-resolved
+// mailboxes, firing timers and executing scheduled crashes. Events that are
+// due at the same virtual instant are popped as one batch under a single
+// lock acquisition (the delivery path is handoff-bound, so per-event locking
+// was the hot spot). No goroutine is ever spawned per message, and no lock or
+// lookup beyond the destination mailbox's own mutex is taken per delivery.
 func (nw *Network) dispatch() {
 	defer nw.wg.Done()
 	var batch []event
@@ -304,16 +390,46 @@ func (nw *Network) dispatch() {
 					nw.cDropped.Inc()
 				} else {
 					nw.clock.Tick()
+					ev.box.push(ev.msg)
+					// Counted after the push: once the books balance
+					// (sent == delivered + dropped) every message really is
+					// in its mailbox, so quiescence is observable from the
+					// counters alone.
 					nw.cDelivered.Inc()
-					nw.endpoints[int(ev.msg.To)].deliver(ev.msg)
 				}
 			case evTimer:
-				ev.tm.fired(ev.at)
+				ev.tm.fired(ev.at, ev.tgen)
 			case evCrash:
 				nw.Crash(ev.msg.To)
 			}
 			*ev = event{} // release payload references held by the batch buffer
 		}
+	}
+}
+
+// processCtx is the minimal context.Context behind Endpoint.Context: done
+// channel plus Canceled error, nothing else. A full context.WithCancel chain
+// costs several allocations per process, which dominates network construction
+// at large n; protocol code only ever selects on Done and reports Err.
+type processCtx struct {
+	done     chan struct{}
+	canceled atomic.Bool
+}
+
+func (c *processCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *processCtx) Done() <-chan struct{}       { return c.done }
+func (c *processCtx) Value(any) any               { return nil }
+
+func (c *processCtx) Err() error {
+	if c.canceled.Load() {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *processCtx) cancel() {
+	if c.canceled.CompareAndSwap(false, true) {
+		close(c.done)
 	}
 }
 
@@ -323,13 +439,12 @@ func (nw *Network) dispatch() {
 type Endpoint struct {
 	id      model.ProcessID
 	net     *Network
-	ctx     context.Context
-	cancel  context.CancelFunc
+	ctx     processCtx
 	crashed atomic.Bool
 
-	mu     sync.Mutex
-	boxes  map[string]*mailbox
-	timers []*Timer
+	mu       sync.Mutex
+	timers   []*Timer
+	timerArr [4]*Timer // inline backing for timers: typical processes hold at most a few concurrent leases
 }
 
 // ID returns the process identifier of this endpoint.
@@ -341,7 +456,7 @@ func (ep *Endpoint) N() int { return ep.net.n }
 // Context is cancelled when the process crashes or the network closes.
 // Protocol loops must select on it so that crashed processes stop taking
 // steps.
-func (ep *Endpoint) Context() context.Context { return ep.ctx }
+func (ep *Endpoint) Context() context.Context { return &ep.ctx }
 
 // Crashed reports whether this process has crashed.
 func (ep *Endpoint) Crashed() bool { return ep.crashed.Load() }
@@ -352,18 +467,24 @@ func (ep *Endpoint) Clock() *Clock { return ep.net.clock }
 // Network returns the network this endpoint belongs to.
 func (ep *Endpoint) Network() *Network { return ep.net }
 
+// Instance resolves an instance name once and returns the handle hot paths
+// should hold on to: every Instance method runs with zero name lookups.
+// Instance is a small value, so resolving one allocates nothing beyond the
+// first-use interning of the name itself.
+func (ep *Endpoint) Instance(name string) Instance {
+	return Instance{ep: ep, st: ep.net.intern(name)}
+}
+
 // Send sends a message of the given instance and type to process "to".
 func (ep *Endpoint) Send(to model.ProcessID, instance, typ string, payload any) {
-	ep.net.send(Message{From: ep.id, To: to, Instance: instance, Type: typ, Payload: payload})
+	ep.net.sendTo(ep.net.intern(instance), ep.id, to, typ, 0, 0, payload)
 }
 
 // Broadcast sends the message to every process, including the sender itself
 // (the paper's algorithms routinely "send to all" and rely on receiving their
 // own message).
 func (ep *Endpoint) Broadcast(instance, typ string, payload any) {
-	for i := 0; i < ep.net.n; i++ {
-		ep.Send(model.ProcessID(i), instance, typ, payload)
-	}
+	ep.net.broadcast(ep.net.intern(instance), ep.id, typ, 0, 0, payload)
 }
 
 // Subscribe returns the channel of messages addressed to this process for the
@@ -373,7 +494,7 @@ func (ep *Endpoint) Broadcast(instance, typ string, payload any) {
 // it cooperatively. Do not mix Subscribe and TryRecv on one instance: the
 // channel's forwarder goroutine would race TryRecv for messages.
 func (ep *Endpoint) Subscribe(instance string) <-chan Message {
-	return ep.box(instance).subscribe()
+	return ep.Instance(instance).Subscribe()
 }
 
 // TryRecv pops the next buffered message for the given instance without
@@ -384,23 +505,112 @@ func (ep *Endpoint) Subscribe(instance string) <-chan Message {
 // synchronously before acting on a tick. Do not mix with Subscribe on the
 // same instance.
 func (ep *Endpoint) TryRecv(instance string) (Message, bool) {
-	return ep.box(instance).tryPop()
+	return ep.Instance(instance).TryRecv()
 }
 
-func (ep *Endpoint) box(instance string) *mailbox {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	b, ok := ep.boxes[instance]
-	if !ok {
-		b = newMailbox()
-		ep.boxes[instance] = b
+// Instance is an interned handle on one (process, instance) pair: the mailbox
+// and counters are resolved once at Instance() time, so sends, broadcasts and
+// receives through the handle perform no map lookups. The zero Instance is
+// invalid. Instance values are cheap to copy and safe for concurrent use.
+type Instance struct {
+	ep *Endpoint
+	st *instState
+}
+
+// Name returns the interned instance name.
+func (in Instance) Name() string { return in.st.name }
+
+// Send sends a message of this instance to process "to".
+func (in Instance) Send(to model.ProcessID, typ string, payload any) {
+	in.ep.net.sendTo(in.st, in.ep.id, to, typ, 0, 0, payload)
+}
+
+// SendAux sends a message whose scalar content rides in the envelope's Aux
+// words (see Message): no payload box is allocated when payload is nil.
+func (in Instance) SendAux(to model.ProcessID, typ string, aux, aux2 int64, payload any) {
+	in.ep.net.sendTo(in.st, in.ep.id, to, typ, aux, aux2, payload)
+}
+
+// Broadcast sends the message to every process through the batched enqueue
+// fast path (a single queue-lock acquisition for the whole fan-out).
+func (in Instance) Broadcast(typ string, payload any) {
+	in.ep.net.broadcast(in.st, in.ep.id, typ, 0, 0, payload)
+}
+
+// BroadcastAux is Broadcast with the envelope's scalar Aux words set; like
+// SendAux it allocates no payload box when payload is nil.
+func (in Instance) BroadcastAux(typ string, aux, aux2 int64, payload any) {
+	in.ep.net.broadcast(in.st, in.ep.id, typ, aux, aux2, payload)
+}
+
+// Subscribe returns the channel facade over this process's mailbox; see
+// Endpoint.Subscribe.
+func (in Instance) Subscribe() <-chan Message {
+	return in.box().subscribe()
+}
+
+// TryRecv pops the next buffered message without blocking; see
+// Endpoint.TryRecv.
+func (in Instance) TryRecv() (Message, bool) {
+	return in.box().tryPop()
+}
+
+// Recv blocks until a message for this process is buffered and pops it. It
+// returns ok=false when the mailbox has stopped (network close) or the wait
+// was interrupted by Wake — callers must then re-check their own stop
+// conditions and may simply call Recv again. Unlike Subscribe there is no
+// forwarder goroutine or channel between the dispatcher and the caller: the
+// dispatcher's push wakes the receiver directly, one handoff per message. Do
+// not mix with Subscribe on the same instance.
+func (in Instance) Recv() (Message, bool) {
+	return in.box().recv()
+}
+
+// Handler is a synchronous message consumer registered with Instance.Handle.
+// It is an interface rather than a func value so that registering a
+// pointer-backed participant allocates nothing (boxing a pointer into an
+// interface is free; wrapping a method in a func value is a heap closure).
+type Handler interface {
+	// HandleMessage is invoked on the network's dispatch goroutine, once per
+	// delivered message, in delivery order. It must not block.
+	HandleMessage(Message)
+}
+
+// Handle registers h as this process's delivery handler for the instance:
+// the dispatcher invokes it synchronously, on the dispatch goroutine, for
+// every message instead of buffering into the mailbox ring. It is the
+// zero-goroutine consumption mode for purely reactive participants — no
+// per-process receive loop, no wakeup, no handoff; the cost of an idle
+// participant is nothing at all.
+//
+// The handler must not block (it stalls delivery for the whole network if it
+// does) and must not call Recv/TryRecv/Subscribe on this instance; sending —
+// including broadcasts — is fine, the events are enqueued for later
+// dispatch. Messages already buffered before Handle are not replayed;
+// register the handler before traffic starts. Passing nil restores buffered
+// delivery.
+func (in Instance) Handle(h Handler) {
+	in.box().setHandler(h)
+}
+
+// Wake interrupts this process's pending and future Recv calls on the
+// instance, making them return ok=false so the receiving loop can observe a
+// stop condition. One Wake releases all current waiters.
+func (in Instance) Wake() {
+	in.box().wake()
+}
+
+// WakeAll interrupts the pending Recv calls of every process on this
+// instance, so a group-level shutdown can release all receiving loops at
+// once. Loops whose own stop condition has not been signalled simply observe
+// a spurious wake and block again.
+func (in Instance) WakeAll() {
+	for i := range in.st.boxes {
+		in.st.boxes[i].wake()
 	}
-	return b
 }
 
-func (ep *Endpoint) deliver(msg Message) {
-	ep.box(msg.Instance).push(msg)
-}
+func (in Instance) box() *mailbox { return &in.st.boxes[int(in.ep.id)] }
 
 // adoptTimer ties a timer's lifetime to the process: crash or network close
 // stops it, so an exiting protocol loop cannot freeze virtual time. Dead
@@ -410,9 +620,16 @@ func (ep *Endpoint) adoptTimer(t *Timer) {
 	ep.mu.Lock()
 	dead := ep.crashed.Load() || ep.net.closed.Load()
 	if !dead {
+		if ep.timers == nil {
+			// First adoption (or first after a stopTimers sweep, which only
+			// happens once the process is dead): borrow the inline array so
+			// the common ≤4-lease case allocates no list. stopTimers hands
+			// the backing away, but never to a process that can adopt again.
+			ep.timers = ep.timerArr[:0]
+		}
 		live := ep.timers[:0]
 		for _, old := range ep.timers {
-			if !old.stopped.Load() {
+			if !old.Stopped() {
 				live = append(live, old)
 			}
 		}
@@ -437,47 +654,60 @@ func (ep *Endpoint) stopTimers() {
 	}
 }
 
-func (ep *Endpoint) closeBoxes() {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	for _, b := range ep.boxes {
-		b.stop()
-	}
-}
-
-// mailbox is an unbounded FIFO queue with a channel interface: push never
-// blocks the dispatcher, and out delivers in FIFO order. Internally it is a
-// ring buffer with condition-variable wakeup; consumed slots are cleared and
-// the backing array is reused, unlike the old q = q[1:] slice pump, which
-// pinned every delivered payload until the slice reallocated.
+// mailbox is an unbounded FIFO queue: push never blocks the dispatcher, and
+// consumers take messages either directly (tryPop, recv) or through a lazily
+// created channel facade (subscribe). Internally it is a ring buffer with
+// condition-variable wakeup; consumed slots are cleared and the backing array
+// is reused, unlike the old q = q[1:] slice pump, which pinned every
+// delivered payload until the slice reallocated.
+//
+// The push fast path is lock-light: when no reader is blocked (the common
+// case for TryRecv-driven consumers, and for reactive consumers that are
+// busy processing) push is a mutex-protected ring write with no
+// condition-variable signal at all — waiters are counted, and the signal is
+// issued only when someone is actually waiting.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   sync.Cond
-	buf    []Message
-	head   int
-	count  int
-	closed bool
+	mu      sync.Mutex
+	cond    sync.Cond
+	buf     []Message
+	head    int
+	count   int
+	waiters int
+	wakes   uint64
+	closed  bool
+	handler Handler
 
 	out     chan Message
 	quit    chan struct{}
-	once    sync.Once
 	subOnce sync.Once
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{
-		out:  make(chan Message),
-		quit: make(chan struct{}),
-	}
+// init prepares a zero mailbox in place (mailboxes live in the instState's
+// contiguous array). The subscriber channel and its forwarder are created
+// lazily on first subscribe, so TryRecv/Recv-only consumers never pay for
+// them.
+func (m *mailbox) init() {
 	m.cond.L = &m.mu
-	return m
 }
 
-// subscribe returns the channel facade, starting the forwarder on first use
-// so that TryRecv-only consumers never compete with it.
+// subscribe returns the channel facade, creating it and starting the
+// forwarder on first use so that TryRecv-only consumers never compete with
+// it.
 func (m *mailbox) subscribe() <-chan Message {
-	m.subOnce.Do(func() { go m.forward() })
-	return m.out
+	m.subOnce.Do(func() {
+		m.mu.Lock()
+		m.out = make(chan Message)
+		m.quit = make(chan struct{}, 1)
+		if m.closed {
+			m.quit <- struct{}{}
+		}
+		m.mu.Unlock()
+		go m.forward()
+	})
+	m.mu.Lock()
+	out := m.out
+	m.mu.Unlock()
+	return out
 }
 
 func (m *mailbox) push(msg Message) {
@@ -486,13 +716,24 @@ func (m *mailbox) push(msg Message) {
 		m.mu.Unlock()
 		return
 	}
+	if h := m.handler; h != nil {
+		// Handler mode: deliver synchronously on the pushing (dispatcher)
+		// goroutine, bypassing the ring. The handler is called outside the
+		// lock so it can trigger sends without re-entering the mailbox.
+		m.mu.Unlock()
+		h.HandleMessage(msg)
+		return
+	}
 	if m.count == len(m.buf) {
 		m.grow()
 	}
 	m.buf[(m.head+m.count)%len(m.buf)] = msg
 	m.count++
+	awaken := m.waiters > 0
 	m.mu.Unlock()
-	m.cond.Signal()
+	if awaken {
+		m.cond.Signal()
+	}
 }
 
 // grow doubles the ring, re-linearising the live window. Caller holds m.mu.
@@ -513,12 +754,45 @@ func (m *mailbox) pop() (Message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.count == 0 && !m.closed {
+		m.waiters++
 		m.cond.Wait()
+		m.waiters--
 	}
 	if m.closed {
 		return Message{}, false
 	}
 	return m.popLocked(), true
+}
+
+// recv blocks like pop but is additionally released by wake, returning
+// ok=false without popping so the caller can re-check its stop conditions.
+func (m *mailbox) recv() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entered := m.wakes
+	for m.count == 0 && !m.closed && m.wakes == entered {
+		m.waiters++
+		m.cond.Wait()
+		m.waiters--
+	}
+	if m.closed || m.count == 0 {
+		return Message{}, false
+	}
+	return m.popLocked(), true
+}
+
+// wake releases all blocked recv calls; see Instance.Wake.
+func (m *mailbox) setHandler(h Handler) {
+	m.mu.Lock()
+	m.handler = h
+	m.mu.Unlock()
+}
+
+func (m *mailbox) wake() {
+	m.mu.Lock()
+	m.wakes++
+	m.mu.Unlock()
+	m.cond.Broadcast()
 }
 
 // tryPop pops the next message if one is queued, without blocking.
@@ -539,8 +813,8 @@ func (m *mailbox) popLocked() Message {
 	return msg
 }
 
-// forward is the mailbox's only goroutine: it moves messages from the ring to
-// the subscriber channel.
+// forward is the mailbox's only goroutine (started on first subscribe): it
+// moves messages from the ring to the subscriber channel.
 func (m *mailbox) forward() {
 	for {
 		msg, ok := m.pop()
@@ -556,11 +830,19 @@ func (m *mailbox) forward() {
 }
 
 func (m *mailbox) stop() {
-	m.once.Do(func() {
-		m.mu.Lock()
-		m.closed = true
+	m.mu.Lock()
+	if m.closed {
 		m.mu.Unlock()
-		m.cond.Broadcast()
-		close(m.quit)
-	})
+		return
+	}
+	m.closed = true
+	quit := m.quit
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	if quit != nil {
+		select {
+		case quit <- struct{}{}:
+		default:
+		}
+	}
 }

@@ -3,7 +3,6 @@ package net
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -22,45 +21,135 @@ import (
 // Timers created through an Endpoint are stopped automatically when the
 // process crashes or the network closes; a consumer that stops receiving
 // must call Stop, or virtual time freezes for the whole network.
+//
+// A Timer is a lease on a pooled core: the struct and channels behind it are
+// recycled once the timer is stopped (or a one-shot has fired and been
+// consumed). After Stop returns, or after a one-shot's single fire has been
+// received, C must not be received from again — the channel may already be
+// feeding a later lease.
 type Timer struct {
 	C <-chan time.Duration
 
-	c      chan time.Duration
-	q      *eventQueue
-	period int64 // ns; 0 for one-shot
+	core *timerCore
+	gen  uint64
+}
 
-	stopped  atomic.Bool
-	stop     chan struct{}
-	stopOnce sync.Once
-	fire     chan int64 // dispatcher -> feeder, capacity 1
+// timerFire is one fire handed from the dispatcher to a core's feeder.
+type timerFire struct {
+	at  int64
+	gen uint64
+}
+
+// timerCore is the pooled machinery behind a Timer lease: the consumer
+// channel, the dispatcher→feeder fire channel and the stop signal are
+// allocated once and reused across leases. gen identifies the current lease;
+// heap events and fires carry the gen they were scheduled under, so anything
+// left over from a dead lease is discarded instead of cross-talking.
+type timerCore struct {
+	c       chan time.Duration
+	fire    chan timerFire // dispatcher -> feeder, capacity 1
+	stopSig chan struct{}  // Stop -> feeder, capacity 1
+
+	mu      sync.Mutex
+	q       *eventQueue
+	gen     uint64
+	period  int64 // ns; 0 for one-shot
+	stopped bool
+}
+
+// timerCorePool is a global freelist of timer cores. A parked core keeps its
+// feeder goroutine alive (blocked in select, consuming nothing): leasing a
+// pooled core therefore spawns no goroutine and allocates only the Timer
+// handle. When the pool is full a released core is dropped for the GC, and
+// its feeder exits.
+type timerCorePool struct {
+	mu   sync.Mutex
+	free []*timerCore
+}
+
+const timerCorePoolCap = 4096
+
+var timerCores timerCorePool
+
+func (p *timerCorePool) get() *timerCore {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		tc := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return tc
+	}
+	p.mu.Unlock()
+	tc := &timerCore{
+		c:       make(chan time.Duration),
+		fire:    make(chan timerFire, 1),
+		stopSig: make(chan struct{}, 1),
+	}
+	go tc.feed()
+	return tc
+}
+
+// put parks the core, reporting whether it was kept; on false the caller's
+// feeder must exit, the core is garbage.
+func (p *timerCorePool) put(tc *timerCore) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= timerCorePoolCap {
+		return false
+	}
+	p.free = append(p.free, tc)
+	return true
 }
 
 func newTimer(q *eventQueue, delay, period time.Duration) *Timer {
-	t := &Timer{
-		c:      make(chan time.Duration),
-		q:      q,
-		period: int64(period),
-		stop:   make(chan struct{}),
-		fire:   make(chan int64, 1),
-	}
-	t.C = t.c
-	go t.feed()
-	q.scheduleTimer(t, int64(q.virtualNow())+int64(delay))
+	tc := timerCores.get()
+	tc.mu.Lock()
+	tc.q = q
+	tc.gen++
+	tc.period = int64(period)
+	tc.stopped = false
+	gen := tc.gen
+	tc.mu.Unlock()
+	t := &Timer{C: tc.c, core: tc, gen: gen}
+	q.scheduleTimer(tc, int64(q.virtualNow())+int64(delay), gen)
 	return t
 }
 
 // Stop terminates the timer. It never fires again, and a feeder blocked on an
 // unconsumed fire is released. Stop is idempotent and safe to call
 // concurrently with fires.
-func (t *Timer) Stop() {
-	t.stopOnce.Do(func() {
-		t.stopped.Store(true)
-		close(t.stop)
-	})
+func (t *Timer) Stop() { t.core.stopLease(t.gen) }
+
+// Stopped reports whether the timer is dead: stopped explicitly, spent (a
+// delivered one-shot), or already recycled into a later lease.
+func (t *Timer) Stopped() bool {
+	tc := t.core
+	tc.mu.Lock()
+	dead := tc.gen != t.gen || tc.stopped
+	tc.mu.Unlock()
+	return dead
 }
 
-// fired is called by the dispatcher when the timer's heap event pops. at is
-// the virtual fire time.
+func (tc *timerCore) stopLease(gen uint64) {
+	tc.mu.Lock()
+	if gen != tc.gen || tc.stopped {
+		tc.mu.Unlock()
+		return
+	}
+	tc.stopped = true
+	// The lease is live, so its feeder is running and consumes the signal
+	// before exiting; the channel (capacity 1) is therefore free.
+	select {
+	case tc.stopSig <- struct{}{}:
+	default:
+	}
+	tc.mu.Unlock()
+}
+
+// fired is called by the dispatcher when a timer heap event pops. at is the
+// virtual fire time, gen the lease the event was scheduled under; events of a
+// dead lease are discarded here.
 //
 // A periodic timer reschedules eagerly, before its consumer has taken the
 // fire: the next tick sits in the heap while the previous one counts as
@@ -69,63 +158,109 @@ func (t *Timer) Stop() {
 // stops virtual time from galloping past a descheduled process and tripping
 // timeout-based failure detectors. (In real-time mode the wall clock paces
 // pops instead, and a lagging consumer just loses ticks, like time.Ticker.)
-func (t *Timer) fired(at int64) {
-	if t.stopped.Load() {
+//
+// The fire is pushed while still holding the core's mutex: a concurrent Stop
+// serialises either entirely before (and the push is skipped) or entirely
+// after (and the live feeder drains the fire on exit), so an outstanding
+// count can never be stranded with no feeder to release it.
+func (tc *timerCore) fired(at int64, gen uint64) {
+	tc.mu.Lock()
+	if gen != tc.gen || tc.stopped {
+		tc.mu.Unlock()
 		return
 	}
-	if t.period > 0 {
-		t.q.scheduleTimer(t, at+t.period)
+	if tc.period > 0 {
+		tc.q.scheduleTimer(tc, at+tc.period, gen)
 	}
-	t.q.outstanding.Add(1)
+	tc.q.outstanding.Add(1)
 	select {
-	case t.fire <- at:
-		if t.stopped.Load() {
-			// The feeder may have exited between the check above and the
-			// send; reclaim the fire if it is still queued so the
-			// outstanding count cannot wedge virtual time.
-			select {
-			case <-t.fire:
-				t.q.fireDone()
-			default:
-			}
-		}
+	case tc.fire <- timerFire{at: at, gen: gen}:
 	default:
 		// Consumer more than one fire behind (possible only under real
 		// time, where pops are wall-clock paced): drop the tick.
-		t.q.fireDone()
+		tc.q.fireDone()
+	}
+	tc.mu.Unlock()
+}
+
+// feed is the core's persistent feeder: it forwards fires to the consumer
+// with backpressure across successive leases, parking the core back on the
+// freelist at each lease's end. The goroutine outlives leases (that is what
+// makes re-leasing a pooled core allocation- and spawn-free) and exits only
+// when the full pool drops the core.
+//
+// A parked core's channels are empty (endLease drains them with the lease
+// already marked stopped, so nothing can be sent concurrently), which is the
+// invariant that lets the feeder block on the same select whether the core is
+// leased or parked.
+func (tc *timerCore) feed() {
+	for {
+		select {
+		case f := <-tc.fire:
+			tc.mu.Lock()
+			q := tc.q
+			live := f.gen == tc.gen && !tc.stopped
+			period := tc.period
+			tc.mu.Unlock()
+			if !live {
+				// The lease died between fired's push and here (Stop won the
+				// race): release the outstanding count and wait for the stop
+				// token that is on its way.
+				q.fireDone()
+				continue
+			}
+			select {
+			case tc.c <- time.Duration(f.at):
+				q.fireDone()
+				if period == 0 {
+					// A delivered one-shot is spent: the lease ends here.
+					tc.mu.Lock()
+					tc.stopped = true
+					tc.mu.Unlock()
+					if !tc.endLease(q) {
+						return
+					}
+				}
+			case <-tc.stopSig:
+				q.fireDone()
+				if !tc.endLease(q) {
+					return
+				}
+			}
+		case <-tc.stopSig:
+			tc.mu.Lock()
+			q := tc.q
+			tc.mu.Unlock()
+			if !tc.endLease(q) {
+				return
+			}
+		}
 	}
 }
 
-// feed forwards fires to the consumer with backpressure.
-func (t *Timer) feed() {
-	defer func() {
-		// Release any fire handed out but never delivered.
-		select {
-		case <-t.fire:
-			t.q.fireDone()
-		default:
-		}
-	}()
-	for {
-		select {
-		case at := <-t.fire:
-			select {
-			case t.c <- time.Duration(at):
-				t.q.fireDone()
-			case <-t.stop:
-				t.q.fireDone()
-				return
-			}
-			if t.period == 0 {
-				// A delivered one-shot is spent: mark it stopped so the
-				// owning endpoint can compact it away.
-				t.stopped.Store(true)
-				return
-			}
-		case <-t.stop:
-			return
-		}
+// endLease drains lease residue, invalidates the lease and parks the core on
+// the freelist, reporting whether the core was kept (false: pool full, the
+// feeder must exit). The lease is already marked stopped on every path that
+// gets here, so neither fired nor stopLease can send a new token between the
+// drain and the gen bump. Pending heap events of the old lease are discarded
+// by fired's gen check, which never touches q, so clearing it here cannot
+// race them.
+func (tc *timerCore) endLease(q *eventQueue) bool {
+	select {
+	case <-tc.fire:
+		q.fireDone()
+	default:
 	}
+	select {
+	case <-tc.stopSig:
+	default:
+	}
+	tc.mu.Lock()
+	tc.gen++
+	tc.stopped = true
+	tc.q = nil
+	tc.mu.Unlock()
+	return timerCores.put(tc)
 }
 
 // VirtualNow returns the network's current virtual time: the timestamp of the

@@ -73,6 +73,15 @@ type Config struct {
 	// Timeout bounds the run in wall-clock time (a liveness backstop; the
 	// run itself never waits out virtual delays). New sets 30s.
 	Timeout time.Duration
+	// SerialBroadcast routes every broadcast through the serial
+	// per-recipient enqueue path instead of the batched one
+	// (net.WithSerialBroadcast). The two paths are contractually
+	// schedule-identical — same RNG draws, same (time, seq) slots — so this
+	// is an ablation and verification toggle, not a behaviour axis, and it
+	// is deliberately excluded from both Key and Result.Fingerprint: a
+	// config and its serial twin are the same point of the schedule space,
+	// and the determinism tests compare their fingerprints byte-for-byte.
+	SerialBroadcast bool
 	// HistoryLimit caps the run's suspect-list sample history (a
 	// model.History ring of the most recent samples, recorded through
 	// fd.Bind for detector classes with a suspect view). New sets
@@ -171,6 +180,12 @@ func WithPsiSwitch(after model.Time, policy fd.PsiPolicy) Option {
 		c.Detector.PsiPolicy = policy
 	}
 }
+
+// WithSerialBroadcast selects the serial per-recipient broadcast enqueue
+// path. Schedules are identical either way (that is what the determinism
+// tests prove with it); the toggle exists so sweeps can cheaply double-check
+// the contract on any configuration.
+func WithSerialBroadcast() Option { return func(c *Config) { c.SerialBroadcast = true } }
 
 // WithSafetyOnly checks only the perpetual (safety) clauses: agreement and
 // validity, not termination. Use it for runs that are cut short or
@@ -339,12 +354,16 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	}
 
 	log := trace.NewLog()
-	nw := net.NewNetwork(cfg.N,
+	netOpts := []net.Option{
 		net.WithSeed(cfg.Seed),
 		net.WithDelays(cfg.MinDelay, cfg.MaxDelay),
 		net.WithDropRate(cfg.DropRate),
 		net.WithLog(log),
-	)
+	}
+	if cfg.SerialBroadcast {
+		netOpts = append(netOpts, net.WithSerialBroadcast())
+	}
+	nw := net.NewNetwork(cfg.N, netOpts...)
 	defer nw.Close()
 
 	var hist *model.History

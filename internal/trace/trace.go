@@ -31,8 +31,14 @@ func (c *Counter) Get() int64 { return c.n.Load() }
 
 // Metrics is a set of named monotonic counters, sharded into one atomic per
 // key. The zero value is ready to use. Metrics is safe for concurrent use.
+//
+// The registry is a read-locked plain map rather than a sync.Map: interning a
+// handle neither boxes the string key into an interface nor pays the trie
+// initialisation a fresh sync.Map performs, so creating many short-lived
+// Metrics (one per run of a sweep) stays cheap.
 type Metrics struct {
-	counters sync.Map // string -> *Counter
+	mu       sync.RWMutex
+	counters map[string]*Counter
 }
 
 // NewMetrics returns an empty metrics set.
@@ -42,11 +48,24 @@ func NewMetrics() *Metrics { return &Metrics{} }
 // stable for the lifetime of the Metrics; hot paths should intern once and
 // increment the handle.
 func (m *Metrics) Counter(name string) *Counter {
-	if c, ok := m.counters.Load(name); ok {
-		return c.(*Counter)
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
 	}
-	c, _ := m.counters.LoadOrStore(name, new(Counter))
-	return c.(*Counter)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		if m.counters == nil {
+			// Sized for the usual complement of protocol counters, so interning
+			// them into a fresh Metrics does not grow the map incrementally.
+			m.counters = make(map[string]*Counter, 16)
+		}
+		c = new(Counter)
+		m.counters[name] = c
+	}
+	return c
 }
 
 // Add increments the named counter by n.
@@ -57,19 +76,23 @@ func (m *Metrics) Inc(name string) { m.Add(name, 1) }
 
 // Get returns the current value of the named counter (zero if never touched).
 func (m *Metrics) Get(name string) int64 {
-	if c, ok := m.counters.Load(name); ok {
-		return c.(*Counter).Get()
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c == nil {
+		return 0
 	}
-	return 0
+	return c.Get()
 }
 
 // Snapshot returns a copy of all counters.
 func (m *Metrics) Snapshot() map[string]int64 {
-	out := make(map[string]int64)
-	m.counters.Range(func(k, v any) bool {
-		out[k.(string)] = v.(*Counter).Get()
-		return true
-	})
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, c := range m.counters {
+		out[k] = c.Get()
+	}
 	return out
 }
 
