@@ -10,6 +10,15 @@
 // flags reproduces the report byte-for-byte up to the timing fields
 // (elapsed_ms, explore_runs_per_sec), which is asserted by CI.
 //
+// Persistence flags connect explorations across invocations and machines:
+// -corpus-in seeds this run with a serialized corpus (a -corpus-out file or
+// any explore report), -corpus-out serializes this run's corpus state, and
+// -frontier-state checkpoints the frontier bisection after every run so an
+// interrupted search resumes losing at most one run. Reports carry a
+// schema_version and a space fingerprint, so cmd/campaign can fold
+// differently-seeded reports into one campaign report and refuse mixing
+// incompatible searches.
+//
 // Examples:
 //
 //	explore -proto consensus -n 5 -seed 7 -runs 500 \
@@ -17,7 +26,9 @@
 //	    -timeout 250ms -minimize 3 -progress 2s
 //	explore -proto consensus -n 5 -runs 200 \
 //	    -frontier 'eventually-perfect:stabilize:100000;eventually-strong:stabilize:1000' \
-//	    -frontier-seeds 1,2,3
+//	    -frontier-seeds 1,2,3 -frontier-state frontier.json
+//	explore -proto consensus -n 5 -seed 8 -runs 500 \
+//	    -corpus-in gen1.corpus.json -corpus-out gen2.corpus.json
 //
 // Exit codes: 0 exploration completed (found failures are a result, not an
 // error), 2 usage or setup error, 3 cancelled (SIGINT/SIGTERM).
@@ -25,7 +36,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,33 +53,6 @@ import (
 	"weakestfd/internal/model"
 	"weakestfd/internal/scenario"
 )
-
-// report is the JSON artifact of one invocation, styled after BENCH_net.json
-// and the cmd/sweep report: generated_by/go_version header plus the
-// exploration's own report and the frontier tables.
-type report struct {
-	GeneratedBy string  `json:"generated_by"`
-	GoVersion   string  `json:"go_version"`
-	Proto       string  `json:"proto"`
-	N           int     `json:"n"`
-	Seed        int64   `json:"seed"`
-	Budget      int     `json:"budget"`
-	Runs        int     `json:"runs"`
-	Novel       int     `json:"novel"`
-	Duplicates  int     `json:"duplicates"`
-	Cancelled   int     `json:"cancelled,omitempty"`
-	FirstFail   int     `json:"first_failure_run,omitempty"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
-	RunsPerSec  float64 `json:"explore_runs_per_sec"`
-
-	Corpus             []explore.Entry            `json:"corpus,omitempty"`
-	Mutators           []*explore.MutatorStat     `json:"mutators"`
-	Failures           []explore.Failure          `json:"failures,omitempty"`
-	Minimized          []explore.MinimizedFailure `json:"minimized,omitempty"`
-	MinimizeCandidates int                        `json:"minimize_candidates,omitempty"`
-	Frontier           []explore.Boundary         `json:"frontier,omitempty"`
-	FrontierRuns       int                        `json:"frontier_runs,omitempty"`
-}
 
 func main() {
 	os.Exit(run())
@@ -95,6 +78,9 @@ func run() int {
 		depthSignal   = flag.Bool("depth-signal", false, "mix suspect-history depth into the novelty signature (trades reproducibility for sensitivity)")
 		frontier      = flag.String("frontier", "", "frontier axes 'class:param:max' split by ';', e.g. 'eventually-perfect:stabilize:100000;eventually-strong:stabilize:1000'")
 		frontierSeeds = flag.String("frontier-seeds", "", "probe seeds for the frontier search (default: the master seed)")
+		frontierState = flag.String("frontier-state", "", "frontier checkpoint file: resumed from if present, rewritten after every probe run")
+		corpusIn      = flag.String("corpus-in", "", "seed corpus file (a -corpus-out file or any explore report)")
+		corpusOut     = flag.String("corpus-out", "", "serialize the final corpus state here (atomic write)")
 		out           = flag.String("out", "", "report path (default stdout)")
 		progress      = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
 	)
@@ -134,6 +120,24 @@ func run() int {
 	}
 	for i := 0; i < probeSpan.N; i++ {
 		probeSeeds = append(probeSeeds, probeSpan.From+int64(i))
+	}
+
+	var seedCorpus *explore.CorpusState
+	if *corpusIn != "" {
+		data, err := os.ReadFile(*corpusIn)
+		if err != nil {
+			return usageErr("corpus-in: %v", err)
+		}
+		// Accept either a serialized corpus state or a full explore report
+		// (whose corpus doubles as a seedable state).
+		if sw, ex, err := cliutil.ReadAnyReport(*corpusIn, data); err == nil {
+			if sw != nil {
+				return usageErr("corpus-in %s: is a sweep report, which carries no corpus", *corpusIn)
+			}
+			seedCorpus = ex.CorpusState()
+		} else if seedCorpus, err = explore.LoadCorpus(data); err != nil {
+			return usageErr("corpus-in %s: %v", *corpusIn, err)
+		}
 	}
 
 	baseSchedules, err := cliutil.ParseCrashes(*crashes, *n)
@@ -178,6 +182,7 @@ func run() int {
 		Classes:       alphabet,
 		MinimizeLimit: minimizeLimit,
 		DepthSignal:   *depthSignal,
+		SeedCorpus:    seedCorpus,
 		OnRun: func(_ int, res *scenario.Result) {
 			done.Add(1)
 			if !res.Verdict.OK {
@@ -210,29 +215,50 @@ func run() int {
 		return usageErr("%v", err)
 	}
 
-	outRep := report{
-		GeneratedBy:        "cmd/explore " + strings.Join(os.Args[1:], " "),
-		GoVersion:          runtime.Version(),
-		Proto:              rep.Proto,
-		N:                  rep.N,
-		Seed:               rep.Seed,
-		Budget:             rep.Budget,
-		Runs:               rep.Runs,
-		Novel:              rep.Novel,
-		Duplicates:         rep.Duplicates,
-		Cancelled:          rep.Cancelled,
-		FirstFail:          rep.FirstFailureRun,
-		ElapsedMS:          float64(rep.Elapsed) / float64(time.Millisecond),
-		RunsPerSec:         rep.RunsPerSec,
-		Corpus:             rep.Corpus,
-		Mutators:           rep.Mutators,
-		Failures:           rep.Failures,
-		Minimized:          rep.Minimized,
-		MinimizeCandidates: rep.MinimizeCandidates,
+	var outRep cliutil.ExploreReport
+	outRep.FromExplore(rep)
+	outRep.GeneratedBy = "cmd/explore " + strings.Join(os.Args[1:], " ")
+	outRep.GoVersion = runtime.Version()
+	outRep.SpaceFingerprint = explore.SpaceFingerprint(opts)
+	outRep.ElapsedMS = float64(rep.Elapsed) / float64(time.Millisecond)
+	outRep.RunsPerSec = rep.RunsPerSec
+
+	if *corpusOut != "" {
+		data, err := rep.CorpusState().Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explore: corpus-out: %v\n", err)
+			return 2
+		}
+		if err := cliutil.WriteFileAtomic(*corpusOut, data); err != nil {
+			fmt.Fprintf(os.Stderr, "explore: corpus-out %s: %v\n", *corpusOut, err)
+			return 2
+		}
 	}
 
 	if len(axes) > 0 && ctx.Err() == nil {
-		bounds, err := explore.Frontier(ctx, base, p, axes, probeSeeds)
+		seeds := probeSeeds
+		if len(seeds) == 0 {
+			seeds = []int64{base.Seed}
+		}
+		var state *explore.FrontierState
+		var checkpoint func(*explore.FrontierState) error
+		if *frontierState != "" {
+			if data, err := os.ReadFile(*frontierState); err == nil {
+				if state, err = explore.LoadFrontierState(data); err != nil {
+					return usageErr("frontier-state %s: %v", *frontierState, err)
+				}
+			} else if !os.IsNotExist(err) {
+				return usageErr("frontier-state: %v", err)
+			}
+			checkpoint = func(st *explore.FrontierState) error {
+				data, err := st.Marshal()
+				if err != nil {
+					return err
+				}
+				return cliutil.WriteFileAtomic(*frontierState, data)
+			}
+		}
+		bounds, err := explore.FrontierResume(ctx, base, p, axes, seeds, state, checkpoint)
 		outRep.Frontier = bounds
 		for _, b := range bounds {
 			outRep.FrontierRuns += b.Runs
@@ -243,16 +269,8 @@ func run() int {
 		}
 	}
 
-	data, err := json.MarshalIndent(outRep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "explore: marshal report: %v\n", err)
-		return 2
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "explore: write %s: %v\n", *out, err)
+	if err := cliutil.WriteJSON(*out, outRep); err != nil {
+		fmt.Fprintf(os.Stderr, "explore: write report: %v\n", err)
 		return 2
 	}
 
@@ -307,6 +325,8 @@ func describeBoundary(b explore.Boundary) string {
 		return "unsolvable at any quality"
 	case b.Censored:
 		return fmt.Sprintf("passes through the ceiling %d", b.Max)
+	case b.Inverted:
+		return fmt.Sprintf("min passing %d, max failing %d", b.MinPassing, b.MaxFailing)
 	default:
 		return fmt.Sprintf("max passing %d, min failing %d", b.MaxPassing, b.MinFailing)
 	}

@@ -6,6 +6,10 @@
 // BENCH_net.json. With --minimize, the first retained failure is shrunk to
 // a minimal reproducer (scenario.Minimize) before the report is written.
 //
+// Reports carry a schema_version and the grid fingerprint, so cmd/campaign
+// can fold shard reports from independent invocations into one campaign
+// report and refuse mixing reports from different grids.
+//
 // Examples:
 //
 //	sweep -proto consensus -n 5 -seeds 1-1000 -delays 1ms:50ms \
@@ -34,88 +38,11 @@ import (
 	"time"
 
 	"weakestfd/internal/cliutil"
-	"weakestfd/internal/model"
 	"weakestfd/internal/scenario"
 )
 
-// spec is the complete grid description: every field maps 1:1 onto a flag
-// and onto a key of the -grid JSON file (flags given explicitly override the
-// file).
-type spec struct {
-	Proto       string  `json:"proto"`
-	N           int     `json:"n"`
-	Rounds      int     `json:"rounds"`
-	Coordinator int     `json:"coordinator"`
-	Seeds       string  `json:"seeds"`
-	Detectors   string  `json:"detectors"`
-	Delays      string  `json:"delays"`
-	Crashes     string  `json:"crashes"`
-	Drop        float64 `json:"drop"`
-	Suspicion   int64   `json:"suspicion"`
-	FSDelay     int64   `json:"fs_delay"`
-	PsiSwitch   int64   `json:"psi_switch"`
-	SafetyOnly  bool    `json:"safety_only"`
-	Timeout     string  `json:"timeout"`
-	Shard       string  `json:"shard"`
-	Workers     int     `json:"workers"`
-	Keep        int     `json:"keep"`
-}
-
-func defaultSpec() spec {
-	return spec{Proto: "consensus", N: 5, Rounds: 8, Seeds: "1-16", Timeout: "30s", Keep: 8}
-}
-
-// report is the JSON artifact of one invocation, styled after BENCH_net.json
-// (generated_by/go_version header + flat data keys) so the same tooling can
-// ingest both.
-type report struct {
-	GeneratedBy string           `json:"generated_by"`
-	GoVersion   string           `json:"go_version"`
-	Proto       string           `json:"proto"`
-	N           int              `json:"n"`
-	GridSize    int              `json:"grid_size"`
-	Shard       string           `json:"shard,omitempty"`
-	IndexLo     int              `json:"index_lo"`
-	IndexHi     int              `json:"index_hi"`
-	Runs        int              `json:"runs"`
-	Passed      int              `json:"passed"`
-	Faulted     int              `json:"faulted"`
-	Cancelled   int              `json:"cancelled"`
-	ElapsedMS   float64          `json:"elapsed_ms"`
-	RunsPerSec  float64          `json:"runs_per_sec"`
-	Detectors   []detectorReport `json:"detectors,omitempty"`
-	Failures    []failureReport  `json:"failures,omitempty"`
-	Minimized   *minimizedReport `json:"minimized,omitempty"`
-}
-
-// detectorReport is one detector spec's share of the sweep — the per-class
-// pass/fail column of the cross-detector comparison the -detectors axis runs.
-type detectorReport struct {
-	Spec      string `json:"spec"`
-	Runs      int    `json:"runs"`
-	Passed    int    `json:"passed"`
-	Faulted   int    `json:"faulted"`
-	Cancelled int    `json:"cancelled"`
-}
-
-// failureReport pins one failing grid point: its global row-major index (the
-// stable coordinate for re-running it on any shard layout), the violations,
-// the outcome fingerprint and the exact Config to reproduce it in isolation.
-type failureReport struct {
-	Index       int             `json:"index"`
-	Violations  []string        `json:"violations"`
-	Fingerprint string          `json:"fingerprint"`
-	Config      scenario.Config `json:"config"`
-}
-
-// minimizedReport is the delta-debugged reproducer of the first retained
-// failure.
-type minimizedReport struct {
-	FromIndex   int             `json:"from_index"`
-	Candidates  int             `json:"candidates"`
-	Violations  []string        `json:"violations"`
-	Fingerprint string          `json:"fingerprint"`
-	Config      scenario.Config `json:"config"`
+func defaultSpec() cliutil.GridSpec {
+	return cliutil.GridSpec{Proto: "consensus", N: 5, Rounds: 8, Seeds: "1-16", Timeout: "30s", Keep: 8}
 }
 
 func main() {
@@ -183,7 +110,7 @@ func run() int {
 		}
 	})
 
-	base, grid, p, err := build(sp)
+	base, grid, p, err := cliutil.BuildGrid(sp)
 	if err != nil {
 		return usageErr("%v", err)
 	}
@@ -226,33 +153,29 @@ func run() int {
 
 	res := scenario.Sweep(ctx, base, grid, p)
 
-	rep := report{
-		GeneratedBy: "cmd/sweep " + strings.Join(os.Args[1:], " "),
-		GoVersion:   runtime.Version(),
-		Proto:       p.Name(),
-		N:           sp.N,
-		GridSize:    res.GridSize,
-		Shard:       sp.Shard,
-		IndexLo:     res.IndexLo,
-		IndexHi:     res.IndexHi,
-		Runs:        res.Runs,
-		Passed:      res.Passed,
-		Faulted:     res.Faulted,
-		Cancelled:   res.Cancelled,
-		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
-		RunsPerSec:  res.RunsPerSec,
+	rep := cliutil.SweepReport{
+		SchemaVersion:   cliutil.ReportSchemaVersion,
+		GeneratedBy:     "cmd/sweep " + strings.Join(os.Args[1:], " "),
+		GoVersion:       runtime.Version(),
+		GridFingerprint: grid.Fingerprint(base.Config()),
+		Proto:           p.Name(),
+		N:               sp.N,
+		GridSize:        res.GridSize,
+		Shard:           sp.Shard,
+		IndexLo:         res.IndexLo,
+		IndexHi:         res.IndexHi,
+		Runs:            res.Runs,
+		Passed:          res.Passed,
+		Faulted:         res.Faulted,
+		Cancelled:       res.Cancelled,
+		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
+		RunsPerSec:      res.RunsPerSec,
 	}
 	for _, d := range res.Detectors {
-		rep.Detectors = append(rep.Detectors, detectorReport{
-			Spec:      d.Spec,
-			Runs:      d.Runs,
-			Passed:    d.Passed,
-			Faulted:   d.Faulted,
-			Cancelled: d.Cancelled,
-		})
+		rep.Detectors = append(rep.Detectors, cliutil.DetectorReport(d))
 	}
 	for i, f := range res.Failures {
-		rep.Failures = append(rep.Failures, failureReport{
+		rep.Failures = append(rep.Failures, cliutil.FailureReport{
 			Index:       res.FailureIndices[i],
 			Violations:  f.Verdict.Violations,
 			Fingerprint: f.Fingerprint(),
@@ -264,7 +187,7 @@ func run() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: minimize: %v\n", err)
 		} else {
-			rep.Minimized = &minimizedReport{
+			rep.Minimized = &cliutil.MinimizedReport{
 				FromIndex:   res.FailureIndices[0],
 				Candidates:  min.Candidates,
 				Violations:  min.Result.Verdict.Violations,
@@ -274,16 +197,8 @@ func run() int {
 		}
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: marshal report: %v\n", err)
-		return 2
-	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: write %s: %v\n", *out, err)
+	if err := cliutil.WriteJSON(*out, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: write report: %v\n", err)
 		return 2
 	}
 
@@ -297,69 +212,6 @@ func run() int {
 	default:
 		return 0
 	}
-}
-
-// build turns the spec into the Sweep inputs: the base scenario, the grid
-// and the protocol descriptor.
-func build(sp spec) (*scenario.Scenario, scenario.Grid, scenario.Protocol, error) {
-	var grid scenario.Grid
-	if sp.N <= 0 {
-		return nil, grid, nil, fmt.Errorf("invalid process count %d", sp.N)
-	}
-	p, err := cliutil.BuildProtocol(sp.Proto, sp.N, sp.Rounds, sp.Coordinator)
-	if err != nil {
-		return nil, grid, nil, err
-	}
-	timeout, err := time.ParseDuration(sp.Timeout)
-	if err != nil {
-		return nil, grid, nil, fmt.Errorf("timeout: %v", err)
-	}
-	opts := []scenario.Option{
-		scenario.WithTimeout(timeout),
-		scenario.WithDropRate(sp.Drop),
-		scenario.WithSuspicionDelay(model.Time(sp.Suspicion)),
-		scenario.WithFSDetectionDelay(model.Time(sp.FSDelay)),
-	}
-	if sp.PsiSwitch != 0 {
-		opts = append(opts, scenario.WithPsiSwitch(model.Time(sp.PsiSwitch), 0))
-	}
-	if sp.SafetyOnly {
-		opts = append(opts, scenario.WithSafetyOnly())
-	}
-	base := scenario.New(sp.N, opts...)
-
-	if grid.Seeds, grid.SeedSpan, err = cliutil.ParseSeeds(sp.Seeds); err != nil {
-		return nil, grid, nil, fmt.Errorf("seeds: %v", err)
-	}
-	if strings.TrimSpace(sp.Detectors) != "" {
-		// The axis replaces the base spec wholesale per grid point, exactly
-		// like -delays replaces the base delay range — so base detector
-		// quality flags would be silently dropped. Refuse the combination:
-		// quality parameters of an axis spec belong in its grammar.
-		if sp.Suspicion != 0 || sp.FSDelay != 0 || sp.PsiSwitch != 0 {
-			return nil, grid, nil, fmt.Errorf("detectors: -suspicion/-fs-delay/-psi-switch cannot combine with -detectors; put quality parameters in the spec grammar, e.g. 'omega-sigma{suspect:%d}'", sp.Suspicion)
-		}
-		if grid.Detectors, err = cliutil.ParseDetectors(sp.Detectors); err != nil {
-			return nil, grid, nil, fmt.Errorf("detectors: %v", err)
-		}
-	}
-	if grid.Delays, err = cliutil.ParseDelays(sp.Delays); err != nil {
-		return nil, grid, nil, fmt.Errorf("delays: %v", err)
-	}
-	if grid.Crashes, err = cliutil.ParseCrashes(sp.Crashes, sp.N); err != nil {
-		return nil, grid, nil, fmt.Errorf("crashes: %v", err)
-	}
-	if grid.Shard, err = cliutil.ParseShard(sp.Shard); err != nil {
-		return nil, grid, nil, fmt.Errorf("shard: %v", err)
-	}
-	grid.Workers = sp.Workers
-	// The CLI has no compatibility baggage: 0 means "retain none", unlike
-	// the library's historical 0 → 8 default.
-	grid.KeepFailures = sp.Keep
-	if sp.Keep <= 0 {
-		grid.KeepFailures = scenario.KeepAllCounts
-	}
-	return base, grid, p, nil
 }
 
 func usageErr(format string, args ...any) int {

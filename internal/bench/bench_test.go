@@ -21,6 +21,8 @@ import (
 	"testing"
 	"time"
 
+	"weakestfd/internal/campaign"
+	"weakestfd/internal/cliutil"
 	"weakestfd/internal/consensus"
 	"weakestfd/internal/explore"
 	"weakestfd/internal/fd"
@@ -288,6 +290,38 @@ func exploreThroughput(runs int) (*explore.Report, error) {
 	})
 }
 
+// campaignMergeThroughput measures cmd/campaign's aggregation path: folding
+// explore unit reports (each carrying a real exploration's corpus, behaviour
+// set and failure table) into one campaign report. The units are
+// differently-seeded copies of one real exploration — the same shape a
+// many-shard campaign hands the merger — so the metric covers fingerprint
+// checks, corpus union with canonical-encoding collision resolution and the
+// count re-assertions, per report folded.
+func campaignMergeThroughput(units int) (float64, error) {
+	rep, err := exploreThroughput(128)
+	if err != nil {
+		return 0, err
+	}
+	var unit cliutil.ExploreReport
+	unit.FromExplore(rep)
+	unit.SpaceFingerprint = "bench"
+	inputs := make([]campaign.Input, units)
+	for i := range inputs {
+		r := unit
+		r.Seed = int64(i + 1)
+		inputs[i] = campaign.Input{Name: fmt.Sprintf("unit-%d", i), Explore: &r}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.MergeReports(inputs); err != nil {
+				b.Fatalf("merge: %v", err)
+			}
+		}
+	})
+	return float64(units) / (float64(res.NsPerOp()) / 1e9), nil
+}
+
 // constOmega is a constant Ω source: the cheapest possible Source[V], so a
 // benchmark over it isolates the generic Bind[V] query path itself (process
 // binding, nil-history check, interface dispatch).
@@ -437,6 +471,11 @@ func TestEmitBenchJSON(t *testing.T) {
 		t.Errorf("explore throughput workload hit a failure at run %d (alphabet should be failure-free)", exp.FirstFailureRun)
 	}
 	t.Logf("explore: %d runs, %d behaviour classes, %.0f runs/s", exp.Runs, exp.Novel, exp.RunsPerSec)
+	mergeRate, err := campaignMergeThroughput(16)
+	if err != nil {
+		t.Fatalf("campaign merge: %v", err)
+	}
+	t.Logf("campaign merge: %.0f reports/s", mergeRate)
 
 	bind := add("BindSample", BenchmarkBindSample)
 	if bind.AllocsPerOp() != 0 {
@@ -475,6 +514,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		ExploreRuns     int           `json:"explore_runs"`
 		ExploreRunsSec  float64       `json:"explore_runs_per_sec"`
 		ExploreCoverage int           `json:"explore_behaviour_classes"`
+		MergeReportsSec float64       `json:"campaign_merge_reports_per_sec"`
 		Results         []benchResult `json:"results"`
 	}{
 		GeneratedBy:     "BENCH_JSON=1 go test ./internal/bench -run EmitBenchJSON -v",
@@ -489,6 +529,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		ExploreRuns:     exp.Runs,
 		ExploreRunsSec:  exp.RunsPerSec,
 		ExploreCoverage: exp.Novel,
+		MergeReportsSec: mergeRate,
 		Results:         results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

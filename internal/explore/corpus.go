@@ -1,0 +1,127 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SpaceFingerprint is the identity of an exploration's search space:
+// everything in the options that shapes which configurations get probed and
+// what the per-seed result is — the protocol, the base config (seed zeroed
+// out), the class alphabet, the run budget, the generation size, the
+// minimisation cap and the depth-signal switch — and nothing that does not
+// (the seed itself, wall budget, worker count, callbacks). Two explorations
+// with equal space fingerprints and different seeds are independent samples
+// of one campaign's space, which is what lets campaign merge fold their
+// reports: the merged result is a pure function of (fingerprint, seed set).
+// A custom Mutators set is not representable and must be nil.
+func SpaceFingerprint(opts Options) string {
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = defaultBatch
+	}
+	minimize := opts.MinimizeLimit
+	if minimize == 0 {
+		minimize = defaultMinimize
+	}
+	if minimize < 0 {
+		minimize = -1
+	}
+	base := opts.Base
+	base.Seed = 0
+	proto := ""
+	if opts.Proto != nil {
+		proto = opts.Proto.Name()
+	}
+	classes := make([]string, len(opts.Classes))
+	for i, c := range opts.Classes {
+		classes[i] = c.String()
+	}
+	return fmt.Sprintf("explore{proto=%s;base=%s;classes=%s;runs=%d;batch=%d;minimize=%d;depth=%t}",
+		proto, base.Key(), strings.Join(classes, ","), opts.Runs, batch, minimize, opts.DepthSignal)
+}
+
+// Corpus persistence: the exploration's full resumable state — corpus
+// entries with their energies, the behaviour set and the failure dedup set —
+// serialized as canonical JSON. A later exploration seeded with the state
+// (Options.SeedCorpus) continues where this one stopped, and campaign shards
+// hand corpora to each other across generations through the same files.
+//
+// Entries keep their discovery order, so Parent indices stay valid within
+// one serialized corpus. Merging corpora (campaign.MergeCorpora) has no
+// shared discovery order to preserve, so merged entries are re-sorted by
+// signature and their Parent links cleared — provenance fields survive a
+// merge as annotations only.
+
+// CorpusVersion is the schema version of serialized corpus state; loaders
+// reject versions newer than they understand.
+const CorpusVersion = 1
+
+// CorpusState is the serializable exploration state.
+type CorpusState struct {
+	SchemaVersion int `json:"schema_version"`
+	// Entries is the corpus; within one exploration's serialization, in
+	// discovery order.
+	Entries []Entry `json:"entries,omitempty"`
+	// Behaviours is the sorted set of behaviour parts already seen — the
+	// hot-entry novelty judgement of the energy schedule.
+	Behaviours []string `json:"behaviours,omitempty"`
+	// FailureSigs is the sorted failure dedup set: signatures whose
+	// failures have already been reported, so a resumed exploration does
+	// not re-report them.
+	FailureSigs []string `json:"failure_sigs,omitempty"`
+}
+
+// CorpusState extracts the report's resumable corpus state.
+func (r *Report) CorpusState() *CorpusState {
+	st := &CorpusState{
+		SchemaVersion: CorpusVersion,
+		Entries:       append([]Entry(nil), r.Corpus...),
+		Behaviours:    append([]string(nil), r.Behaviours...),
+		FailureSigs:   append([]string(nil), r.FailureSigs...),
+	}
+	sort.Strings(st.Behaviours)
+	sort.Strings(st.FailureSigs)
+	return st
+}
+
+// Marshal renders the state as canonical indented JSON: byte-stable for
+// equal states, diffable, and re-loadable by LoadCorpus.
+func (c *CorpusState) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return nil, fmt.Errorf("corpus: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadCorpus parses a serialized corpus, rejecting versions newer than
+// CorpusVersion.
+func LoadCorpus(data []byte) (*CorpusState, error) {
+	var st CorpusState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("corpus: parse: %w", err)
+	}
+	if st.SchemaVersion > CorpusVersion {
+		return nil, fmt.Errorf("corpus: schema_version %d is newer than supported version %d", st.SchemaVersion, CorpusVersion)
+	}
+	return &st, nil
+}
+
+// sortedKeys returns the map's keys, sorted.
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

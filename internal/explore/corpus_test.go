@@ -1,0 +1,74 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCorpusRoundTrip: serialize → load → identical canonical bytes, and an
+// exploration seeded with the loaded state is indistinguishable from one
+// seeded with the original — the property that lets corpora travel through
+// files between campaign generations.
+func TestCorpusRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	rep, err := Explore(ctx, testOptions(exploreSeed))
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	st := rep.CorpusState()
+	if len(st.Entries) == 0 {
+		t.Fatal("exploration yielded an empty corpus")
+	}
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	loaded, err := LoadCorpus(data)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	data2, err := loaded.Marshal()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("corpus round-trip not byte-stable:\n%s\nvs\n%s", data, data2)
+	}
+
+	optsA := testOptions(exploreSeed + 1)
+	optsA.SeedCorpus = st
+	optsB := testOptions(exploreSeed + 1)
+	optsB.SeedCorpus = loaded
+	a, err := Explore(ctx, optsA)
+	if err != nil {
+		t.Fatalf("seeded explore: %v", err)
+	}
+	b, err := Explore(ctx, optsB)
+	if err != nil {
+		t.Fatalf("seeded explore from loaded corpus: %v", err)
+	}
+	if ca, cb := a.Canonical(), b.Canonical(); ca != cb {
+		t.Fatalf("loaded corpus seeds a different exploration\n--- original ---\n%s\n--- loaded ---\n%s", ca, cb)
+	}
+
+	// Seeded entries lead the new corpus, in their serialized order, and
+	// their signatures are not re-counted as novel discoveries.
+	if len(a.Corpus) < len(st.Entries) {
+		t.Fatalf("seeded corpus lost entries: %d < %d", len(a.Corpus), len(st.Entries))
+	}
+	for i, e := range st.Entries {
+		if a.Corpus[i].Signature != e.Signature {
+			t.Fatalf("seeded entry %d: signature %s, want %s", i, a.Corpus[i].Signature, e.Signature)
+		}
+	}
+}
+
+// TestLoadCorpusRejectsFuture: a corpus from a newer build is refused, not
+// silently misread.
+func TestLoadCorpusRejectsFuture(t *testing.T) {
+	if _, err := LoadCorpus([]byte(`{"schema_version": 2}`)); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future corpus version: err=%v, want newer-version refusal", err)
+	}
+}

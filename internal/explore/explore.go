@@ -71,6 +71,14 @@ type Options struct {
 	// through scenario.Minimize after the exploration (in discovery order).
 	// 0 means 3; negative disables minimisation.
 	MinimizeLimit int
+	// SeedCorpus, if non-nil, preloads a previously serialized corpus
+	// before the loop starts: its entries (with their energies), behaviour
+	// set and failure dedup set are restored without consuming any run
+	// budget, and the budget is spent mutating outward from them — the
+	// cross-generation handoff of a campaign. The seeded entries reappear
+	// in the report's corpus (in their stored order, ahead of new
+	// discoveries), so -corpus-out always carries the full state forward.
+	SeedCorpus *CorpusState
 	// DepthSignal mixes the log-bucketed suspect-history depth into the
 	// novelty signature. It is a real behaviour signal but a
 	// scheduling-dependent one, so switching it on trades byte-for-byte
@@ -101,8 +109,9 @@ type Entry struct {
 	// Children counts how many of its mutants were themselves novel.
 	Picks    int `json:"picks"`
 	Children int `json:"children"`
-	// energy is the entry's current selection weight.
-	energy float64
+	// Energy is the entry's current selection weight — serialized with the
+	// corpus so a resumed exploration keeps its heat distribution.
+	Energy float64 `json:"energy"`
 }
 
 // The energy schedule: an entry that exhibited a behaviour class never seen
@@ -206,6 +215,26 @@ func Explore(ctx context.Context, opts Options) (*Report, error) {
 		failures   []*Failure
 		failSigs   = map[string]bool{}
 	)
+	if opts.SeedCorpus != nil {
+		for i := range opts.SeedCorpus.Entries {
+			e := opts.SeedCorpus.Entries[i] // copy
+			if _, dup := sigIndex[e.Signature]; dup {
+				continue
+			}
+			if e.Energy <= 0 {
+				e.Energy = baseEnergy
+			}
+			sigIndex[e.Signature] = len(corpus)
+			corpus = append(corpus, &e)
+			tried[e.Config.Key()] = true
+		}
+		for _, b := range opts.SeedCorpus.Behaviours {
+			behaviours[b] = true
+		}
+		for _, s := range opts.SeedCorpus.FailureSigs {
+			failSigs[s] = true
+		}
+	}
 	mutStats := map[string]*MutatorStat{}
 	statOf := func(name string) *MutatorStat {
 		s, ok := mutStats[name]
@@ -241,7 +270,7 @@ func Explore(ctx context.Context, opts Options) (*Report, error) {
 		jobs := make([]job, 0, size)
 		for len(jobs) < size {
 			for i, e := range corpus {
-				energies[i] = e.energy
+				energies[i] = e.Energy
 			}
 			parent := rng.Pick(energies)
 			j := job{parent: parent}
@@ -325,17 +354,17 @@ func Explore(ctx context.Context, opts Options) (*Report, error) {
 					Mutator:    jobs[i].mutator,
 					FoundAtRun: run,
 					Failing:    !res.Verdict.OK,
-					energy:     energy,
+					Energy:     energy,
 				})
 				stat.Novel++
 				if p := jobs[i].parent; p >= 0 {
 					corpus[p].Children++
-					corpus[p].energy = min(energyCap, corpus[p].energy+energyReward)
+					corpus[p].Energy = min(energyCap, corpus[p].Energy+energyReward)
 				}
 			} else {
 				rep.Duplicates++
 				if p := jobs[i].parent; p >= 0 {
-					corpus[p].energy = max(energyFloor, corpus[p].energy*energyDecay)
+					corpus[p].Energy = max(energyFloor, corpus[p].Energy*energyDecay)
 				}
 			}
 			if !res.Verdict.OK {
@@ -399,6 +428,8 @@ func Explore(ctx context.Context, opts Options) (*Report, error) {
 		rep.Failures = append(rep.Failures, *f)
 	}
 	rep.Novel = len(corpus)
+	rep.Behaviours = sortedKeys(behaviours)
+	rep.FailureSigs = sortedKeys(failSigs)
 	rep.Elapsed = time.Since(start)
 	if rep.Runs > 0 && rep.Elapsed > 0 {
 		rep.RunsPerSec = float64(rep.Runs) / rep.Elapsed.Seconds()

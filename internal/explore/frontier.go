@@ -18,14 +18,23 @@ import (
 // boundary, e.g. "◇P solves consensus on this crash schedule up to
 // stabilize=K and not at K+1".
 //
-// The searched parameters weaken monotonically in principle; the measured
-// boundary is a *resource-bounded* fact — a run that cannot outlast its
-// perturbation within the configured wall-clock backstop counts as not
-// solving — which is exactly what makes the boundary finite and locatable
-// for axes whose failures are starvation, not structure. Structural
-// boundaries (a class that cannot solve the problem at any quality, like ◇S
-// consensus under a crashed fallback-quorum member) report as Unsolvable;
-// axes whose ceiling still passes report as Censored.
+// Axes come in two directions (fd.ParamDirection). Weakening axes follow the
+// degradation convention: 0 is the exact detector, larger is weaker, and the
+// search brackets the largest passing value. Strengthening axes — the
+// heartbeat pacing parameters — are inverted: 0 means "the implementation's
+// default" and among positive values larger is *stronger*, so the search
+// never probes 0 and brackets the *smallest* passing value in [1, Max]
+// instead. Parameters with no monotone convention are rejected by
+// ValidateAxis.
+//
+// The searched parameters are monotone in principle; the measured boundary
+// is a *resource-bounded* fact — a run that cannot outlast its perturbation
+// within the configured wall-clock backstop counts as not solving — which is
+// exactly what makes the boundary finite and locatable for axes whose
+// failures are starvation, not structure. Structural boundaries (a class
+// that cannot solve the problem at any quality, like ◇S consensus under a
+// crashed fallback-quorum member) report as Unsolvable; axes whose best
+// searchable value still passes report as Censored.
 
 // Axis is one frontier search dimension: a detector class (with any fixed
 // quality parameters) and the grammar key of the parameter to bisect, up to
@@ -35,8 +44,9 @@ type Axis struct {
 	// fixed at their configured values.
 	Spec fd.DetectorSpec
 	// Param is the spec-grammar key of the searched parameter (suspect,
-	// detect, stabilize, switch, ... — see fd.SpecParamKeys). It must be a
-	// parameter the class's builder consumes (fd.Registry.Params).
+	// detect, stabilize, switch, interval, timeout — see fd.SpecParamKeys).
+	// It must be a parameter the class's builder consumes
+	// (fd.Registry.Params) with a monotone direction (fd.ParamDirection).
 	Param string
 	// Max is the search ceiling, in the parameter's own units.
 	Max model.Time
@@ -51,65 +61,92 @@ type Boundary struct {
 	Spec  string     `json:"spec"`
 	Param string     `json:"param"`
 	Max   model.Time `json:"max"`
-	// Unsolvable: the protocol fails even at parameter 0 (the exact
-	// detector of the class) — the class does not solve the problem on this
-	// schedule at any quality.
+	// Inverted marks a strengthening axis (fd.DirStrengthens): the search
+	// ran over [1, Max] for the smallest passing value, and the bracket
+	// lives in MinPassing/MaxFailing instead of MaxPassing/MinFailing.
+	Inverted bool `json:"inverted,omitempty"`
+	// Unsolvable: the protocol fails at the axis's strongest searchable
+	// value — parameter 0 (the exact detector) on a weakening axis, Max on
+	// an inverted one — so no searchable quality solves the problem on this
+	// schedule.
 	Unsolvable bool `json:"unsolvable,omitempty"`
-	// Censored: the protocol still passes at Max — the boundary, if any,
-	// lies beyond the search ceiling.
+	// Censored: the protocol passes at the axis's weakest searchable value
+	// — Max on a weakening axis, 1 on an inverted one — so the boundary, if
+	// any, lies beyond the search range.
 	Censored bool `json:"censored,omitempty"`
-	// MaxPassing and MinFailing bracket the boundary: the largest probed
-	// value that passed and the smallest that failed. For an interior
-	// boundary MinFailing == MaxPassing + 1; Censored leaves MinFailing 0,
-	// Unsolvable leaves MaxPassing 0 meaningless (MinFailing is 0 itself).
+	// MaxPassing and MinFailing bracket a weakening axis's boundary: the
+	// largest probed value that passed and the smallest that failed. For an
+	// interior boundary MinFailing == MaxPassing + 1; Censored leaves
+	// MinFailing 0, Unsolvable leaves MaxPassing 0 meaningless (MinFailing
+	// is 0 itself).
 	MaxPassing model.Time `json:"max_passing"`
 	MinFailing model.Time `json:"min_failing"`
+	// MinPassing and MaxFailing bracket an inverted axis's boundary: the
+	// smallest probed value that passed and the largest that failed. For an
+	// interior boundary MinPassing == MaxFailing + 1; Censored leaves
+	// MaxFailing 0 (1 passed), Unsolvable leaves both 0.
+	MinPassing model.Time `json:"min_passing,omitempty"`
+	MaxFailing model.Time `json:"max_failing,omitempty"`
 	// Probes counts distinct parameter values probed; Runs the scenario
-	// runs they cost (probes × seeds).
+	// runs they cost (probes × seeds, minus early exits). Both accumulate
+	// across resumed invocations.
 	Probes int `json:"probes"`
 	Runs   int `json:"runs"`
+}
+
+// Tighter reports whether b brackets its axis's boundary at least as tightly
+// as other measures the same axis — the merge order for campaign aggregation.
+// A resolved bracket beats an unresolved one; among interior brackets the
+// narrower wins; Unsolvable/Censored verdicts are exact, so they beat
+// everything. Boundaries of distinct axes are incomparable; callers key by
+// (Spec, Param, Max) first.
+func (b Boundary) Tighter(other Boundary) bool {
+	return b.width() < other.width()
+}
+
+// width is the bracket width Tighter compares: 0 for the exact verdicts,
+// the open range size for interior brackets.
+func (b Boundary) width() model.Time {
+	if b.Unsolvable || b.Censored {
+		return 0
+	}
+	if b.Inverted {
+		if b.MinPassing == 0 && b.MaxFailing == 0 {
+			return b.Max + 1 // unmeasured
+		}
+		return b.MinPassing - b.MaxFailing
+	}
+	if b.MaxPassing == 0 && b.MinFailing == 0 {
+		return b.Max + 1 // unmeasured
+	}
+	return b.MinFailing - b.MaxPassing
 }
 
 // Frontier locates the solvability boundary of each axis over the base
 // configuration: a probe at value q runs proto once per seed (base.Seed when
 // seeds is empty) with the axis's spec, its searched parameter set to q; the
 // probe passes only if every seeded run passes. Binary search assumes pass
-// monotonicity in q (pass at q ⇒ pass at all smaller q), which holds for
-// the quality parameters by construction and is pinned by the monotonicity
-// tests; a non-monotone axis still terminates, reporting one valid bracket.
+// monotonicity in q per the axis's direction (weakening: pass at q ⇒ pass at
+// all smaller q; inverted: pass at q ⇒ pass at all larger q), which holds
+// for the quality parameters by construction and is pinned by the
+// monotonicity tests; a non-monotone axis still terminates, reporting one
+// valid bracket.
 //
 // The search is deterministic for deterministic protocols: same base, axes
 // and seeds — same boundaries. Cancelling ctx aborts with an error.
 func Frontier(ctx context.Context, base scenario.Config, proto scenario.Protocol, axes []Axis, seeds []int64) ([]Boundary, error) {
-	if proto == nil {
-		return nil, fmt.Errorf("frontier: proto is required")
-	}
-	if base.N <= 0 {
-		return nil, fmt.Errorf("frontier: base config is required (N = %d)", base.N)
-	}
-	if len(seeds) == 0 {
-		seeds = []int64{base.Seed}
-	}
-	out := make([]Boundary, 0, len(axes))
-	for _, axis := range axes {
-		b, err := searchAxis(ctx, base, proto, axis, seeds)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, b)
-	}
-	return out, nil
+	return FrontierResume(ctx, base, proto, axes, seeds, nil, nil)
 }
 
 // ValidateAxis checks the axis against the registry: the class must be
 // registered, Param one of the parameters its builder consumes with a
 // positive ceiling, and — the assumption the bisection leans on — the
-// parameter must follow the degradation convention (fd.ParamWeakens: 0 is
-// the exact detector, larger is strictly weaker). The heartbeat pacing
-// parameters are rejected here: their zero means "default" and a larger
-// timeout is *stronger*, so a bisection over them would report a boundary
-// that does not exist. Frontier itself validates too; CLIs call this at
-// flag time.
+// parameter must have a monotone direction (fd.ParamDirection): either the
+// degradation convention (0 exact, larger weaker) or the heartbeat pacing
+// parameters' inverted convention (0 default, larger stronger). Parameters
+// with no convention are rejected: a bisection over them would report a
+// boundary that does not exist. Frontier itself validates too; CLIs call
+// this at flag time.
 func ValidateAxis(a Axis) error {
 	class, ok := fd.DefaultRegistry().Resolve(a.Spec.Class)
 	if !ok {
@@ -129,24 +166,51 @@ func ValidateAxis(a Axis) error {
 		return fmt.Errorf("frontier axis %s: class %s does not consume parameter %q (it consumes: %v)",
 			a, class, a.Param, fd.DefaultRegistry().Params(class))
 	}
-	if !fd.ParamWeakens(a.Param) {
-		return fmt.Errorf("frontier axis %s: parameter %q does not follow the weakening convention (0 = exact, larger = weaker) the bisection needs", a, a.Param)
+	if fd.ParamDirection(a.Param) == fd.DirNone {
+		return fmt.Errorf("frontier axis %s: parameter %q has no monotone direction (neither weakening nor strengthening) the bisection needs", a, a.Param)
+	}
+	if fd.ParamDirection(a.Param) == fd.DirStrengthens && a.Max < 2 {
+		return fmt.Errorf("frontier axis %s: inverted axis needs ceiling >= 2 (0 means default and is not probed)", a)
 	}
 	return nil
 }
 
-// searchAxis bisects one axis.
-func searchAxis(ctx context.Context, base scenario.Config, proto scenario.Protocol, axis Axis, seeds []int64) (Boundary, error) {
-	b := Boundary{Spec: axis.Spec.String(), Param: axis.Param, Max: axis.Max}
+// searchAxis bisects one axis, recording progress in st (never nil) and
+// checkpointing via ckpt (may be nil) after every completed run.
+func searchAxis(ctx context.Context, base scenario.Config, proto scenario.Protocol, axis Axis, seeds []int64, st *AxisState, ckpt func() error) (Boundary, error) {
+	inverted := fd.ParamDirection(axis.Param) == fd.DirStrengthens
+	b := Boundary{Spec: axis.Spec.String(), Param: axis.Param, Max: axis.Max, Inverted: inverted}
 	if err := ValidateAxis(axis); err != nil {
 		return b, err
 	}
 
+	probeIdx := 0
 	passAt := func(q model.Time) (bool, error) {
+		// Replay or resume a recorded probe: the bisection is
+		// deterministic, so the i-th probe of a resumed search lands on the
+		// same value as the i-th probe of the original — anything else
+		// means the state belongs to a different search.
+		var rec *ProbeState
+		if probeIdx < len(st.Probes) {
+			rec = &st.Probes[probeIdx]
+			if rec.Value != q {
+				return false, fmt.Errorf("frontier axis %s: resume state probes value %d where the search probes %d (stale state?)", axis, rec.Value, q)
+			}
+		} else {
+			st.Probes = append(st.Probes, ProbeState{Value: q})
+			rec = &st.Probes[len(st.Probes)-1]
+		}
+		probeIdx++
 		b.Probes++
-		for _, seed := range seeds {
+		if rec.Done {
+			b.Runs += rec.Runs
+			return rec.Pass, nil
+		}
+		// Seeds run in order and a probe fails on its first failing seed,
+		// so SeedsDone seeds all passed — skip them on resume.
+		for i := rec.SeedsDone; i < len(seeds); i++ {
 			cfg := base.Clone()
-			cfg.Seed = seed
+			cfg.Seed = seeds[i]
 			cfg.Detector = axis.Spec
 			p, ok := cfg.Detector.Param(axis.Param)
 			if !ok {
@@ -154,32 +218,76 @@ func searchAxis(ctx context.Context, base scenario.Config, proto scenario.Protoc
 			}
 			*p = q
 			res := scenario.FromConfig(cfg).Run(ctx, proto)
+			rec.Runs++
 			b.Runs++
 			if err := ctx.Err(); err != nil {
 				return false, fmt.Errorf("frontier axis %s: cancelled: %w", axis, err)
 			}
 			if !res.Verdict.OK {
+				rec.Done, rec.Pass = true, false
+				if err := checkpoint(ckpt); err != nil {
+					return false, err
+				}
 				return false, nil
 			}
+			rec.SeedsDone = i + 1
+			if err := checkpoint(ckpt); err != nil {
+				return false, err
+			}
+		}
+		rec.Done, rec.Pass = true, true
+		if err := checkpoint(ckpt); err != nil {
+			return false, err
 		}
 		return true, nil
 	}
 
-	ok, err := passAt(0)
+	// strongest/weakest searchable values per direction.
+	strongest, weakest := model.Time(0), axis.Max
+	if inverted {
+		strongest, weakest = axis.Max, 1
+	}
+
+	ok, err := passAt(strongest)
 	if err != nil {
 		return b, err
 	}
 	if !ok {
 		b.Unsolvable = true
+		if inverted {
+			b.MaxFailing = strongest
+		}
 		return b, nil
 	}
-	ok, err = passAt(axis.Max)
+	ok, err = passAt(weakest)
 	if err != nil {
 		return b, err
 	}
 	if ok {
 		b.Censored = true
-		b.MaxPassing = axis.Max
+		if inverted {
+			b.MinPassing = weakest
+		} else {
+			b.MaxPassing = weakest
+		}
+		return b, nil
+	}
+
+	if inverted {
+		lo, hi := model.Time(1), axis.Max // lo fails, hi passes
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			ok, err := passAt(mid)
+			if err != nil {
+				return b, err
+			}
+			if ok {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		b.MaxFailing, b.MinPassing = lo, hi
 		return b, nil
 	}
 
@@ -198,4 +306,15 @@ func searchAxis(ctx context.Context, base scenario.Config, proto scenario.Protoc
 	}
 	b.MaxPassing, b.MinFailing = lo, hi
 	return b, nil
+}
+
+// checkpoint invokes the callback if set, wrapping its error.
+func checkpoint(ckpt func() error) error {
+	if ckpt == nil {
+		return nil
+	}
+	if err := ckpt(); err != nil {
+		return fmt.Errorf("frontier: checkpoint: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,178 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"weakestfd/internal/model"
+	"weakestfd/internal/scenario"
+)
+
+// Resumable frontier search: the bisection of searchAxis is deterministic —
+// same base, axes and seeds probe the same values in the same order — so a
+// search can be snapshotted as the list of probes taken so far and replayed
+// from a snapshot without re-running anything already measured. That is the
+// frontier's side of the campaign determinism contract: the boundaries are a
+// pure function of (base config, axes, seeds), independent of where the
+// search was interrupted and resumed.
+
+// FrontierStateVersion is the schema version of serialized FrontierState;
+// loaders reject versions newer than they understand.
+const FrontierStateVersion = 1
+
+// ProbeState records one probed parameter value of one axis. Seeds run in
+// order and a probe stops at its first failing seed, so SeedsDone counts a
+// prefix of all-passing seeds; Done marks the probe finished with outcome
+// Pass after Runs scenario runs.
+type ProbeState struct {
+	Value     model.Time `json:"value"`
+	SeedsDone int        `json:"seeds_done,omitempty"`
+	Runs      int        `json:"runs,omitempty"`
+	Done      bool       `json:"done,omitempty"`
+	Pass      bool       `json:"pass,omitempty"`
+}
+
+// AxisState is the persisted progress of one axis's bisection: the probes
+// taken so far in search order, and the finished boundary once Done.
+type AxisState struct {
+	Axis     string       `json:"axis"` // canonical "class:param:max"
+	Probes   []ProbeState `json:"probes,omitempty"`
+	Done     bool         `json:"done,omitempty"`
+	Boundary *Boundary    `json:"boundary,omitempty"`
+}
+
+// FrontierState is a serializable snapshot of a frontier search:
+// per-axis bisection state plus a fingerprint of the search inputs, so a
+// resume against different inputs is refused instead of silently replayed.
+type FrontierState struct {
+	SchemaVersion int         `json:"schema_version"`
+	Fingerprint   string      `json:"fingerprint"`
+	Axes          []AxisState `json:"axes,omitempty"`
+}
+
+// FrontierFingerprint is the identity a FrontierState binds to: the base
+// config's canonical key, the axes and the seed list. Byte-stable.
+func FrontierFingerprint(base scenario.Config, axes []Axis, seeds []int64) string {
+	var sb strings.Builder
+	sb.WriteString("frontier{")
+	sb.WriteString(base.Key())
+	sb.WriteString(";axes=")
+	for i, a := range axes {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteString(";seeds=")
+	for i, s := range seeds {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Marshal renders the state as canonical indented JSON, byte-stable for
+// equal states.
+func (st *FrontierState) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		return nil, fmt.Errorf("frontier state: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadFrontierState parses a serialized FrontierState, rejecting versions
+// newer than FrontierStateVersion.
+func LoadFrontierState(data []byte) (*FrontierState, error) {
+	var st FrontierState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("frontier state: parse: %w", err)
+	}
+	if st.SchemaVersion > FrontierStateVersion {
+		return nil, fmt.Errorf("frontier state: schema_version %d is newer than supported version %d", st.SchemaVersion, FrontierStateVersion)
+	}
+	return &st, nil
+}
+
+// FrontierResume is Frontier with snapshot/restore: it resumes from state
+// (nil or empty starts fresh) and, when checkpoint is non-nil, calls it with
+// the updated state after every completed scenario run, so an interrupted
+// search loses at most one run. The state's fingerprint must match the
+// search inputs. Axes already finished in the state return their stored
+// boundary without re-running; an in-flight axis resumes mid-probe.
+//
+// The returned boundaries are byte-identical to an uninterrupted Frontier
+// over the same inputs, wherever the search was cut and resumed.
+func FrontierResume(ctx context.Context, base scenario.Config, proto scenario.Protocol, axes []Axis, seeds []int64, state *FrontierState, checkpoint func(*FrontierState) error) ([]Boundary, error) {
+	if proto == nil {
+		return nil, fmt.Errorf("frontier: proto is required")
+	}
+	if base.N <= 0 {
+		return nil, fmt.Errorf("frontier: base config is required (N = %d)", base.N)
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	fp := FrontierFingerprint(base, axes, seeds)
+	if state == nil {
+		state = &FrontierState{SchemaVersion: FrontierStateVersion, Fingerprint: fp}
+	}
+	if state.SchemaVersion == 0 {
+		state.SchemaVersion = FrontierStateVersion
+	}
+	if state.Fingerprint == "" {
+		state.Fingerprint = fp
+	}
+	if state.Fingerprint != fp {
+		return nil, fmt.Errorf("frontier: state fingerprint mismatch:\n  state:  %s\n  search: %s", state.Fingerprint, fp)
+	}
+	out := make([]Boundary, 0, len(axes))
+	for i, axis := range axes {
+		if i >= len(state.Axes) {
+			state.Axes = append(state.Axes, AxisState{Axis: axis.String()})
+		}
+		st := &state.Axes[i]
+		if st.Axis != axis.String() {
+			return nil, fmt.Errorf("frontier: state axis %d is %q, search has %q (stale state?)", i, st.Axis, axis)
+		}
+		if st.Done && st.Boundary != nil {
+			out = append(out, *st.Boundary)
+			continue
+		}
+		var ckpt func() error
+		if checkpoint != nil {
+			ckpt = func() error { return checkpoint(state) }
+		}
+		b, err := searchAxis(ctx, base, proto, axis, seeds, st, ckpt)
+		if err != nil {
+			return out, err
+		}
+		st.Done = true
+		bCopy := b
+		st.Boundary = &bCopy
+		if err := checkpointState(checkpoint, state); err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// checkpointState invokes the state callback if set, wrapping its error.
+func checkpointState(checkpoint func(*FrontierState) error, state *FrontierState) error {
+	if checkpoint == nil {
+		return nil
+	}
+	if err := checkpoint(state); err != nil {
+		return fmt.Errorf("frontier: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -119,10 +120,9 @@ func TestFrontierValidatesAxes(t *testing.T) {
 		{Axis{Spec: fd.DetectorSpec{Class: "nope"}, Param: "suspect", Max: 10}, "unknown class"},
 		{Axis{Spec: fd.DetectorSpec{Class: fd.ClassPerfect}, Param: "stabilize", Max: 10}, "does not consume"},
 		{Axis{Spec: fd.DetectorSpec{Class: fd.ClassPerfect}, Param: "suspect", Max: 0}, "ceiling"},
-		// The heartbeat pacing parameters invert the weakening convention
-		// (0 = default, larger timeout = stronger), so a bisection over
-		// them would report a boundary that does not exist.
-		{Axis{Spec: fd.DetectorSpec{Class: "heartbeat"}, Param: "timeout", Max: 10000}, "weakening convention"},
+		// An inverted axis never probes 0 (it means "default"), so its
+		// bracket [1, Max] needs at least two values.
+		{Axis{Spec: fd.DetectorSpec{Class: "heartbeat"}, Param: "timeout", Max: 1}, "ceiling >= 2"},
 	} {
 		err := ValidateAxis(tc.axis)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -131,6 +131,132 @@ func TestFrontierValidatesAxes(t *testing.T) {
 	}
 	if err := ValidateAxis(Axis{Spec: fd.DetectorSpec{Class: "diamond-p"}, Param: "stabilize", Max: 10}); err != nil {
 		t.Errorf("aliased axis rejected: %v", err)
+	}
+	// The heartbeat pacing parameters invert the weakening convention
+	// (0 = default, larger timeout = stronger); they are searchable as
+	// inverted axes rather than rejected.
+	if err := ValidateAxis(Axis{Spec: fd.DetectorSpec{Class: "heartbeat"}, Param: "timeout", Max: 10000}); err != nil {
+		t.Errorf("inverted heartbeat axis rejected: %v", err)
+	}
+}
+
+// invThresholdClass is the inverted twin of thresholdClass: it consumes the
+// strengthening "timeout" parameter and loses Σ at and below
+// invThresholdBoundary, so among the searchable values [1, Max] the
+// protocol fails up to the boundary and passes strictly above it — a known
+// interior boundary for the inverted bisection (MaxFailing = boundary,
+// MinPassing = boundary + 1).
+const (
+	invThresholdClass    = "frontier-probe-inverted"
+	invThresholdBoundary = model.Time(17)
+)
+
+func init() {
+	fd.DefaultRegistry().Register(invThresholdClass, func(env fd.Env, spec fd.DetectorSpec) (*fd.Suite, error) {
+		suite, err := fd.Build(env.Pattern, env.Clock, fd.DetectorSpec{})
+		if err != nil {
+			return nil, err
+		}
+		if spec.HeartbeatTimeout <= invThresholdBoundary {
+			suite.Sigma = nil
+		}
+		return suite, nil
+	}, "timeout")
+}
+
+// TestFrontierInvertedAxis: a strengthening axis is searched over [1, Max]
+// for the smallest passing value, and the bracket comes back in
+// MinPassing/MaxFailing.
+func TestFrontierInvertedAxis(t *testing.T) {
+	base := scenario.New(4).Config()
+	bounds, err := Frontier(context.Background(), base, scenario.Consensus{}, []Axis{
+		{Spec: fd.DetectorSpec{Class: invThresholdClass}, Param: "timeout", Max: 200},
+	}, nil)
+	if err != nil {
+		t.Fatalf("frontier: %v", err)
+	}
+	b := bounds[0]
+	if !b.Inverted {
+		t.Fatalf("axis not marked inverted: %+v", b)
+	}
+	if b.Unsolvable || b.Censored {
+		t.Fatalf("interior inverted boundary misclassified: %+v", b)
+	}
+	if b.MaxFailing != invThresholdBoundary || b.MinPassing != invThresholdBoundary+1 {
+		t.Fatalf("boundary = [%d, %d), want [%d, %d)", b.MaxFailing, b.MinPassing, invThresholdBoundary, invThresholdBoundary+1)
+	}
+	if b.Probes > 12 {
+		t.Fatalf("binary search spent %d probes on a 1..200 axis", b.Probes)
+	}
+}
+
+// TestFrontierResume: a search interrupted after every run and restarted
+// from its checkpointed state reports the same boundaries as an
+// uninterrupted one, without redoing completed probes.
+func TestFrontierResume(t *testing.T) {
+	base := scenario.New(4).Config()
+	axes := []Axis{
+		{Spec: fd.DetectorSpec{Class: thresholdClass}, Param: "suspect", Max: 200},
+		{Spec: fd.DetectorSpec{Class: invThresholdClass}, Param: "timeout", Max: 200},
+	}
+	seeds := []int64{3, 4}
+	want, err := Frontier(context.Background(), base, scenario.Consensus{}, axes, seeds)
+	if err != nil {
+		t.Fatalf("reference frontier: %v", err)
+	}
+
+	// Drive the search run-by-run: cancel after each checkpoint, reload
+	// the serialized snapshot, resume.
+	var snapshot []byte
+	stopAfterCheckpoint := fmt.Errorf("stop")
+	for step := 0; ; step++ {
+		if step > 10000 {
+			t.Fatal("resume loop did not converge")
+		}
+		var state *FrontierState
+		if snapshot != nil {
+			state, err = LoadFrontierState(snapshot)
+			if err != nil {
+				t.Fatalf("step %d: load state: %v", step, err)
+			}
+		}
+		got, err := FrontierResume(context.Background(), base, scenario.Consensus{}, axes, seeds, state, func(st *FrontierState) error {
+			data, err := st.Marshal()
+			if err != nil {
+				return err
+			}
+			snapshot = data
+			return stopAfterCheckpoint
+		})
+		if err == nil {
+			if len(got) != len(want) {
+				t.Fatalf("resumed frontier returned %d boundaries, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("resumed boundary %d diverged:\n%+v\n%+v", i, got[i], want[i])
+				}
+			}
+			return
+		}
+		if !strings.Contains(err.Error(), stopAfterCheckpoint.Error()) {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestFrontierStateRejectsMismatch: resuming against different inputs or a
+// future schema version is refused, not silently replayed.
+func TestFrontierStateRejectsMismatch(t *testing.T) {
+	base := scenario.New(4).Config()
+	axes := []Axis{{Spec: fd.DetectorSpec{Class: thresholdClass}, Param: "suspect", Max: 200}}
+	state := &FrontierState{SchemaVersion: FrontierStateVersion, Fingerprint: "frontier{something-else}"}
+	_, err := FrontierResume(context.Background(), base, scenario.Consensus{}, axes, nil, state, nil)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("mismatched state accepted: %v", err)
+	}
+	if _, err := LoadFrontierState([]byte(`{"schema_version": 99}`)); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future-versioned state accepted: %v", err)
 	}
 }
 

@@ -30,8 +30,16 @@ type Report struct {
 	// (0 = none found) — the number to compare against a uniform grid's
 	// runs-to-first-failure.
 	FirstFailureRun int `json:"first_failure_run,omitempty"`
-	// Corpus is the novelty corpus in discovery order.
+	// Corpus is the novelty corpus in discovery order (seeded entries, if
+	// any, first in their stored order). Novel counts its length, seeded
+	// entries included.
 	Corpus []Entry `json:"corpus"`
+	// Behaviours is the sorted set of behaviour parts seen (including ones
+	// restored from a seed corpus); FailureSigs the sorted failure dedup
+	// set. Together with Corpus they are the full resumable corpus state —
+	// see CorpusState.
+	Behaviours  []string `json:"behaviours,omitempty"`
+	FailureSigs []string `json:"failure_sigs,omitempty"`
 	// Mutators aggregates applied/novel counts per mutator, in first-use
 	// order.
 	Mutators []*MutatorStat `json:"mutators"`

@@ -56,37 +56,74 @@ type DetectorSpec struct {
 	PsiPolicy PsiPolicy `json:"psi_policy,omitempty"`
 }
 
+// ParamDir classifies how a quality parameter's value relates to detector
+// strength — the monotonicity contract a frontier bisection leans on.
+type ParamDir int
+
+const (
+	// DirNone: the parameter has no monotone quality convention; searches
+	// must skip it. The direction of unknown keys.
+	DirNone ParamDir = iota
+	// DirWeakens: the degradation convention — 0 is the exact detector and
+	// larger values are strictly weaker quality.
+	DirWeakens
+	// DirStrengthens: the inverted convention of the heartbeat pacing
+	// parameters — 0 means "the implementation's default", and among
+	// positive values a larger one is *stronger* (a longer timeout tolerates
+	// more delay). A search over such an axis looks for the smallest
+	// positive value that still passes, never probing 0.
+	DirStrengthens
+)
+
+// String renders the direction for error messages.
+func (d ParamDir) String() string {
+	switch d {
+	case DirWeakens:
+		return "weakens"
+	case DirStrengthens:
+		return "strengthens"
+	}
+	return "none"
+}
+
 // specParam is one named quality parameter of the spec grammar, in canonical
 // render order. One table drives parsing, rendering and the minimiser's
-// shrink dimensions. weakens marks the degradation axes — 0 is the exact
-// detector and larger values are strictly weaker quality, the monotone
-// convention a frontier bisection relies on. The heartbeat pacing
-// parameters do not weaken: 0 means "the implementation's default" and a
-// larger timeout is *stronger*, so searches that assume the convention must
-// skip them (fd.ParamWeakens).
+// shrink dimensions. dir records each parameter's monotone quality
+// convention: the degradation axes weaken (0 is the exact detector and
+// larger values are strictly weaker), while the heartbeat pacing parameters
+// strengthen among positive values (0 means "the implementation's default"
+// and a larger timeout is *stronger*) — searches pick their bracket per
+// direction (fd.ParamDirection).
 var specParams = []struct {
-	key     string
-	weakens bool
-	get     func(*DetectorSpec) *model.Time
+	key string
+	dir ParamDir
+	get func(*DetectorSpec) *model.Time
 }{
-	{"suspect", true, func(s *DetectorSpec) *model.Time { return &s.SuspicionDelay }},
-	{"detect", true, func(s *DetectorSpec) *model.Time { return &s.DetectionDelay }},
-	{"stabilize", true, func(s *DetectorSpec) *model.Time { return &s.StabilizeAfter }},
-	{"switch", true, func(s *DetectorSpec) *model.Time { return &s.PsiSwitchAfter }},
-	{"interval", false, func(s *DetectorSpec) *model.Time { return &s.HeartbeatInterval }},
-	{"timeout", false, func(s *DetectorSpec) *model.Time { return &s.HeartbeatTimeout }},
+	{"suspect", DirWeakens, func(s *DetectorSpec) *model.Time { return &s.SuspicionDelay }},
+	{"detect", DirWeakens, func(s *DetectorSpec) *model.Time { return &s.DetectionDelay }},
+	{"stabilize", DirWeakens, func(s *DetectorSpec) *model.Time { return &s.StabilizeAfter }},
+	{"switch", DirWeakens, func(s *DetectorSpec) *model.Time { return &s.PsiSwitchAfter }},
+	{"interval", DirStrengthens, func(s *DetectorSpec) *model.Time { return &s.HeartbeatInterval }},
+	{"timeout", DirStrengthens, func(s *DetectorSpec) *model.Time { return &s.HeartbeatTimeout }},
+}
+
+// ParamDirection reports the named parameter's monotone quality convention;
+// DirNone for unknown keys.
+func ParamDirection(key string) ParamDir {
+	for _, p := range specParams {
+		if p.key == key {
+			return p.dir
+		}
+	}
+	return DirNone
 }
 
 // ParamWeakens reports whether the named parameter follows the degradation
 // convention (0 = exact, larger = weaker); false for unknown keys and for
-// parameters with inverted or defaulted-at-zero semantics.
+// parameters with inverted or defaulted-at-zero semantics (ParamDirection
+// distinguishes those).
 func ParamWeakens(key string) bool {
-	for _, p := range specParams {
-		if p.key == key {
-			return p.weakens
-		}
-	}
-	return false
+	return ParamDirection(key) == DirWeakens
 }
 
 // TimeParams returns pointers to the spec's logical-tick quality parameters,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -111,6 +112,53 @@ func (g Grid) seedCount() int { return len(g.Seeds) + max(0, g.SeedSpan.N) }
 // before sharding.
 func (g Grid) Size() int {
 	return max(1, g.seedCount()) * max(1, len(g.Detectors)) * max(1, len(g.Delays)) * max(1, len(g.Crashes))
+}
+
+// Fingerprint returns the canonical identity of the sweep this grid
+// describes over the base config: the base's canonical key plus every axis
+// in expansion order, byte-stably. Two (base, grid) pairs with equal
+// fingerprints expand to the same configurations at the same row-major
+// indices — the identity a campaign manifest records and campaign merge
+// enforces before folding shard reports together. Shard, Workers,
+// KeepFailures and OnRun are execution detail, not identity, and are
+// excluded: sharding or re-running a grid never changes its fingerprint.
+func (g Grid) Fingerprint(base Config) string {
+	var b strings.Builder
+	b.WriteString("grid{base=")
+	b.WriteString(base.Key())
+	b.WriteString(";seeds=")
+	for i, s := range g.Seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	if g.SeedSpan.N > 0 {
+		fmt.Fprintf(&b, ";seedspan=%d+%d", g.SeedSpan.From, g.SeedSpan.N)
+	}
+	b.WriteString(";detectors=")
+	for i, d := range g.Detectors {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(d.String())
+	}
+	b.WriteString(";delays=")
+	for i, d := range g.Delays {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%v,%v]", d.Min, d.Max)
+	}
+	b.WriteString(";crashes=")
+	for i, cs := range g.Crashes {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%v", cs)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // detectorIndexAt returns the position on the detector axis of global grid

@@ -375,3 +375,39 @@ func TestSweepSeedSpan(t *testing.T) {
 		t.Fatalf("span shard sweep = %+v", res)
 	}
 }
+
+// TestGridFingerprint: the fingerprint identifies the work — base config and
+// every grid axis — and nothing about how it is executed (shard, workers,
+// retention), so shards of one grid agree on it and different grids do not.
+func TestGridFingerprint(t *testing.T) {
+	base := New(5, WithSeed(1)).Config()
+	grid := Grid{
+		Seeds:     []int64{1, 2, 3},
+		SeedSpan:  SeedSpan{From: 10, N: 4},
+		Detectors: []fd.DetectorSpec{{Class: fd.ClassOmegaSigma}, {Class: fd.ClassPerfect}},
+		Delays:    []DelayRange{{Min: 1000, Max: 3000}},
+		Crashes:   [][]Crash{nil, {{P: 3, At: 5 * time.Millisecond}}},
+	}
+	fp := grid.Fingerprint(base)
+	if fp != grid.Fingerprint(base) {
+		t.Fatal("fingerprint not stable across calls")
+	}
+
+	sharded := grid
+	sharded.Shard = Shard{Index: 2, Count: 3}
+	sharded.Workers = 7
+	sharded.KeepFailures = KeepAllCounts
+	if sharded.Fingerprint(base) != fp {
+		t.Fatal("execution detail (shard/workers/keep) leaked into the fingerprint")
+	}
+
+	changed := grid
+	changed.Seeds = []int64{1, 2, 4}
+	if changed.Fingerprint(base) == fp {
+		t.Fatal("seed axis change did not change the fingerprint")
+	}
+	otherBase := New(5, WithSeed(1), WithSafetyOnly()).Config()
+	if grid.Fingerprint(otherBase) == fp {
+		t.Fatal("base config change did not change the fingerprint")
+	}
+}
