@@ -71,11 +71,12 @@ func run() int {
 		workers       = flag.Int("workers", 0, "concurrent runs per generation (0 = GOMAXPROCS)")
 		classes       = flag.String("classes", "omega-sigma,perfect,eventually-perfect{stabilize:50},eventually-strong{stabilize:50}", "detector-class alphabet the class mutator swaps between (registry grammar)")
 		crashes       = flag.String("crashes", "", "base crash schedule, entries p@time (mutators edit it; frontier probes run it as-is)")
-		delays        = flag.String("delays", "1ms:3ms", "base delay range min:max (the mutators' delay floor keeps crashes schedule-determined; see internal/explore)")
+		delays        = flag.String("delays", "1ms:3ms", "base delay range min:max")
 		timeout       = flag.Duration("timeout", 250*time.Millisecond, "per-run wall-clock backstop (genuine non-termination failures each cost this)")
 		safetyOnly    = flag.Bool("safety-only", false, "check only safety clauses; also arms the drop-rate mutator")
 		minimize      = flag.Int("minimize", 3, "distinct failure signatures to minimize (0 or negative = none)")
 		depthSignal   = flag.Bool("depth-signal", false, "mix suspect-history depth into the novelty signature (trades reproducibility for sensitivity)")
+		traceSignal   = flag.Bool("trace-signal", false, "mix the step scheduler's bucketed trace shape into the novelty signature (stays byte-reproducible)")
 		frontier      = flag.String("frontier", "", "frontier axes 'class:param:max' split by ';', e.g. 'eventually-perfect:stabilize:100000;eventually-strong:stabilize:1000'")
 		frontierSeeds = flag.String("frontier-seeds", "", "probe seeds for the frontier search (default: the master seed)")
 		frontierState = flag.String("frontier-state", "", "frontier checkpoint file: resumed from if present, rewritten after every probe run")
@@ -182,6 +183,7 @@ func run() int {
 		Classes:       alphabet,
 		MinimizeLimit: minimizeLimit,
 		DepthSignal:   *depthSignal,
+		TraceSignal:   *traceSignal,
 		SeedCorpus:    seedCorpus,
 		OnRun: func(_ int, res *scenario.Result) {
 			done.Add(1)

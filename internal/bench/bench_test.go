@@ -106,9 +106,20 @@ func benchConsensus(b *testing.B, n int, opts ...net.Option) {
 }
 
 func BenchmarkConsensus(b *testing.B) {
+	// The virtual series runs under the step scheduler — the default mode, so
+	// these are the numbers the deterministic-trace contract actually costs.
 	for _, n := range []int{3, 10, 50, 200} {
 		b.Run(fmt.Sprintf("virtual/n=%d", n), func(b *testing.B) {
 			benchConsensus(b, n, net.WithSeed(1))
+		})
+	}
+	// The free-running ablation: same protocol, no grant handshake — goroutines
+	// race freely and the channel-timer backpressure heuristics pace virtual
+	// time. The gap between this and the step series is the price of full-trace
+	// reproducibility.
+	for _, n := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("freerunning/n=%d", n), func(b *testing.B) {
+			benchConsensus(b, n, net.WithSeed(1), net.WithFreeRunning())
 		})
 	}
 	// The wall-clock-fidelity path the virtual-time scheduler replaced: same
@@ -413,7 +424,19 @@ func TestEmitBenchJSON(t *testing.T) {
 			benchConsensus(b, n, net.WithSeed(1))
 		})
 	}
-	virtual := results[1] // n=10
+	virtual := results[1] // n=10, step mode (the default)
+	// The free-running ablation series, mirroring the step-mode sizes above
+	// n=3: the committed step_overhead datapoint is step ns/op over
+	// free-running ns/op at n=10, with a 3x acceptance ceiling.
+	free10 := add("Consensus/freerunning/n=10", func(b *testing.B) {
+		benchConsensus(b, 10, net.WithSeed(1), net.WithFreeRunning())
+	})
+	for _, n := range []int{50, 200} {
+		n := n
+		add(fmt.Sprintf("Consensus/freerunning/n=%d", n), func(b *testing.B) {
+			benchConsensus(b, n, net.WithSeed(1), net.WithFreeRunning())
+		})
+	}
 	real10 := add("Consensus/realtime/n=10", func(b *testing.B) {
 		benchConsensus(b, 10, net.WithSeed(1), net.WithRealTime())
 	})
@@ -501,11 +524,13 @@ func TestEmitBenchJSON(t *testing.T) {
 	})
 
 	speedup := float64(real10.NsPerOp()) / virtual.NsPerOp
+	stepOverhead := virtual.NsPerOp / float64(free10.NsPerOp())
 	out := struct {
 		GeneratedBy     string        `json:"generated_by"`
 		GoVersion       string        `json:"go_version"`
 		DelayRange      string        `json:"delay_range"`
 		SpeedupN10      float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
+		StepOverheadN10 float64       `json:"consensus_n10_step_vs_freerunning_overhead"`
 		SweepRuns       int           `json:"scenario_sweep_runs"`
 		SweepRunsSec    float64       `json:"scenario_sweep_runs_per_sec"`
 		Sweep100Runs    int           `json:"scenario_sweep_n100_runs"`
@@ -521,6 +546,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		GoVersion:       runtime.Version(),
 		DelayRange:      "[0, 200µs]",
 		SpeedupN10:      speedup,
+		StepOverheadN10: stepOverhead,
 		SweepRuns:       sweep.Runs,
 		SweepRunsSec:    sweep.RunsPerSec,
 		Sweep100Runs:    sweep100.Runs,
@@ -543,5 +569,9 @@ func TestEmitBenchJSON(t *testing.T) {
 	t.Logf("consensus n=10 virtual-vs-realtime speedup: %.1fx", speedup)
 	if speedup < 10 {
 		t.Errorf("virtual-time speedup %.1fx is below the 10x acceptance bar", speedup)
+	}
+	t.Logf("consensus n=10 step-vs-freerunning overhead: %.2fx", stepOverhead)
+	if stepOverhead > 3 {
+		t.Errorf("step-scheduler overhead %.2fx exceeds the 3x acceptance ceiling", stepOverhead)
 	}
 }

@@ -70,6 +70,7 @@ type ExploreSpec struct {
 	SafetyOnly  bool   `json:"safety_only,omitempty"`
 	Minimize    int    `json:"minimize"`
 	DepthSignal bool   `json:"depth_signal,omitempty"`
+	TraceSignal bool   `json:"trace_signal,omitempty"`
 }
 
 // Options builds the explore options of one unit. Workers/OnRun are runtime
@@ -141,6 +142,7 @@ func (sp ExploreSpec) Options(unitSeed int64) (explore.Options, error) {
 		Classes:       alphabet,
 		MinimizeLimit: minimize,
 		DepthSignal:   sp.DepthSignal,
+		TraceSignal:   sp.TraceSignal,
 	}, nil
 }
 

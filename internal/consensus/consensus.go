@@ -84,6 +84,13 @@ type BallotConsensus struct {
 	scratch   *attempt // the one attempt struct a proposer reuses across phases and ballots
 	decidedCh chan struct{} // closed when this participant learns the decision
 
+	// waiter is the proposer task blocked in Propose/awaitAttempt (step
+	// mode): the acceptor handler, which runs on the dispatch goroutine,
+	// wakes it alongside the channel notifies so the scheduler sees the
+	// handoff. At most one Propose runs per participant, so one slot is
+	// enough.
+	waiter net.TaskWaiter
+
 	stop *stopper
 }
 
@@ -204,6 +211,17 @@ func (c *BallotConsensus) Decision() (Value, bool) {
 // blocked Propose costs no wall-clock time.
 func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 	c.metrics.Inc("propose")
+	// Submit to the step scheduler: if the network runs in step mode and the
+	// caller brought no task, the calling goroutine is adopted for the span
+	// of this Propose, so raw-network callers (benchmarks, package tests)
+	// take steps under the same deterministic discipline as scenario runners.
+	ctx, release := net.AdoptTask(ctx, c.ep, "consensus.propose")
+	defer release()
+	task := net.TaskFrom(ctx)
+	if task != nil {
+		c.waiter.Set(task)
+		defer c.waiter.Clear()
+	}
 	// One poll ticker serves the whole call: the non-leader wait below and
 	// the leader's quorum waits inside awaitAttempt park on the same lease,
 	// so a Propose costs one timer lease however many ballots it leads. The
@@ -214,6 +232,7 @@ func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 	// stops are spelled out instead of deferred: a defer closure over the
 	// ticker variable is a heap allocation on every Propose.
 	ticker := c.ep.NewTicker(c.poll)
+	ticker.Bind(task)
 	for {
 		if val, ok := c.Decision(); ok {
 			ticker.Stop()
@@ -233,6 +252,32 @@ func (c *BallotConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 				return nil, fmt.Errorf("consensus propose: %w", err)
 			}
 			ticker = c.ep.NewTicker(c.poll)
+			ticker.Bind(task)
+			continue
+		}
+		if task != nil {
+			// Step mode: the select below becomes condition rechecks around a
+			// scheduler park. Wakes arrive from the acceptor handler (via
+			// waiter), the bound ticker, and a crash of this process.
+			if err := c.ep.Context().Err(); err != nil {
+				ticker.Stop()
+				return nil, fmt.Errorf("consensus propose: %w", err)
+			}
+			if err := ctx.Err(); err != nil {
+				ticker.Stop()
+				return nil, fmt.Errorf("consensus propose: %w", err)
+			}
+			if ticker.TryFire() {
+				c.ep.Clock().Tick()
+				select {
+				case <-c.stop.ch:
+					ticker.Stop()
+					return nil, fmt.Errorf("consensus propose: participant stopped")
+				default:
+				}
+				continue
+			}
+			task.Await(ctx)
 			continue
 		}
 		select {
@@ -368,6 +413,7 @@ func (c *BallotConsensus) clearAttempt() {
 // quorum guard (true), the attempt is rejected by a higher ballot (false), or
 // the context is cancelled.
 func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt, ticker *net.Timer) (bool, error) {
+	task := net.TaskFrom(ctx)
 	for {
 		// The guard is consulted under the participant's mutex with the live
 		// acknowledgement set: guards only read the set (quorum.Guard's
@@ -388,6 +434,27 @@ func (c *BallotConsensus) awaitAttempt(ctx context.Context, att *attempt, ticker
 		}
 		if satisfied {
 			return true, nil
+		}
+		if task != nil {
+			// Step mode: park; acknowledgement arrivals (handler-side waiter
+			// wakes), ticker fires and crashes all grant us a recheck step.
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("consensus ballot %d: %w", att.ballot, err)
+			}
+			if err := c.ep.Context().Err(); err != nil {
+				return false, fmt.Errorf("consensus ballot %d: %w", att.ballot, c.ep.Context().Err())
+			}
+			if ticker.TryFire() {
+				c.ep.Clock().Tick()
+				select {
+				case <-c.stop.ch:
+					return false, fmt.Errorf("consensus ballot %d: participant stopped", att.ballot)
+				default:
+				}
+				continue
+			}
+			task.Await(ctx)
+			continue
 		}
 		select {
 		case <-ctx.Done():
@@ -421,6 +488,7 @@ func (c *BallotConsensus) learn(v Value) {
 	c.decision = v
 	c.metrics.Inc("decided")
 	close(c.decidedCh)
+	c.waiter.Wake()
 }
 
 // HandleMessage implements net.Handler: it plays the acceptor role and
@@ -492,6 +560,7 @@ func (c *BallotConsensus) handle(msg net.Message) {
 				att.hasBest = true
 			}
 			notify(att.updated)
+			c.waiter.Wake()
 		}
 		c.mu.Unlock()
 
@@ -501,6 +570,7 @@ func (c *BallotConsensus) handle(msg net.Message) {
 		if att := c.attempt; att != nil && att.phase == msgAccept && att.ballot == ballot {
 			att.acked.Add(msg.From)
 			notify(att.updated)
+			c.waiter.Wake()
 		}
 		c.mu.Unlock()
 
@@ -513,6 +583,7 @@ func (c *BallotConsensus) handle(msg net.Message) {
 		if att := c.attempt; att != nil && att.ballot == ballot {
 			att.rejected = true
 			notify(att.updated)
+			c.waiter.Wake()
 		}
 		c.mu.Unlock()
 

@@ -110,6 +110,10 @@ func (c *RegisterConsensus) Metrics() *trace.Metrics { return c.metrics }
 // Propose runs the protocol with proposal v and returns the decided value.
 func (c *RegisterConsensus) Propose(ctx context.Context, v Value) (Value, error) {
 	c.metrics.Inc("propose")
+	// Step mode: adopt the caller. Every wait below — register Read/Write
+	// round-trips and the poll Sleep — is task-aware through the ctx.
+	ctx, release := net.AdoptTask(ctx, c.ep, "consensus.register")
+	defer release()
 	for {
 		// Has someone already decided?
 		d, err := c.dec.Read(ctx)

@@ -40,8 +40,8 @@ func SpaceFingerprint(opts Options) string {
 	for i, c := range opts.Classes {
 		classes[i] = c.String()
 	}
-	return fmt.Sprintf("explore{proto=%s;base=%s;classes=%s;runs=%d;batch=%d;minimize=%d;depth=%t}",
-		proto, base.Key(), strings.Join(classes, ","), opts.Runs, batch, minimize, opts.DepthSignal)
+	return fmt.Sprintf("explore{proto=%s;base=%s;classes=%s;runs=%d;batch=%d;minimize=%d;depth=%t;trace=%t}",
+		proto, base.Key(), strings.Join(classes, ","), opts.Runs, batch, minimize, opts.DepthSignal, opts.TraceSignal)
 }
 
 // Corpus persistence: the exploration's full resumable state — corpus

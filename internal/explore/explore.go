@@ -84,6 +84,13 @@ type Options struct {
 	// scheduling-dependent one, so switching it on trades byte-for-byte
 	// reproducibility for sensitivity.
 	DepthSignal bool
+	// TraceSignal mixes the step scheduler's bucketed trace shape (events,
+	// messages, grants up to the trace boundary) into the novelty signature.
+	// Unlike DepthSignal it stays on the reproducible side of the contract:
+	// the counters are part of the pinned schedule, so explorations remain
+	// byte-identical per seed with it on. Runs without a pinned trace (the
+	// free-running ablation, timeout-tainted runs) share one "~" territory.
+	TraceSignal bool
 	// OnRun, if non-nil, streams every executed run as it completes (run is
 	// the 1-based run index within the budget). Called concurrently from
 	// worker goroutines.
@@ -339,7 +346,7 @@ func Explore(ctx context.Context, opts Options) (*Report, error) {
 			run := rep.Runs + rep.Cancelled
 			stat := statOf(jobs[i].mutator)
 			stat.Applied++
-			sig := SignatureOf(res, opts.DepthSignal)
+			sig := SignatureOf(res, opts.DepthSignal, opts.TraceSignal)
 			if _, seen := sigIndex[sig]; !seen {
 				sigIndex[sig] = len(corpus)
 				energy := baseEnergy

@@ -174,11 +174,11 @@ func TestSignatureAbstractsSeedKeepsBehaviour(t *testing.T) {
 	}
 	a := run(scenario.WithSeed(1))
 	b := run(scenario.WithSeed(999))
-	if SignatureOf(&a, false) != SignatureOf(&b, false) {
-		t.Fatalf("seed changed the signature:\n%s\n%s", SignatureOf(&a, false), SignatureOf(&b, false))
+	if SignatureOf(&a, false, false) != SignatureOf(&b, false, false) {
+		t.Fatalf("seed changed the signature:\n%s\n%s", SignatureOf(&a, false, false), SignatureOf(&b, false, false))
 	}
 	c := run(scenario.WithSeed(1), scenario.WithDetectorClass(fd.ClassPerfect))
-	if SignatureOf(&a, false) == SignatureOf(&c, false) {
+	if SignatureOf(&a, false, false) == SignatureOf(&c, false, false) {
 		t.Fatalf("detector class did not change the signature")
 	}
 	d := run(scenario.WithSeed(1), scenario.WithDetector(fd.MustParseSpec("eventually-strong{stabilize:50}")),
@@ -186,7 +186,7 @@ func TestSignatureAbstractsSeedKeepsBehaviour(t *testing.T) {
 	if d.Verdict.OK {
 		t.Fatalf("◇S leader-crash run passed unexpectedly")
 	}
-	if sd := SignatureOf(&d, false); !strings.Contains(sd, "fail(") || !strings.Contains(sd, "termination") {
+	if sd := SignatureOf(&d, false, false); !strings.Contains(sd, "fail(") || !strings.Contains(sd, "termination") {
 		t.Fatalf("failing signature does not classify the violation: %s", sd)
 	}
 }

@@ -35,17 +35,17 @@ func (m Mutator) weight() float64 {
 // They bound the *mutation alphabet*, not the schedule space — a frontier
 // search is the tool for pushing a single axis far out.
 //
-// The crash-time ceiling and the delay floor are deliberately coupled: every
-// mutated crash fires by maxCrashAt = 500µs, while the delay floor of 1ms
-// keeps any decision at least a few message hops — several milliseconds —
-// away. Crashes therefore always land mid-protocol, where verdicts and
-// outcome partitions are schedule-determined; a crash racing the *decision
-// moment* is the one scenario whose verdict genuinely depends on goroutine
-// scheduling in the current runtime (the deterministic goroutine-step
-// scheduler on the roadmap would lift this), and minting novelty from such
-// points would break the exploration's pure-function-of-seed contract.
+// Crash times draw from the full [0, maxCrashAt] window, which at 5ms spans
+// several message round-trips at the mutated delay floor — deliberately
+// covering the decision moments of the protocols under test. Under the
+// goroutine-step scheduler a crash racing a decision is an ordinary (time,
+// seq)-ordered event against a deterministic grant schedule, so even those
+// runs are a pure function of the seed. (An earlier alphabet capped crashes
+// at 500µs to keep them clear of decision moments, which the free-running
+// runtime could not order reproducibly; the step scheduler lifted that
+// restriction.)
 const (
-	maxCrashAt    = 500 * time.Microsecond
+	maxCrashAt    = 5 * time.Millisecond
 	delayFloor    = time.Millisecond
 	maxDelayExtra = time.Millisecond     // mutated delay floor: [1ms, 2ms]
 	maxDelaySpan  = 4 * time.Millisecond // mutated delay width above the floor

@@ -29,12 +29,16 @@ import (
 // is byte-reproducible per seed. Result.HistoryDepth is the one deliberate
 // exception: it is a real behaviour signal (how hard the run worked its
 // detectors) but, like tick counts, it is scheduling-dependent, so it joins
-// the signature only when Options.DepthSignal opts in.
+// the signature only when Options.DepthSignal opts in. The trace shape
+// (Options.TraceSignal) sits on the reproducible side: the step scheduler's
+// record counters are part of the pinned schedule, so bucketing them adds
+// how-it-ran sensitivity without giving up byte-reproducibility.
 
 // SignatureOf renders res's novelty signature: the bucketed configuration
 // territory plus the behaviour part (BehaviourOf). withDepth additionally
-// mixes in the log-bucketed suspect-history depth (see Options.DepthSignal).
-func SignatureOf(res *scenario.Result, withDepth bool) string {
+// mixes in the log-bucketed suspect-history depth (see Options.DepthSignal);
+// withTrace mixes in the bucketed trace shape (see Options.TraceSignal).
+func SignatureOf(res *scenario.Result, withDepth, withTrace bool) string {
 	cfg := res.Config
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s n=%d det=%s delay=%d drop=%d crashes=%s",
@@ -45,7 +49,25 @@ func SignatureOf(res *scenario.Result, withDepth bool) string {
 	if withDepth {
 		fmt.Fprintf(&b, " hist=%d", logBucket(uint64(res.HistoryDepth)))
 	}
+	if withTrace {
+		fmt.Fprintf(&b, " trace=%s", traceShape(res))
+	}
 	return b.String()
+}
+
+// traceShape buckets the step scheduler's trace counters: delivered events,
+// messages among them, and task step grants, each on the shared log4 scale —
+// how much schedule a run burned, not what it computed. Runs without a
+// pinned trace (the free-running ablation, timeout-tainted runs) render "~":
+// one territory, deliberately not subdivided, because their schedule suffix
+// is exactly the part the scheduler could not pin.
+func traceShape(res *scenario.Result) string {
+	if res.TraceFingerprint == "" {
+		return "~"
+	}
+	st := res.TraceSummary
+	return fmt.Sprintf("e%d/m%d/g%d",
+		logBucket(uint64(st.Events)), logBucket(uint64(st.Messages)), logBucket(uint64(st.Grants)))
 }
 
 // BehaviourOf is the pure behaviour part of the signature — what the run
@@ -55,7 +77,7 @@ func SignatureOf(res *scenario.Result, withDepth bool) string {
 // behaviour is only lukewarm: territory is worth holding, behaviour change
 // is worth chasing.
 func BehaviourOf(res *scenario.Result) string {
-	return fmt.Sprintf("verdict=%s out=%s", verdictClass(res.Verdict.OK, res.Verdict.Violations), outcomeShape(res.Outcomes, res.Config.Crashes))
+	return fmt.Sprintf("verdict=%s out=%s", verdictClass(res.Verdict.OK, res.Verdict.Violations), outcomeShape(res.Outcomes))
 }
 
 func boolBit(v bool) int {
@@ -142,26 +164,21 @@ func verdictClass(ok bool, violations []string) string {
 	return "fail(" + strings.Join(classes, ";") + ")"
 }
 
-// outcomeShape renders per-process outcomes in process order: 'x' for a
-// process with a scheduled crash, 'e' errored, '-' took no step, or v<k>
-// where k indexes the distinct decided values in first-seen order — so
-// "everyone agreed" reads v0v0v0 and a split reads v0v1v0, independent of
-// the concrete values (which carry the seed). Crash-scheduled processes are
-// masked because whether such a process squeezes its decision in before its
-// crash fires is a goroutine race even for a fixed seed — the one per-process
-// outcome that is not schedule-determined, and novelty minted from it would
-// break the reproducibility contract.
-func outcomeShape(outs []scenario.Outcome, crashes []scenario.Crash) string {
-	crashing := map[int]bool{}
-	for _, c := range crashes {
-		crashing[int(c.P)] = true
-	}
+// outcomeShape renders per-process outcomes in process order: 'e' errored,
+// '-' took no step, or v<k> where k indexes the distinct decided values in
+// first-seen order — so "everyone agreed" reads v0v0v0 and a split reads
+// v0v1v0, independent of the concrete values (which carry the seed).
+// Crash-scheduled processes render like any other: whether such a process
+// squeezes its decision in before its crash fires used to be a goroutine
+// race even for a fixed seed and was masked as 'x', but under the step
+// scheduler the crash is an ordinary ordered event against a deterministic
+// grant schedule, so the outcome is schedule-determined and carries real
+// signal (decided-then-crashed vs crashed-first are different behaviours).
+func outcomeShape(outs []scenario.Outcome) string {
 	var b strings.Builder
 	classes := map[string]int{}
 	for _, o := range outs {
 		switch {
-		case crashing[int(o.Process)]:
-			b.WriteByte('x')
 		case o.Returned:
 			key := fmt.Sprint(o.Value)
 			k, ok := classes[key]

@@ -19,11 +19,14 @@
 //
 // All intervals and timeouts are measured on the network's clock: virtual
 // time under the default virtual-time scheduler (where a heartbeat round
-// costs no wall-clock time), wall-clock time under net.WithRealTime. The
-// timers ride the network's event queue, whose backpressure keeps virtual
-// time from running ahead of the detector loops — that is what preserves the
-// partial-synchrony assumption these detectors need even when time is
-// simulated.
+// costs no wall-clock time), wall-clock time under net.WithRealTime. Under
+// the default step scheduler the loops run as scheduler tasks with
+// task-bound tickers: the dispatcher delivers a tick only once every task is
+// parked, so virtual time cannot run ahead of the detector loops by
+// construction. Under the free-running ablation (net.WithFreeRunning) the
+// channel tickers' event-queue backpressure plays that role heuristically —
+// either way the partial-synchrony assumption these detectors need survives
+// time being simulated.
 //
 // All three run a background goroutine per process; callers must Stop them
 // (or close the network) when done.
@@ -47,6 +50,7 @@ type MajoritySigma struct {
 	ep       *net.Endpoint
 	interval time.Duration
 	ticker   *net.Timer
+	task     *net.Task
 
 	mu     sync.Mutex
 	quorum model.ProcessSet
@@ -78,7 +82,7 @@ func StartMajoritySigma(ep *net.Endpoint, interval time.Duration) *MajoritySigma
 		done:     make(chan struct{}),
 	}
 	ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: 0})
-	go s.run()
+	s.task = ep.Network().Go(ep, "fdimpl.sigma", s.run)
 	return s
 }
 
@@ -93,15 +97,17 @@ func (s *MajoritySigma) Sample() model.ProcessSet {
 // Stop terminates the background protocol.
 func (s *MajoritySigma) Stop() {
 	s.once.Do(func() { close(s.stop) })
+	s.task.Wake()
 	<-s.done
 }
 
 type sigmaProbe struct{ Round int }
 type sigmaAck struct{ Round int }
 
-func (s *MajoritySigma) run() {
+func (s *MajoritySigma) run(task *net.Task) {
 	defer close(s.done)
 	defer s.ticker.Stop()
+	s.ticker.Bind(task)
 
 	round := 0
 	acked := map[int]model.ProcessSet{}
@@ -136,6 +142,41 @@ func (s *MajoritySigma) run() {
 		}
 	}
 
+	// Drain synchronously before advancing the round: TryRecv reads the
+	// mailbox ring directly, so everything the dispatcher has delivered up to
+	// this tick is processed first. In step mode the run-to-quiescence
+	// handshake paces rounds by processing progress; in free-running mode,
+	// holding the tick back holds virtual time back (see net.Timer).
+	tick := func() {
+		for {
+			msg, ok := s.ep.TryRecv(sigmaInstance)
+			if !ok {
+				break
+			}
+			handle(msg)
+		}
+		delete(acked, round-1)
+		round++
+		s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
+	}
+
+	if task != nil {
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if s.ep.Context().Err() != nil {
+				return
+			}
+			if s.ticker.TryFire() {
+				tick()
+			} else {
+				task.Await(nil)
+			}
+		}
+	}
 	for {
 		select {
 		case <-s.stop:
@@ -143,21 +184,7 @@ func (s *MajoritySigma) run() {
 		case <-s.ep.Context().Done():
 			return
 		case <-s.ticker.C:
-			// Drain synchronously before advancing the round: TryRecv reads
-			// the mailbox ring directly, so everything the dispatcher has
-			// delivered up to this tick is processed first. Holding the tick
-			// back also holds virtual time back (see net.Timer), pacing
-			// rounds by processing progress.
-			for {
-				msg, ok := s.ep.TryRecv(sigmaInstance)
-				if !ok {
-					break
-				}
-				handle(msg)
-			}
-			delete(acked, round-1)
-			round++
-			s.ep.Broadcast(sigmaInstance, "probe", sigmaProbe{Round: round})
+			tick()
 		}
 	}
 }
@@ -170,6 +197,7 @@ type HeartbeatOmega struct {
 	interval time.Duration
 	timeout  time.Duration
 	ticker   *net.Timer
+	task     *net.Task
 	start    time.Duration
 
 	mu     sync.Mutex
@@ -200,7 +228,7 @@ func StartHeartbeatOmega(ep *net.Endpoint, interval, timeout time.Duration) *Hea
 		done:     make(chan struct{}),
 	}
 	ep.Broadcast(omegaInstance, "hb", nil)
-	go o.run()
+	o.task = ep.Network().Go(ep, "fdimpl.omega", o.run)
 	return o
 }
 
@@ -214,12 +242,14 @@ func (o *HeartbeatOmega) Sample() model.ProcessID {
 // Stop terminates the background protocol.
 func (o *HeartbeatOmega) Stop() {
 	o.once.Do(func() { close(o.stop) })
+	o.task.Wake()
 	<-o.done
 }
 
-func (o *HeartbeatOmega) run() {
+func (o *HeartbeatOmega) run(task *net.Task) {
 	defer close(o.done)
 	defer o.ticker.Stop()
+	o.ticker.Bind(task)
 
 	lastHeard := make(map[model.ProcessID]time.Duration)
 
@@ -243,6 +273,42 @@ func (o *HeartbeatOmega) run() {
 		o.mu.Unlock()
 	}
 
+	// Drain synchronously before recomputing: TryRecv reads the mailbox ring
+	// directly, so freshness reflects everything the dispatcher has delivered
+	// up to this tick. In the task path "now" is the fire deadline read back
+	// from the virtual clock — the dispatcher grants the woken task before
+	// popping any further event, so the clock cannot have moved past it.
+	tick := func(now time.Duration) {
+		for {
+			msg, ok := o.ep.TryRecv(omegaInstance)
+			if !ok {
+				break
+			}
+			if msg.Type == "hb" {
+				lastHeard[msg.From] = now
+			}
+		}
+		o.ep.Broadcast(omegaInstance, "hb", nil)
+		recompute(now)
+	}
+
+	if task != nil {
+		for {
+			select {
+			case <-o.stop:
+				return
+			default:
+			}
+			if o.ep.Context().Err() != nil {
+				return
+			}
+			if o.ticker.TryFire() {
+				tick(o.ep.VirtualNow())
+			} else {
+				task.Await(nil)
+			}
+		}
+	}
 	for {
 		select {
 		case <-o.stop:
@@ -250,21 +316,7 @@ func (o *HeartbeatOmega) run() {
 		case <-o.ep.Context().Done():
 			return
 		case now := <-o.ticker.C:
-			// Drain synchronously before recomputing: TryRecv reads the
-			// mailbox ring directly, so freshness reflects everything the
-			// dispatcher has delivered up to this tick, and holding the tick
-			// back holds virtual time back.
-			for {
-				msg, ok := o.ep.TryRecv(omegaInstance)
-				if !ok {
-					break
-				}
-				if msg.Type == "hb" {
-					lastHeard[msg.From] = now
-				}
-			}
-			o.ep.Broadcast(omegaInstance, "hb", nil)
-			recompute(now)
+			tick(now)
 		}
 	}
 }
@@ -277,6 +329,7 @@ type HeartbeatFS struct {
 	interval time.Duration
 	timeout  time.Duration
 	ticker   *net.Timer
+	task     *net.Task
 	start    time.Duration
 
 	mu  sync.Mutex
@@ -305,7 +358,7 @@ func StartHeartbeatFS(ep *net.Endpoint, interval, timeout time.Duration) *Heartb
 		done:     make(chan struct{}),
 	}
 	ep.Broadcast(fsInstance, "hb", nil)
-	go f.run()
+	f.task = ep.Network().Go(ep, "fdimpl.fs", f.run)
 	return f
 }
 
@@ -322,16 +375,71 @@ func (f *HeartbeatFS) Sample() model.FSValue {
 // Stop terminates the background protocol.
 func (f *HeartbeatFS) Stop() {
 	f.once.Do(func() { close(f.stop) })
+	f.task.Wake()
 	<-f.done
 }
 
-func (f *HeartbeatFS) run() {
+func (f *HeartbeatFS) run(task *net.Task) {
 	defer close(f.done)
 	defer f.ticker.Stop()
+	f.ticker.Bind(task)
 
 	lastHeard := make(map[model.ProcessID]time.Duration)
 	grace := 2 * f.timeout
 
+	// Drain synchronously before the timeout check: TryRecv reads the
+	// mailbox ring directly, so the check runs against every heartbeat the
+	// dispatcher has delivered up to this tick. The signal is sticky, so a
+	// single stale window would falsely turn it red forever — this is the
+	// path that must not race.
+	tick := func(now time.Duration) {
+		for {
+			msg, ok := f.ep.TryRecv(fsInstance)
+			if !ok {
+				break
+			}
+			if msg.Type == "hb" {
+				lastHeard[msg.From] = now
+			}
+		}
+		f.ep.Broadcast(fsInstance, "hb", nil)
+		if now-f.start < grace {
+			return
+		}
+		for i := 0; i < f.ep.N(); i++ {
+			p := model.ProcessID(i)
+			if p == f.ep.ID() {
+				continue
+			}
+			heard, ok := lastHeard[p]
+			if !ok {
+				heard = f.start + grace
+			}
+			if now-heard > f.timeout {
+				f.mu.Lock()
+				f.red = true
+				f.mu.Unlock()
+			}
+		}
+	}
+
+	if task != nil {
+		for {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			if f.ep.Context().Err() != nil {
+				return
+			}
+			if f.ticker.TryFire() {
+				tick(f.ep.VirtualNow())
+			} else {
+				task.Await(nil)
+			}
+		}
+	}
 	for {
 		select {
 		case <-f.stop:
@@ -339,39 +447,7 @@ func (f *HeartbeatFS) run() {
 		case <-f.ep.Context().Done():
 			return
 		case now := <-f.ticker.C:
-			// Drain synchronously before the timeout check: TryRecv reads
-			// the mailbox ring directly, so the check runs against every
-			// heartbeat the dispatcher has delivered up to this tick. The
-			// signal is sticky, so a single stale window would falsely turn
-			// it red forever — this is the path that must not race.
-			for {
-				msg, ok := f.ep.TryRecv(fsInstance)
-				if !ok {
-					break
-				}
-				if msg.Type == "hb" {
-					lastHeard[msg.From] = now
-				}
-			}
-			f.ep.Broadcast(fsInstance, "hb", nil)
-			if now-f.start < grace {
-				continue
-			}
-			for i := 0; i < f.ep.N(); i++ {
-				p := model.ProcessID(i)
-				if p == f.ep.ID() {
-					continue
-				}
-				heard, ok := lastHeard[p]
-				if !ok {
-					heard = f.start + grace
-				}
-				if now-heard > f.timeout {
-					f.mu.Lock()
-					f.red = true
-					f.mu.Unlock()
-				}
-			}
+			tick(now)
 		}
 	}
 }

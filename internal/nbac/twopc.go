@@ -50,7 +50,45 @@ type twopcDecision struct {
 // baseline.
 func (t *TwoPC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 	t.metrics.Inc("vote")
-	inbox := t.ep.Subscribe(t.instance)
+	// Step mode: adopt the caller. Blocking forever on a crashed peer is the
+	// point of the baseline; a parked task that is never woken again simply
+	// stays quiescent until the run's deadline escapes it.
+	ctx, release := net.AdoptTask(ctx, t.ep, "twopc.vote")
+	defer release()
+	task := net.TaskFrom(ctx)
+	var in net.Instance
+	var inbox <-chan net.Message
+	if task != nil {
+		in = t.ep.Instance(t.instance)
+		in.Watch(task)
+		defer in.Watch(nil)
+	} else {
+		inbox = t.ep.Subscribe(t.instance)
+	}
+	recv := func() (net.Message, error) {
+		if task != nil {
+			for {
+				if msg, ok := in.TryRecv(); ok {
+					return msg, nil
+				}
+				if err := ctx.Err(); err != nil {
+					return net.Message{}, err
+				}
+				if err := t.ep.Context().Err(); err != nil {
+					return net.Message{}, err
+				}
+				task.Await(ctx)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return net.Message{}, ctx.Err()
+		case <-t.ep.Context().Done():
+			return net.Message{}, t.ep.Context().Err()
+		case msg := <-inbox:
+			return msg, nil
+		}
+	}
 
 	// Phase 1: every participant (including the coordinator) sends its vote
 	// to the coordinator.
@@ -59,15 +97,12 @@ func (t *TwoPC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 	if t.ep.ID() == t.coordinator {
 		votes := make(map[model.ProcessID]Vote, t.ep.N())
 		for len(votes) < t.ep.N() {
-			select {
-			case <-ctx.Done():
-				return Abort, fmt.Errorf("2pc coordinator: %w", ctx.Err())
-			case <-t.ep.Context().Done():
-				return Abort, fmt.Errorf("2pc coordinator: %w", t.ep.Context().Err())
-			case msg := <-inbox:
-				if msg.Type == "vote" {
-					votes[msg.From] = msg.Payload.(voteMsg).Vote
-				}
+			msg, err := recv()
+			if err != nil {
+				return Abort, fmt.Errorf("2pc coordinator: %w", err)
+			}
+			if msg.Type == "vote" {
+				votes[msg.From] = msg.Payload.(voteMsg).Vote
 			}
 		}
 		outcome := Commit
@@ -83,15 +118,12 @@ func (t *TwoPC) Vote(ctx context.Context, v Vote) (Outcome, error) {
 
 	// Every participant waits for the coordinator's decision.
 	for {
-		select {
-		case <-ctx.Done():
-			return Abort, fmt.Errorf("2pc participant: %w", ctx.Err())
-		case <-t.ep.Context().Done():
-			return Abort, fmt.Errorf("2pc participant: %w", t.ep.Context().Err())
-		case msg := <-inbox:
-			if msg.Type == "decision" {
-				return msg.Payload.(twopcDecision).Outcome, nil
-			}
+		msg, err := recv()
+		if err != nil {
+			return Abort, fmt.Errorf("2pc participant: %w", err)
+		}
+		if msg.Type == "decision" {
+			return msg.Payload.(twopcDecision).Outcome, nil
 		}
 	}
 }

@@ -33,6 +33,7 @@ type event struct {
 	seq  uint64
 	kind eventKind
 	tgen uint64
+	tid  uint64 // run-local timer lease id (see eventQueue.leases)
 	msg  Message
 	tm   *timerCore
 	box  *mailbox
@@ -73,6 +74,7 @@ type eventQueue struct {
 	mu      sync.Mutex
 	heap    []event // min-heap by (at, seq); hand-rolled to avoid interface boxing
 	seq     uint64
+	leases  uint64 // timer lease ids handed out by this queue (run-local)
 	rng     splitmix64
 	dropRng splitmix64 // separate stream so drop decisions never shift delay draws
 	vnow    int64      // virtual now (ns); written under mu by the dispatcher
@@ -285,17 +287,29 @@ func (q *eventQueue) pushCrash(p model.ProcessID, at int64) {
 }
 
 // scheduleTimer enqueues a fire of timer core tc's lease gen at the absolute
-// virtual time at.
-func (q *eventQueue) scheduleTimer(tc *timerCore, at int64, gen uint64) {
+// virtual time at. tid is the lease's run-local id: unlike gen — which counts
+// leases of a globally pooled core and therefore depends on process history —
+// tid is drawn from this queue's own counter, so it is reproducible across
+// runs and safe to hash into the trace digest.
+func (q *eventQueue) scheduleTimer(tc *timerCore, at int64, gen, tid uint64) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return
 	}
 	q.seq++
-	q.heapPush(event{at: at, seq: q.seq, kind: evTimer, tm: tc, tgen: gen})
+	q.heapPush(event{at: at, seq: q.seq, kind: evTimer, tm: tc, tgen: gen, tid: tid})
 	q.mu.Unlock()
 	q.poke(q.notify)
+}
+
+// nextLease hands out a run-local timer lease id.
+func (q *eventQueue) nextLease() uint64 {
+	q.mu.Lock()
+	q.leases++
+	id := q.leases
+	q.mu.Unlock()
+	return id
 }
 
 func (q *eventQueue) poke(ch chan struct{}) {
@@ -312,10 +326,14 @@ func (q *eventQueue) fireDone() {
 	q.poke(q.consumed)
 }
 
-// gapYields is how many scheduler yields the dispatcher grants runnable
-// goroutines before letting virtual time jump forward over an empty stretch.
-// It bounds the window in which a reactive send (e.g. an ack a protocol
-// goroutine is about to issue) could be leapfrogged by a later timer.
+// gapYields is how many scheduler yields the free-running dispatcher grants
+// runnable goroutines before letting virtual time jump forward over an empty
+// stretch. It bounds the window in which a reactive send (e.g. an ack a
+// protocol goroutine is about to issue) could be leapfrogged by a later
+// timer. It is a heuristic, and it is exactly what step mode's quiescence
+// handshake replaces: popStep needs no yields because an empty ready queue
+// proves there is no runnable goroutine to wait for. Only the free-running
+// ablation (WithFreeRunning, real time) still uses it, via popBatch.
 const gapYields = 4
 
 // popBatch blocks until the next event is due, then pops it AND every further
@@ -425,6 +443,96 @@ func (q *eventQueue) popBatch(dst []event) ([]event, bool) {
 		}
 		q.mu.Unlock()
 		return dst, true
+	}
+}
+
+// stepResult is what popStep tells the step-mode dispatcher to do next.
+type stepResult uint8
+
+const (
+	stepClosed stepResult = iota // queue closed; dispatcher exits
+	stepGrant                    // ready tasks pending; run them to quiescence
+	stepEvent                    // one event popped; deliver it
+)
+
+// popStep is popBatch's step-mode replacement: it blocks until there is work
+// and hands the dispatcher exactly one unit of it — a pending task grant
+// (which always takes priority, so a delivery's wake cascade settles before
+// the next event) or a single popped event with the virtual clock advanced to
+// its timestamp. Because the network is provably quiescent whenever the ready
+// queue is empty, registered tasks need no yield-loop heuristic before the
+// clock jumps to a timer deadline: there is no runnable task to outrun. Two
+// residues of the free-running machinery remain, both for goroutines the
+// quiescence proof cannot see. The outstanding-fire wait covers legacy
+// channel-fed timer consumers (Timer.C readers outside the task discipline,
+// e.g. raw-network tests); task-bound timers never touch the outstanding
+// counter. The bounded yield covers goroutines that have not yet reached
+// AdoptTask: on GOMAXPROCS=1 the grant handshake's channel handoffs keep
+// reinstalling dispatcher/task as the scheduler's next-run goroutine, which
+// can starve a runnable-but-unadopted caller for a whole preemption timeslice
+// (~10ms wall) while virtual time gallops through its poll ticks — so before
+// jumping the clock the dispatcher yields a few times to let such callers
+// run and register. Adoption order by racing plain goroutines is wall-clock
+// nondeterministic either way (such callers are never part of a trace
+// group), so the yield costs nothing from the trace contract. popStep must
+// only be called by the single dispatcher goroutine.
+func (q *eventQueue) popStep(s *stepper) (event, stepResult) {
+	yields := 0
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return event{}, stepClosed
+		}
+		if q.held {
+			q.mu.Unlock()
+			select {
+			case <-q.notify:
+			case <-q.quit:
+				return event{}, stepClosed
+			}
+			continue
+		}
+		if s.readyPending() {
+			q.mu.Unlock()
+			return event{}, stepGrant
+		}
+		if len(q.heap) == 0 {
+			q.mu.Unlock()
+			select {
+			case <-q.notify:
+			case <-q.quit:
+				return event{}, stepClosed
+			}
+			continue
+		}
+		head := q.heap[0]
+		if head.at > q.vnow && head.kind != evMessage {
+			if q.outstanding.Load() > 0 {
+				q.mu.Unlock()
+				select {
+				case <-q.consumed:
+				case <-q.notify:
+				case <-q.quit:
+					return event{}, stepClosed
+				}
+				continue
+			}
+			if yields < gapYields {
+				yields++
+				q.mu.Unlock()
+				runtime.Gosched()
+				continue
+			}
+		}
+		ev := q.heap[0]
+		q.heapPopHead()
+		if ev.at > q.vnow {
+			q.vnow = ev.at
+			q.vnowAtomic.Store(ev.at)
+		}
+		q.mu.Unlock()
+		return ev, stepEvent
 	}
 }
 

@@ -107,6 +107,18 @@ func WithSerialBroadcast() Option {
 	return func(n *Network) { n.serial = true }
 }
 
+// WithFreeRunning disables the deterministic goroutine-step scheduler and
+// lets protocol goroutines race the dispatcher, as the runtime did before
+// run-to-quiescence stepping: events are popped in timestamp batches, the
+// anti-gallop heuristics (bounded yields plus unbuffered-timer backpressure)
+// pace virtual time, and determinism holds only for schedule-determined
+// outcomes, not traces. It is kept as a benchmarked ablation — the measured
+// price of the step discipline — and as the mode real-time runs use.
+// Networks in free-running mode never produce a trace fingerprint.
+func WithFreeRunning() Option {
+	return func(n *Network) { n.freeRunning = true }
+}
+
 // Network is an in-memory asynchronous network of n processes. Create one
 // with NewNetwork, hand each protocol participant its Endpoint, inject
 // crashes with Crash, and Close it when the run is over.
@@ -122,6 +134,12 @@ type Network struct {
 	dropRate float64
 	realtime bool
 	serial   bool
+
+	// freeRunning disables run-to-quiescence stepping (WithFreeRunning);
+	// real-time mode implies it. When false, stepper holds the scheduler
+	// state and the dispatcher runs dispatchStep instead of the batch loop.
+	freeRunning bool
+	stepper     *stepper
 
 	q *eventQueue
 
@@ -170,6 +188,9 @@ func NewNetwork(n int, opts ...Option) *Network {
 	nw.cDropped = nw.metrics.Counter("msgs.dropped")
 	nw.cCrashes = nw.metrics.Counter("crashes")
 	nw.q = newEventQueue(n, nw.seed, nw.minDelay, nw.maxDelay, nw.dropRate, nw.realtime)
+	if !nw.freeRunning && !nw.realtime {
+		nw.stepper = newStepper(nw.q)
+	}
 	nw.instances = make(map[string]*instState)
 	nw.endpoints = make([]Endpoint, n)
 	for i := range nw.endpoints {
@@ -248,6 +269,10 @@ func (nw *Network) Crash(p model.ProcessID) {
 	nw.cCrashes.Inc()
 	ep.ctx.cancel()
 	ep.stopTimers()
+	// Wake the crashed process's tasks: each observes its cancelled context
+	// on its next granted step and unwinds inside the step discipline, so the
+	// error return of a crashed participant is part of the trace, not a race.
+	ep.wakeTasks()
 }
 
 // ScheduleCrash enqueues a crash of process p after the given span of virtual
@@ -291,6 +316,12 @@ func (nw *Network) Close() {
 		ep := &nw.endpoints[i]
 		ep.ctx.cancel()
 		ep.stopTimers()
+	}
+	if nw.stepper != nil {
+		// Release every task blocked on a grant (parked, or waiting its first
+		// step) so their goroutines can observe cancellation and exit; the
+		// dispatcher never waits on an aborted task.
+		nw.stepper.abortAll()
 	}
 	if dropped := nw.q.close(); dropped > 0 {
 		nw.cDropped.Add(int64(dropped))
@@ -366,15 +397,22 @@ func (nw *Network) broadcast(st *instState, from model.ProcessID, typ string, au
 	}
 }
 
-// dispatch is the single delivery goroutine: it drains the event queue in
-// (deliveryTime, seq) order, delivering messages into their pre-resolved
-// mailboxes, firing timers and executing scheduled crashes. Events that are
-// due at the same virtual instant are popped as one batch under a single
-// lock acquisition (the delivery path is handoff-bound, so per-event locking
-// was the hot spot). No goroutine is ever spawned per message, and no lock or
-// lookup beyond the destination mailbox's own mutex is taken per delivery.
+// dispatch is the single delivery goroutine. In step mode (the default) it
+// runs the run-to-quiescence loop: deliver ONE event, then grant every task
+// that delivery woke — serially, in deterministic FIFO wake order — until the
+// network is quiescent again, then pop the next event. In free-running mode
+// (WithFreeRunning, or real time) it drains the event queue in
+// (deliveryTime, seq) order with same-instant events popped as one batch
+// under a single lock acquisition (the delivery path is handoff-bound, so
+// per-event locking was the hot spot). Either way no goroutine is ever
+// spawned per message, and no lock or lookup beyond the destination mailbox's
+// own mutex is taken per delivery.
 func (nw *Network) dispatch() {
 	defer nw.wg.Done()
+	if nw.stepper != nil {
+		nw.dispatchStep()
+		return
+	}
 	var batch []event
 	for {
 		var ok bool
@@ -384,26 +422,52 @@ func (nw *Network) dispatch() {
 		}
 		for i := range batch {
 			ev := &batch[i]
-			switch ev.kind {
-			case evMessage:
-				if nw.closed.Load() || nw.Crashed(ev.msg.To) {
-					nw.cDropped.Inc()
-				} else {
-					nw.clock.Tick()
-					ev.box.push(ev.msg)
-					// Counted after the push: once the books balance
-					// (sent == delivered + dropped) every message really is
-					// in its mailbox, so quiescence is observable from the
-					// counters alone.
-					nw.cDelivered.Inc()
-				}
-			case evTimer:
-				ev.tm.fired(ev.at, ev.tgen)
-			case evCrash:
-				nw.Crash(ev.msg.To)
-			}
+			nw.deliver(ev)
 			*ev = event{} // release payload references held by the batch buffer
 		}
+	}
+}
+
+// dispatchStep is the step-mode dispatcher loop: alternate between granting
+// ready tasks to quiescence and delivering single events. popStep prioritises
+// ready tasks over due events, so an event delivery's entire wake cascade
+// (including wakes issued by granted tasks themselves) settles before the
+// next event is popped — the quiescence handshake.
+func (nw *Network) dispatchStep() {
+	s := nw.stepper
+	for {
+		ev, mode := nw.q.popStep(s)
+		switch mode {
+		case stepClosed:
+			return
+		case stepGrant:
+			s.runReady()
+		case stepEvent:
+			s.recordEvent(&ev)
+			nw.deliver(&ev)
+		}
+	}
+}
+
+// deliver executes one popped event; shared by both dispatcher modes.
+func (nw *Network) deliver(ev *event) {
+	switch ev.kind {
+	case evMessage:
+		if nw.closed.Load() || nw.Crashed(ev.msg.To) {
+			nw.cDropped.Inc()
+		} else {
+			nw.clock.Tick()
+			ev.box.push(ev.msg)
+			// Counted after the push: once the books balance
+			// (sent == delivered + dropped) every message really is
+			// in its mailbox, so quiescence is observable from the
+			// counters alone.
+			nw.cDelivered.Inc()
+		}
+	case evTimer:
+		ev.tm.fired(ev.at, ev.tgen)
+	case evCrash:
+		nw.Crash(ev.msg.To)
 	}
 }
 
@@ -444,6 +508,7 @@ type Endpoint struct {
 
 	mu       sync.Mutex
 	timers   []*Timer
+	tasks    []*Task   // step-mode tasks owned by this process, woken on crash
 	timerArr [4]*Timer // inline backing for timers: typical processes hold at most a few concurrent leases
 }
 
@@ -676,6 +741,7 @@ type mailbox struct {
 	wakes   uint64
 	closed  bool
 	handler Handler
+	watcher *Task // step-mode task woken per push; see Instance.Watch
 
 	out     chan Message
 	quit    chan struct{}
@@ -730,10 +796,12 @@ func (m *mailbox) push(msg Message) {
 	m.buf[(m.head+m.count)%len(m.buf)] = msg
 	m.count++
 	awaken := m.waiters > 0
+	watcher := m.watcher
 	m.mu.Unlock()
 	if awaken {
 		m.cond.Signal()
 	}
+	watcher.Wake()
 }
 
 // grow doubles the ring, re-linearising the live window. Caller holds m.mu.

@@ -53,8 +53,16 @@ type timerCore struct {
 	mu      sync.Mutex
 	q       *eventQueue
 	gen     uint64
-	period  int64 // ns; 0 for one-shot
+	leaseID uint64 // run-local id of the current lease (eventQueue.nextLease)
+	period  int64  // ns; 0 for one-shot
 	stopped bool
+
+	// Task binding (Timer.Bind): when owner is set, a fire wakes the owner
+	// task and increments pending for Timer.TryFire instead of feeding the
+	// channel — no feeder handoff, no outstanding-count backpressure; the
+	// step scheduler's grant discipline paces virtual time exactly.
+	owner   *Task
+	pending int
 }
 
 // timerCorePool is a global freelist of timer cores. A parked core keeps its
@@ -104,15 +112,17 @@ func (p *timerCorePool) put(tc *timerCore) bool {
 
 func newTimer(q *eventQueue, delay, period time.Duration) *Timer {
 	tc := timerCores.get()
+	tid := q.nextLease()
 	tc.mu.Lock()
 	tc.q = q
 	tc.gen++
+	tc.leaseID = tid
 	tc.period = int64(period)
 	tc.stopped = false
 	gen := tc.gen
 	tc.mu.Unlock()
 	t := &Timer{C: tc.c, core: tc, gen: gen}
-	q.scheduleTimer(tc, int64(q.virtualNow())+int64(delay), gen)
+	q.scheduleTimer(tc, int64(q.virtualNow())+int64(delay), gen, tid)
 	return t
 }
 
@@ -120,6 +130,40 @@ func newTimer(q *eventQueue, delay, period time.Duration) *Timer {
 // unconsumed fire is released. Stop is idempotent and safe to call
 // concurrently with fires.
 func (t *Timer) Stop() { t.core.stopLease(t.gen) }
+
+// Bind routes this timer's fires to a step-scheduler task: instead of feeding
+// the C channel (with its backpressure on virtual time), each fire wakes the
+// task and banks one TryFire credit. The task consumes fires with the
+// condition-recheck idiom — TryFire inside its Await loop. Bind must be called
+// before the first fire can pop, i.e. by the task that created the timer
+// during one of its own granted steps; binding a nil task is a no-op (the
+// free-running call-site degrades to the channel path). A bound timer's C
+// must not be received from.
+func (t *Timer) Bind(task *Task) {
+	if task == nil {
+		return
+	}
+	tc := t.core
+	tc.mu.Lock()
+	if tc.gen == t.gen && !tc.stopped {
+		tc.owner = task
+	}
+	tc.mu.Unlock()
+}
+
+// TryFire consumes one banked fire of a bound timer, reporting whether one
+// was pending. For a ticker each fire banks one credit; for a one-shot at
+// most one credit ever exists.
+func (t *Timer) TryFire() bool {
+	tc := t.core
+	tc.mu.Lock()
+	ok := tc.gen == t.gen && tc.pending > 0
+	if ok {
+		tc.pending--
+	}
+	tc.mu.Unlock()
+	return ok
+}
 
 // Stopped reports whether the timer is dead: stopped explicitly, spent (a
 // delivered one-shot), or already recycled into a later lease.
@@ -170,7 +214,18 @@ func (tc *timerCore) fired(at int64, gen uint64) {
 		return
 	}
 	if tc.period > 0 {
-		tc.q.scheduleTimer(tc, at+tc.period, gen)
+		tc.q.scheduleTimer(tc, at+tc.period, gen, tc.leaseID)
+	}
+	if tc.owner != nil {
+		// Task-bound (step mode): bank a TryFire credit and wake the owner.
+		// No outstanding count — the dispatcher delivers timer fires one at a
+		// time and runs the woken task to its next park before popping
+		// further events, so virtual time cannot outrun the consumer.
+		tc.pending++
+		owner := tc.owner
+		tc.mu.Unlock()
+		owner.Wake()
+		return
 	}
 	tc.q.outstanding.Add(1)
 	select {
@@ -257,8 +312,11 @@ func (tc *timerCore) endLease(q *eventQueue) bool {
 	}
 	tc.mu.Lock()
 	tc.gen++
+	tc.leaseID = 0
 	tc.stopped = true
 	tc.q = nil
+	tc.owner = nil
+	tc.pending = 0
 	tc.mu.Unlock()
 	return timerCores.put(tc)
 }
@@ -301,6 +359,26 @@ func (ep *Endpoint) NewTicker(d time.Duration) *Timer {
 // first relevant error if ctx is cancelled or the process crashes (a crashed
 // process never finishes a sleep).
 func (ep *Endpoint) Sleep(ctx context.Context, d time.Duration) error {
+	if task := TaskFrom(ctx); task != nil {
+		// Step mode: the sleep is a park point the scheduler can see. The
+		// timer is created and bound during one of our own granted steps, so
+		// its fire cannot pop before the binding is visible.
+		t := ep.NewTimer(d)
+		defer t.Stop()
+		t.Bind(task)
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := ep.ctx.Err(); err != nil {
+				return err
+			}
+			if t.TryFire() {
+				return nil
+			}
+			task.Await(ctx)
+		}
+	}
 	t := ep.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -45,11 +45,16 @@ func (r *Runner) Run(ctx context.Context) (any, error) {
 	}
 	instance := "netrun." + r.Instance
 	ep := r.Endpoint
-	inbox := ep.Subscribe(instance)
+	// Step mode: adopt the caller so the message/λ-step loop below runs as a
+	// scheduler task.
+	ctx, release := net.AdoptTask(ctx, ep, "netrun.run")
+	defer release()
+	task := net.TaskFrom(ctx)
 	stepCtx := sim.StepContext{Self: ep.ID(), N: ep.N()}
 	state := r.Automaton.InitialState(ep.ID(), ep.N(), r.Input)
 
 	ticker := ep.NewTicker(poll)
+	ticker.Bind(task)
 	defer ticker.Stop()
 
 	dispatch := func(msg *sim.Message) {
@@ -64,6 +69,40 @@ func (r *Runner) Run(ctx context.Context) (any, error) {
 		}
 	}
 
+	if task != nil {
+		in := ep.Instance(instance)
+		in.Watch(task)
+		defer in.Watch(nil)
+		for {
+			if v, ok := r.Automaton.Output(state); ok {
+				return v, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("netrun %s at %v: %w", r.Instance, ep.ID(), err)
+			}
+			if err := ep.Context().Err(); err != nil {
+				return nil, fmt.Errorf("netrun %s at %v: %w", r.Instance, ep.ID(), err)
+			}
+			// Pending messages take priority over λ steps: a λ step models
+			// "no message available".
+			if msg, ok := in.TryRecv(); ok {
+				m := msg.Payload.(sim.Message)
+				dispatch(&m)
+				continue
+			}
+			if ticker.TryFire() {
+				// λ step: lets detector-driven transitions (leadership,
+				// quorum re-evaluation) make progress without message
+				// traffic, and advances the logical clock like any step.
+				ep.Clock().Tick()
+				dispatch(nil)
+				continue
+			}
+			task.Await(ctx)
+		}
+	}
+
+	inbox := ep.Subscribe(instance)
 	for {
 		if v, ok := r.Automaton.Output(state); ok {
 			return v, nil

@@ -113,7 +113,11 @@ func (q *PsiQC) Stop() { q.cons.Stop() }
 // Propose runs Figure 2 with proposal v.
 func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 	q.metrics.Inc("propose")
+	ctx, release := net.AdoptTask(ctx, q.ep, "qc.propose")
+	defer release()
+	task := net.TaskFrom(ctx)
 	ticker := q.ep.NewTicker(q.poll)
+	ticker.Bind(task)
 	defer ticker.Stop()
 
 	// Line 1: wait until Ψ leaves ⊥. Each iteration is a "nop" step of the
@@ -123,6 +127,20 @@ func (q *PsiQC) Propose(ctx context.Context, v Value) (Decision, error) {
 		val := q.psi.Sample()
 		if val.Phase != model.PsiBottom {
 			break
+		}
+		if task != nil {
+			if err := ctx.Err(); err != nil {
+				return Decision{}, fmt.Errorf("qc propose: %w", err)
+			}
+			if err := q.ep.Context().Err(); err != nil {
+				return Decision{}, fmt.Errorf("qc propose: %w", err)
+			}
+			if ticker.TryFire() {
+				q.ep.Clock().Tick()
+			} else {
+				task.Await(ctx)
+			}
+			continue
 		}
 		q.ep.Clock().Tick()
 		select {

@@ -110,6 +110,7 @@ type Register[V any] struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+	task     *net.Task // replica loop's step-scheduler task (nil when free-running)
 }
 
 // pending tracks the acknowledgements of one in-flight phase.
@@ -118,6 +119,7 @@ type pending[V any] struct {
 	bestTs  Timestamp
 	bestVal V
 	updated chan struct{}
+	waiter  net.TaskWaiter // client task parked in await (step mode)
 }
 
 // Option configures a Register.
@@ -162,7 +164,7 @@ func New[V any](ep *net.Endpoint, instance string, guard quorum.Guard, opts ...O
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	go r.run()
+	r.task = ep.Network().Go(ep, "register.replica", r.run)
 	return r
 }
 
@@ -176,14 +178,39 @@ func (r *Register[V]) Endpoint() *net.Endpoint { return r.ep }
 // replica, exactly as if the process stopped participating.
 func (r *Register[V]) Stop() {
 	r.stopOnce.Do(func() { close(r.stop) })
+	r.task.Wake()
 	<-r.done
 }
 
 // run is the single reader of the register's message stream: it serves the
 // replica role (answering get/set requests) and routes acknowledgements to
-// in-flight operations of the local process.
-func (r *Register[V]) run() {
+// in-flight operations of the local process. In step mode it is a scheduler
+// task: it drains the mailbox synchronously on each granted step and parks,
+// woken by the dispatcher's pushes (Watch), by crash, and by Stop.
+func (r *Register[V]) run(task *net.Task) {
 	defer close(r.done)
+	if task != nil {
+		in := r.ep.Instance(r.instance)
+		in.Watch(task)
+		for {
+			for {
+				msg, ok := in.TryRecv()
+				if !ok {
+					break
+				}
+				r.handle(msg)
+			}
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+			if r.ep.Context().Err() != nil {
+				return
+			}
+			task.Await(nil)
+		}
+	}
 	inbox := r.ep.Subscribe(r.instance)
 	for {
 		select {
@@ -226,6 +253,7 @@ func (r *Register[V]) handle(msg net.Message) {
 				p.bestVal = ack.Val
 			}
 			notify(p.updated)
+			p.waiter.Wake()
 		}
 		r.mu.Unlock()
 
@@ -235,6 +263,7 @@ func (r *Register[V]) handle(msg net.Message) {
 		if p, ok := r.pend[ack.Op]; ok {
 			p.acked.Add(msg.From)
 			notify(p.updated)
+			p.waiter.Wake()
 		}
 		r.mu.Unlock()
 	}
@@ -272,7 +301,10 @@ func (r *Register[V]) dropPending(id int64) {
 // set, the context is cancelled, or the process crashes. It returns the
 // acknowledging set on success.
 func (r *Register[V]) await(ctx context.Context, p *pending[V]) (model.ProcessSet, error) {
+	task := net.TaskFrom(ctx)
+	p.waiter.Set(task)
 	ticker := r.ep.NewTicker(r.poll)
+	ticker.Bind(task)
 	defer ticker.Stop()
 	for {
 		r.mu.Lock()
@@ -280,6 +312,27 @@ func (r *Register[V]) await(ctx context.Context, p *pending[V]) (model.ProcessSe
 		r.mu.Unlock()
 		if r.guard.Satisfied(acked) {
 			return acked, nil
+		}
+		if task != nil {
+			// Step mode: park between acknowledgement arrivals; the replica
+			// task's handler wakes us through the pending's waiter.
+			if err := ctx.Err(); err != nil {
+				return model.NewProcessSet(), err
+			}
+			if err := r.ep.Context().Err(); err != nil {
+				return model.NewProcessSet(), err
+			}
+			select {
+			case <-r.stop:
+				return model.NewProcessSet(), context.Canceled
+			default:
+			}
+			if ticker.TryFire() {
+				r.ep.Clock().Tick()
+				continue
+			}
+			task.Await(ctx)
+			continue
 		}
 		select {
 		case <-ctx.Done():
@@ -330,6 +383,8 @@ func (r *Register[V]) storePhase(ctx context.Context, ts Timestamp, val V) (mode
 // read observes a value at least as fresh.
 func (r *Register[V]) Read(ctx context.Context) (V, error) {
 	r.metrics.Inc("ops.read")
+	ctx, release := net.AdoptTask(ctx, r.ep, "register.read")
+	defer release()
 	ts, val, _, err := r.queryPhase(ctx)
 	if err != nil {
 		var zero V
@@ -380,6 +435,8 @@ func (r *Register[V]) Run(ctx context.Context, input any) (any, error) {
 // the quorum intersection property forbids).
 func (r *Register[V]) WriteTracked(ctx context.Context, val V) (model.ProcessSet, error) {
 	r.metrics.Inc("ops.write")
+	ctx, release := net.AdoptTask(ctx, r.ep, "register.write")
+	defer release()
 	ts, _, queryAcks, err := r.queryPhase(ctx)
 	if err != nil {
 		return model.NewProcessSet(), fmt.Errorf("register write (query phase): %w", err)

@@ -18,17 +18,23 @@ import (
 )
 
 // MinimizeResult is the outcome of a minimisation: the smallest
-// configuration found that still fails, the failing run of that
-// configuration, and its byte-stable fingerprint for deduplicating
+// configuration found that still reproduces (a failing verdict for Minimize,
+// the reference schedule for MinimizeTrace), the reproducing run of that
+// configuration, and its byte-stable fingerprints for deduplicating
 // reproducers across sweeps.
 type MinimizeResult struct {
-	// Config is the minimal failing configuration.
+	// Config is the minimal reproducing configuration.
 	Config Config
-	// Result is the failing run of Config (Result.Config == Config).
+	// Result is the reproducing run of Config (Result.Config == Config).
 	Result Result
 	// Fingerprint is Result.Fingerprint(): byte-identical across repeated
 	// minimisations of a schedule-determined failure.
 	Fingerprint string
+	// TraceFingerprint is Result.TraceFingerprint — under MinimizeTrace it
+	// equals the reference run's by construction; under Minimize it is
+	// whatever schedule the minimal failing run took (empty in free-running
+	// mode and for tainted timeout runs).
+	TraceFingerprint string
 	// Candidates is how many candidate runs were executed, including the
 	// initial reproduction.
 	Candidates int
@@ -49,18 +55,51 @@ type MinimizeResult struct {
 // The search is deterministic for a deterministic protocol: same input, same
 // minimal config, same fingerprint.
 func Minimize(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, error) {
-	m := &minimizer{ctx: ctx, proto: proto, memo: map[string]*Result{}}
+	return minimize(ctx, cfg, proto, false)
+}
+
+// MinimizeTrace shrinks a configuration to a minimal one reproducing the
+// same schedule, not merely the same verdict: the reference run's
+// TraceFingerprint is recorded and a candidate is accepted only if its own
+// trace digest is byte-identical. The passes are the same as Minimize's, so
+// what survives is exactly the configuration content the schedule depends on
+// — a crash scheduled after the trace ends drops out, a detector parameter
+// the schedule never consults bisects away, while anything that perturbs a
+// single delivery or grant is pinned. It requires step mode (the ablation
+// has no trace to hold fixed) and an untainted reference run.
+func MinimizeTrace(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, error) {
+	return minimize(ctx, cfg, proto, true)
+}
+
+func minimize(ctx context.Context, cfg Config, proto Protocol, sameTrace bool) (MinimizeResult, error) {
+	m := &minimizer{ctx: ctx, proto: proto, memo: map[string]*memoEntry{}}
 	cur := FromConfig(cfg).Config() // private copy of the crash schedule
 
-	res, failing := m.fails(cur)
-	if !failing {
+	// Reference run. In trace mode it defines the acceptance target, so it
+	// runs before the predicate can exist; either way it seeds the memo.
+	ref := FromConfig(cur).Run(ctx, proto)
+	m.candidates++
+	if sameTrace {
+		if ref.TraceFingerprint == "" {
+			m.memo[minimizeKey(cur)] = &memoEntry{res: ref}
+			return MinimizeResult{Config: cur, Result: ref, Candidates: m.candidates},
+				fmt.Errorf("minimize: reference run produced no trace fingerprint (free-running ablation, or a timeout-tainted run)")
+		}
+		want := ref.TraceFingerprint
+		m.accept = func(r *Result) bool { return r.TraceFingerprint == want }
+	} else {
+		m.accept = func(r *Result) bool { return !r.Verdict.OK }
+	}
+	accepted := m.accept(&ref) && ctx.Err() == nil
+	m.memo[minimizeKey(cur)] = &memoEntry{res: ref, ok: accepted}
+	if !accepted {
 		if err := ctx.Err(); err != nil {
 			return MinimizeResult{Candidates: m.candidates}, fmt.Errorf("minimize: cancelled before reproducing: %w", err)
 		}
-		return MinimizeResult{Config: cur, Result: res, Candidates: m.candidates},
-			fmt.Errorf("minimize: configuration does not fail (verdict: %v)", res.Verdict)
+		return MinimizeResult{Config: cur, Result: ref, Candidates: m.candidates},
+			fmt.Errorf("minimize: configuration does not fail (verdict: %v)", ref.Verdict)
 	}
-	best := res
+	best := ref
 
 	for changed := true; changed; {
 		changed = false
@@ -153,47 +192,57 @@ func Minimize(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, 
 		}
 	}
 
-	out := MinimizeResult{Config: cur, Result: best, Fingerprint: best.Fingerprint(), Candidates: m.candidates}
+	out := MinimizeResult{
+		Config:           cur,
+		Result:           best,
+		Fingerprint:      best.Fingerprint(),
+		TraceFingerprint: best.TraceFingerprint,
+		Candidates:       m.candidates,
+	}
 	if err := ctx.Err(); err != nil {
 		return out, fmt.Errorf("minimize: cancelled mid-search: %w", err)
 	}
 	return out, nil
 }
 
-// minimizer carries the shared state of one Minimize call: the verdict memo
+// minimizer carries the shared state of one minimisation: the acceptance
+// predicate (failing verdict, or trace-fingerprint equality), the run memo
 // (bisection and fixpoint passes revisit configurations) and the candidate
 // counter.
 type minimizer struct {
 	ctx        context.Context
 	proto      Protocol
-	memo       map[string]*Result // nil entry = the config passed
+	accept     func(*Result) bool
+	memo       map[string]*memoEntry
 	candidates int
 }
 
+// memoEntry is one memoised candidate run. The full Result is kept even for
+// rejected candidates: trace-mode passes compare fingerprints of runs the
+// verdict mode would have discarded, and diagnostics want the near-misses.
+type memoEntry struct {
+	res Result
+	ok  bool
+}
+
 // fails runs the candidate (or recalls it from the memo) and reports whether
-// it genuinely violated the spec. A failure observed after the minimizer's
+// the acceptance predicate held. Acceptance observed after the minimizer's
 // context was cancelled is discounted — it is the cancellation echoing
 // through the run's timeout backstop, the same distinction Sweep draws for
 // its Cancelled count.
 func (m *minimizer) fails(cfg Config) (Result, bool) {
 	key := minimizeKey(cfg)
-	if r, ok := m.memo[key]; ok {
-		if r == nil {
-			return Result{}, false
-		}
-		return *r, true
+	if e, ok := m.memo[key]; ok {
+		return e.res, e.ok
 	}
 	if m.ctx.Err() != nil {
 		return Result{}, false
 	}
 	res := FromConfig(cfg).Run(m.ctx, m.proto)
 	m.candidates++
-	if !res.Verdict.OK && m.ctx.Err() == nil {
-		m.memo[key] = &res
-		return res, true
-	}
-	m.memo[key] = nil
-	return res, false
+	ok := m.accept(&res) && m.ctx.Err() == nil
+	m.memo[key] = &memoEntry{res: res, ok: ok}
+	return res, ok
 }
 
 // bisectTime finds the smallest logical-tick value in [0, orig] whose

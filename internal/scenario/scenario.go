@@ -25,6 +25,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -89,7 +90,21 @@ type Config struct {
 	// depth is surfaced as Result.HistoryDepth — bounded detector-activity
 	// signal, not a checker input.
 	HistoryLimit int
+	// FreeRunning runs the network under the free-running ablation
+	// (net.WithFreeRunning) instead of the default goroutine-step scheduler.
+	// Outcome-level behaviour (Verdict, Fingerprint) is contractually
+	// identical either way — only the step scheduler additionally pins the
+	// full schedule, so Result.TraceFingerprint is empty under the ablation.
+	// Like SerialBroadcast it is an ablation toggle, not a behaviour axis,
+	// and is deliberately excluded from Key and Result.Fingerprint. The
+	// environment variable WEAKESTFD_FREE_RUNNING=1 forces the ablation for
+	// every run of the process (the CI outcome-compatibility step uses it).
+	FreeRunning bool
 }
+
+// envFreeRunning forces the free-running ablation process-wide; see
+// Config.FreeRunning.
+var envFreeRunning = os.Getenv("WEAKESTFD_FREE_RUNNING") == "1"
 
 // DefaultHistoryLimit is the suspect-history ring cap New configures: deep
 // enough to characterise a run's detector activity, shallow enough that a
@@ -186,6 +201,10 @@ func WithPsiSwitch(after model.Time, policy fd.PsiPolicy) Option {
 // tests prove with it); the toggle exists so sweeps can cheaply double-check
 // the contract on any configuration.
 func WithSerialBroadcast() Option { return func(c *Config) { c.SerialBroadcast = true } }
+
+// WithFreeRunning selects the free-running scheduler ablation; see
+// Config.FreeRunning.
+func WithFreeRunning() Option { return func(c *Config) { c.FreeRunning = true } }
 
 // WithSafetyOnly checks only the perpetual (safety) clauses: agreement and
 // validity, not termination. Use it for runs that are cut short or
@@ -338,6 +357,20 @@ type Result struct {
 	// from Fingerprint. Zero for classes without a suspect view.
 	HistoryDepth   int
 	HistoryDropped int64
+	// TraceFingerprint is the step scheduler's digest of the full schedule:
+	// every delivered event, every task step grant and every clean task exit,
+	// hashed in dispatch order up to the exit of the last runner. Two
+	// identically-configured runs must produce byte-identical values — the
+	// trace-level strengthening of Fingerprint. It is empty under the
+	// free-running ablation, and empty when the run was tainted by a
+	// wall-clock escape (the Timeout backstop cut a run at a point virtual
+	// time cannot pin; the Verdict is still deterministic, the schedule
+	// suffix is not).
+	TraceFingerprint string
+	// TraceSummary counts the record mix behind TraceFingerprint (events by
+	// kind, grants) — the exploration's trace-shape signature buckets these.
+	// Zero whenever TraceFingerprint is empty.
+	TraceSummary net.TraceStats
 }
 
 // Run stands the scenario up, executes the protocol on it, tears everything
@@ -362,6 +395,9 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	}
 	if cfg.SerialBroadcast {
 		netOpts = append(netOpts, net.WithSerialBroadcast())
+	}
+	if cfg.FreeRunning || envFreeRunning {
+		netOpts = append(netOpts, net.WithFreeRunning())
 	}
 	nw := net.NewNetwork(cfg.N, netOpts...)
 	defer nw.Close()
@@ -414,11 +450,25 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	for _, cr := range cfg.Crashes {
 		nw.ScheduleCrash(cr.P, cr.At)
 	}
-	nw.Thaw()
 
 	outs := make([]Outcome, cfg.N)
 	done := make(chan int, cfg.N)
 	launched := 0
+	runOne := func(runCtx context.Context, i int, r Runner, input any) {
+		o := &outs[i]
+		o.Start = nw.Clock().Now()
+		v, err := r.Run(runCtx, input)
+		o.End = nw.Clock().Now()
+		o.Value, o.Err = v, err
+		o.Returned = err == nil
+		done <- i
+	}
+	type launch struct {
+		i     int
+		r     Runner
+		input any
+	}
+	launches := make([]launch, 0, cfg.N)
 	for i := range outs {
 		outs[i] = Outcome{Process: model.ProcessID(i)}
 		if i >= len(inst.Runners) || inst.Runners[i] == nil {
@@ -429,19 +479,34 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 			input = inst.Inputs[i]
 		}
 		outs[i].Input = input
-		launched++
-		go func(i int, r Runner, input any) {
-			o := &outs[i]
-			o.Start = nw.Clock().Now()
-			v, err := r.Run(ctx, input)
-			o.End = nw.Clock().Now()
-			o.Value, o.Err = v, err
-			o.Returned = err == nil
-			done <- i
-		}(i, inst.Runners[i], input)
+		launches = append(launches, launch{i: i, r: inst.Runners[i], input: input})
 	}
+	launched = len(launches)
+	stepTrace := nw.StepMode() && launched > 0
+	if stepTrace {
+		// Spawn the runners as trace-group tasks while dispatch is still
+		// frozen: registration order — and with it every task id, the initial
+		// ready order and the whole grant schedule — is fixed by this loop,
+		// not by the Go scheduler. The trace ends when the last runner exits.
+		nw.TraceGroup(launched)
+		for _, l := range launches {
+			l := l
+			nw.GoGroup(nw.Endpoint(model.ProcessID(l.i)), "scn.runner", func(t *net.Task) {
+				runOne(net.WithTask(ctx, t), l.i, l.r, l.input)
+			})
+		}
+	} else {
+		for _, l := range launches {
+			l := l
+			go runOne(ctx, l.i, l.r, l.input)
+		}
+	}
+	nw.Thaw()
 	for ; launched > 0; launched-- {
 		<-done
+	}
+	if stepTrace {
+		res.TraceFingerprint, res.TraceSummary = nw.TraceResult()
 	}
 
 	res.Pattern = nw.Pattern().Clone()
