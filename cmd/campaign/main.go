@@ -119,9 +119,10 @@ func runPlan(args []string) int {
 func runShard(args []string) int {
 	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
 	var (
-		dir     = fs.String("dir", "", "campaign directory")
-		shard   = fs.Int("shard", 1, "shard to run (1-based)")
-		workers = fs.Int("workers", 0, "worker goroutines per unit (0 = GOMAXPROCS); does not affect results")
+		dir      = fs.String("dir", "", "campaign directory")
+		shard    = fs.Int("shard", 1, "shard to run (1-based)")
+		workers  = fs.Int("workers", 0, "worker goroutines per unit (0 = GOMAXPROCS); does not affect results")
+		journals = fs.String("journals", "", "directory to dump full trace journals of retained unit failures into (replay them with cmd/replay); does not affect unit reports")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -132,10 +133,11 @@ func runShard(args []string) int {
 	defer stop()
 
 	done, total, err := campaign.RunShard(ctx, campaign.RunOptions{
-		Dir:     *dir,
-		Shard:   *shard,
-		Workers: *workers,
-		Log:     os.Stderr,
+		Dir:        *dir,
+		Shard:      *shard,
+		Workers:    *workers,
+		Log:        os.Stderr,
+		JournalDir: *journals,
 	})
 	switch {
 	case err != nil && ctx.Err() != nil:

@@ -87,6 +87,8 @@ func run() int {
 	)
 	var prof cliutil.ProfileFlags
 	prof.Register(flag.CommandLine)
+	var journals cliutil.JournalFlags
+	journals.Register(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		return usageErr("%v", err)
@@ -224,6 +226,18 @@ func run() int {
 	outRep.SpaceFingerprint = explore.SpaceFingerprint(opts)
 	outRep.ElapsedMS = float64(rep.Elapsed) / float64(time.Millisecond)
 	outRep.RunsPerSec = rep.RunsPerSec
+
+	if journals.Enabled() && ctx.Err() == nil {
+		for _, f := range rep.Failures {
+			name := fmt.Sprintf("failure-run%06d", f.Run)
+			path, err := journals.Dump(ctx, name, f.Config, p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "explore: journaled failure at run %d -> %s\n", f.Run, path)
+		}
+	}
 
 	if *corpusOut != "" {
 		data, err := rep.CorpusState().Marshal()

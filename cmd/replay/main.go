@@ -1,0 +1,304 @@
+// Command replay re-executes a journaled run and holds it to its journal.
+//
+// The step scheduler makes the full record stream a pure function of
+// (seed, config), so replaying a journal's embedded config must reproduce
+// the recorded stream record-for-record. The default mode does exactly
+// that: it rebuilds the protocol from the journal's meta, re-runs the
+// scenario with a record-by-record checker attached, and either confirms a
+// full match (including the byte-equal trace fingerprint) or stops at the
+// first scheduler decision that differs, printing the record index,
+// expected vs actual, and a window of surrounding journal context.
+//
+// Two offline modes need no re-execution:
+//
+//	replay -verify <journal>   recompute the SHA-256 over the records and
+//	                           cross-check the recorded trace fingerprint
+//	replay -diff <a> <b>       compare two journals, reporting the first
+//	                           meta or record difference
+//
+// And -record produces journals without needing a retained failure: it
+// runs one scenario point with full capture and writes the journal —
+// note that a run which only fails by hitting its wall-clock backstop
+// records a *tainted* journal (the cut point is not schedule-determined),
+// which replay will then refuse with the taint reason.
+//
+//	replay -record -proto consensus -n 5 -seed 7 -o run.journal
+//
+// Examples:
+//
+//	replay runs/journals/failure-000041.journal
+//	replay -window 10 failure.journal
+//	replay -verify failure.journal
+//	replay -diff before.journal after.journal
+//
+// Exit codes: 0 full match (or verified, or identical, or recorded),
+// 1 divergence (or failed verification, or differing journals), 2 usage
+// or setup error (unreadable or future-schema journals, tainted runs,
+// ring suffixes), 3 cancelled (SIGINT/SIGTERM).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"weakestfd/internal/cliutil"
+	"weakestfd/internal/journal"
+	"weakestfd/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		verify      = flag.Bool("verify", false, "verify the journal offline: recompute the record hash against the recorded trace fingerprint (no re-execution)")
+		diff        = flag.Bool("diff", false, "compare two journals, reporting the first meta or record difference (no re-execution)")
+		record      = flag.Bool("record", false, "run one scenario point with full capture and write its journal (-proto/-n/-seed/..., -o)")
+		window      = flag.Int("window", 5, "journal context records shown around a divergence")
+		rounds      = flag.Int("rounds", 8, "instances per run (consensus/multi; not stored in the journal meta)")
+		coordinator = flag.Int("coordinator", 0, "coordinator process (twopc; not stored in the journal meta)")
+		proto       = flag.String("proto", "consensus", "-record: protocol, one of "+cliutil.ProtoNames)
+		n           = flag.Int("n", 5, "-record: number of processes")
+		seed        = flag.Int64("seed", 1, "-record: schedule seed")
+		delays      = flag.String("delays", "", "-record: delay range min:max (scenario default when empty)")
+		crashes     = flag.String("crashes", "", "-record: crash schedule, entries p@time")
+		timeout     = flag.Duration("timeout", 0, "-record: wall-clock backstop (scenario default when 0)")
+		out         = flag.String("o", "", "-record: journal output path (required)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: replay [flags] <journal>")
+		fmt.Fprintln(os.Stderr, "       replay -verify <journal>")
+		fmt.Fprintln(os.Stderr, "       replay -diff <a> <b>")
+		fmt.Fprintln(os.Stderr, "       replay -record [-proto P -n N -seed S ...] -o <journal>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	modes := 0
+	for _, m := range []bool{*verify, *diff, *record} {
+		if m {
+			modes++
+		}
+	}
+	switch {
+	case modes > 1:
+		return usageErr("-verify, -diff and -record are mutually exclusive")
+	case *record:
+		if len(args) != 0 || *out == "" {
+			return usageErr("-record wants no positional arguments and a -o path")
+		}
+		return runRecord(*proto, *n, *rounds, *coordinator, *seed, *delays, *crashes, *timeout, *out)
+	case *diff:
+		if len(args) != 2 {
+			return usageErr("-diff wants exactly two journals, got %d", len(args))
+		}
+		return runDiff(args[0], args[1])
+	case *verify:
+		if len(args) != 1 {
+			return usageErr("-verify wants exactly one journal, got %d", len(args))
+		}
+		return runVerify(args[0])
+	default:
+		if len(args) != 1 {
+			return usageErr("want exactly one journal, got %d (see -h)", len(args))
+		}
+		return runReplay(args[0], *window, *rounds, *coordinator)
+	}
+}
+
+// runReplay re-executes the journal's run and asserts every scheduler
+// decision against the recorded stream.
+func runReplay(path string, window, rounds, coordinator int) int {
+	j, err := journal.ReadFile(path)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	if err := j.Replayable(); err != nil {
+		return usageErr("%s: %v", path, err)
+	}
+	var cfg scenario.Config
+	if err := json.Unmarshal(j.Meta.Config, &cfg); err != nil {
+		return usageErr("%s: parse journal config: %v", path, err)
+	}
+	if j.Meta.Protocol == "" {
+		return usageErr("%s: journal records no protocol name to rebuild the run from", path)
+	}
+	proto, err := cliutil.BuildProtocol(j.Meta.Protocol, cfg.N, rounds, coordinator)
+	if err != nil {
+		return usageErr("%s: %v", path, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := scenario.Replay(ctx, proto, j)
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintf(os.Stderr, "replay: cancelled after %d of %d records\n", res.Matched, len(j.Records))
+		return 3
+	case err != nil:
+		return usageErr("%s: %v", path, err)
+	case res.Divergence != nil:
+		fmt.Print(res.Divergence.Report(j, window))
+		return 1
+	default:
+		fmt.Printf("replay: %s: all %d records matched; trace fingerprint %s (verdict: %s)\n",
+			path, res.Matched, res.Result.TraceFingerprint, verdictWord(res.Result.Verdict.OK))
+		return 0
+	}
+}
+
+// runRecord runs one scenario point with full journal capture and writes
+// the journal file — the no-failure-needed way to mint a replayable
+// artifact (tainted captures are still written: they are inspectable, and
+// the refusal belongs to replay/verify).
+func runRecord(protoName string, n, rounds, coordinator int, seed int64, delays, crashes string, timeout time.Duration, out string) int {
+	p, err := cliutil.BuildProtocol(protoName, n, rounds, coordinator)
+	if err != nil {
+		return usageErr("-record: %v", err)
+	}
+	opts := []scenario.Option{scenario.WithSeed(seed), scenario.WithJournal(scenario.JournalAll)}
+	if delays != "" {
+		dr, err := cliutil.ParseDelays(delays)
+		if err != nil || len(dr) != 1 {
+			return usageErr("-record: want exactly one delay range min:max, got %q", delays)
+		}
+		opts = append(opts, scenario.WithDelays(dr[0].Min, dr[0].Max))
+	}
+	if crashes != "" {
+		cs, err := cliutil.ParseCrashes(crashes, n)
+		if err != nil {
+			return usageErr("-record: %v", err)
+		}
+		if len(cs) != 1 {
+			return usageErr("-record: want exactly one crash schedule, got %d", len(cs))
+		}
+		opts = append(opts, scenario.WithCrashes(cs[0]...))
+	}
+	if timeout > 0 {
+		opts = append(opts, scenario.WithTimeout(timeout))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res := scenario.New(n, opts...).Run(ctx, p)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "replay: -record cancelled")
+		return 3
+	}
+	if res.Journal == nil {
+		return usageErr("-record: the run produced no journal: %s", res.Verdict)
+	}
+	data, err := res.Journal.Encode()
+	if err != nil {
+		return usageErr("-record: %v", err)
+	}
+	if err := cliutil.WriteFileAtomic(out, data); err != nil {
+		return usageErr("-record: %v", err)
+	}
+	if reason := res.Journal.Meta.TaintReason; reason != "" {
+		fmt.Fprintf(os.Stderr, "replay: warning: recorded a tainted run (%s); the journal is inspectable but not replayable\n", reason)
+	}
+	fmt.Printf("replay: recorded %d records -> %s (verdict: %s, fingerprint %s)\n",
+		len(res.Journal.Records), out, verdictWord(res.Verdict.OK), res.Journal.Meta.TraceFingerprint)
+	return 0
+}
+
+// runVerify recomputes the record hash offline. Refusals (tainted runs,
+// ring suffixes — journals that have no fingerprint to check) are setup
+// errors; an actual hash mismatch is an integrity failure.
+func runVerify(path string) int {
+	j, err := journal.ReadFile(path)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	if j.Meta.TaintReason != "" || j.Meta.TraceFingerprint == "" || !j.Complete() {
+		err := j.Verify()
+		return usageErr("%s: %v", path, err)
+	}
+	if err := j.Verify(); err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("replay: %s: verified %d records against trace fingerprint %s\n",
+		path, len(j.Records), j.Meta.TraceFingerprint)
+	return 0
+}
+
+// runDiff compares two journals structurally: the meta line first, then the
+// record streams index by index, reporting the first difference.
+func runDiff(pathA, pathB string) int {
+	a, err := journal.ReadFile(pathA)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	b, err := journal.ReadFile(pathB)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	differs := false
+	if metaLine(a.Meta) != metaLine(b.Meta) || !bytesEqual(a.Meta.Config, b.Meta.Config) {
+		differs = true
+		fmt.Printf("meta differs:\n  %s: %s\n  %s: %s\n", pathA, metaLine(a.Meta), pathB, metaLine(b.Meta))
+	}
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		if a.Records[i] != b.Records[i] {
+			differs = true
+			fmt.Printf("record streams differ at index %d:\n  %s: %s\n  %s: %s\n",
+				a.Meta.FirstIndex+i, pathA, a.Records[i], pathB, b.Records[i])
+			break
+		}
+	}
+	if !differs && len(a.Records) != len(b.Records) {
+		differs = true
+		long, short, longPath := a, b, pathA
+		if len(b.Records) > len(a.Records) {
+			long, short, longPath = b, a, pathB
+		}
+		fmt.Printf("record streams differ in length: %s holds %d records, %s holds %d; first extra in %s at index %d:\n  %s\n",
+			pathA, len(a.Records), pathB, len(b.Records), longPath, short.Meta.FirstIndex+len(short.Records), long.Records[len(short.Records)])
+	}
+	if differs {
+		return 1
+	}
+	fmt.Printf("replay: journals are identical (%d records)\n", len(a.Records))
+	return 0
+}
+
+// metaLine renders a meta for diff output and comparison, eliding the
+// embedded config bytes (compared separately).
+func metaLine(m journal.Meta) string {
+	cfg := m.Config
+	m.Config = nil
+	data, _ := json.Marshal(m)
+	if len(cfg) > 0 {
+		return fmt.Sprintf("%s (+%d-byte config)", data, len(cfg))
+	}
+	return string(data)
+}
+
+func bytesEqual(a, b json.RawMessage) bool { return string(a) == string(b) }
+
+func verdictWord(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "fail"
+}
+
+func usageErr(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "replay: "+format+"\n", args...)
+	return 2
+}

@@ -76,6 +76,8 @@ func run() int {
 	)
 	var prof cliutil.ProfileFlags
 	prof.Register(flag.CommandLine)
+	var journals cliutil.JournalFlags
+	journals.Register(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		return usageErr("%v", err)
@@ -181,6 +183,17 @@ func run() int {
 			Fingerprint: f.Fingerprint(),
 			Config:      f.Config,
 		})
+	}
+	if journals.Enabled() && ctx.Err() == nil {
+		for i, f := range res.Failures {
+			name := fmt.Sprintf("failure-%06d", res.FailureIndices[i])
+			path, err := journals.Dump(ctx, name, f.Config, p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "sweep: journaled failure %d -> %s\n", res.FailureIndices[i], path)
+		}
 	}
 	if *minimize && len(res.Failures) > 0 && ctx.Err() == nil {
 		min, err := scenario.Minimize(ctx, res.Failures[0].Config, p)

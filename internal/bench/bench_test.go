@@ -235,6 +235,37 @@ func BenchmarkScenarioRun(b *testing.B) {
 	}
 }
 
+// benchScenarioConsensus is one scenario-harness consensus run per
+// iteration. Unlike benchConsensus's raw networks, the harness arms the
+// trace group, so the step scheduler's digest — and, with WithJournal, the
+// journal recorder — is live: the baseline/journaled pair isolates exactly
+// the cost of capturing the record stream at emit time.
+func benchScenarioConsensus(b *testing.B, n int, opts ...scenario.Option) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := scenario.New(n, append([]scenario.Option{scenario.WithSeed(int64(i + 1))}, opts...)...)
+		if res := s.Run(ctx, scenario.Consensus{}); !res.Verdict.OK {
+			b.Fatalf("run %d: %v", i, res.Verdict)
+		}
+	}
+}
+
+// BenchmarkConsensusJournaled prices the trace journal: the same traced
+// scenario run with and without the journal recorder attached. The
+// committed consensus_n10_journal_overhead datapoint is the n=10 ratio.
+func BenchmarkConsensusJournaled(b *testing.B) {
+	for _, n := range []int{10, 50} {
+		n := n
+		b.Run(fmt.Sprintf("baseline/n=%d", n), func(b *testing.B) {
+			benchScenarioConsensus(b, n)
+		})
+		b.Run(fmt.Sprintf("journaled/n=%d", n), func(b *testing.B) {
+			benchScenarioConsensus(b, n, scenario.WithJournal(scenario.JournalAll))
+		})
+	}
+}
+
 // multiConsensusRounds is the instance count of the amortised workload
 // benchmark: one cluster stood up, multiConsensusRounds back-to-back
 // consensus instances run on it.
@@ -474,6 +505,24 @@ func TestEmitBenchJSON(t *testing.T) {
 		})
 	}
 	add("ScenarioRun/consensus/n=5", BenchmarkScenarioRun)
+	// The journal capture overhead: the same traced scenario run with and
+	// without the journal recorder. The committed datapoint is the n=10
+	// ratio, with an emit-time acceptance ceiling — capture appends one
+	// struct per record on the already-serialized recorder path, so anything
+	// past 1.5x means the hook grew real work.
+	jBase10 := add("ConsensusJournaled/baseline/n=10", func(b *testing.B) {
+		benchScenarioConsensus(b, 10)
+	})
+	jFull10 := add("ConsensusJournaled/journaled/n=10", func(b *testing.B) {
+		benchScenarioConsensus(b, 10, scenario.WithJournal(scenario.JournalAll))
+	})
+	add("ConsensusJournaled/baseline/n=50", func(b *testing.B) {
+		benchScenarioConsensus(b, 50)
+	})
+	add("ConsensusJournaled/journaled/n=50", func(b *testing.B) {
+		benchScenarioConsensus(b, 50, scenario.WithJournal(scenario.JournalAll))
+	})
+	journalOverhead := float64(jFull10.NsPerOp()) / float64(jBase10.NsPerOp())
 	mc := add(fmt.Sprintf("MultiConsensus/virtual/n=5/rounds=%d", multiConsensusRounds), benchMultiConsensus)
 	mcRoundsPerSec := float64(multiConsensusRounds) / (float64(mc.NsPerOp()) / 1e9)
 	sweep := sweepThroughput(5, 1500)
@@ -531,6 +580,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		DelayRange      string        `json:"delay_range"`
 		SpeedupN10      float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
 		StepOverheadN10 float64       `json:"consensus_n10_step_vs_freerunning_overhead"`
+		JournalOverhead float64       `json:"consensus_n10_journal_overhead"`
 		SweepRuns       int           `json:"scenario_sweep_runs"`
 		SweepRunsSec    float64       `json:"scenario_sweep_runs_per_sec"`
 		Sweep100Runs    int           `json:"scenario_sweep_n100_runs"`
@@ -547,6 +597,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		DelayRange:      "[0, 200µs]",
 		SpeedupN10:      speedup,
 		StepOverheadN10: stepOverhead,
+		JournalOverhead: journalOverhead,
 		SweepRuns:       sweep.Runs,
 		SweepRunsSec:    sweep.RunsPerSec,
 		Sweep100Runs:    sweep100.Runs,
@@ -573,5 +624,9 @@ func TestEmitBenchJSON(t *testing.T) {
 	t.Logf("consensus n=10 step-vs-freerunning overhead: %.2fx", stepOverhead)
 	if stepOverhead > 3 {
 		t.Errorf("step-scheduler overhead %.2fx exceeds the 3x acceptance ceiling", stepOverhead)
+	}
+	t.Logf("consensus n=10 journal capture overhead: %.2fx", journalOverhead)
+	if journalOverhead > 1.5 {
+		t.Errorf("journal capture overhead %.2fx exceeds the 1.5x emit-time ceiling", journalOverhead)
 	}
 }

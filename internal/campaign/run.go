@@ -101,12 +101,20 @@ func (s *ShardState) save(dir string) error {
 }
 
 // RunOptions configures one shard execution. None of it affects unit
-// results — workers parallelise within a unit, the log only narrates.
+// results — workers parallelise within a unit, the log only narrates, and
+// journal dumps are separate files beside the unit reports (unit report
+// bytes stay a pure function of the campaign fingerprint and unit index,
+// journaled or not).
 type RunOptions struct {
 	Dir     string
 	Shard   int
 	Workers int
 	Log     io.Writer // nil = silent
+	// JournalDir, when non-empty, dumps a full trace journal for every
+	// failure a completed unit retained (cmd/replay replays them). Dumps
+	// re-run the failing config with capture on — deterministic, so the
+	// journal records the retained failure's exact schedule.
+	JournalDir string
 }
 
 // RunShard executes (or resumes — the operation is the same) the pending
@@ -159,8 +167,58 @@ func RunShard(ctx context.Context, opts RunOptions) (done, total int, err error)
 			verb = "adopted"
 		}
 		logf("campaign %s shard %d/%d: %s unit %d (%d/%d)", m.Name, opts.Shard, m.Shards, verb, u, st.Watermark, total)
+		if opts.JournalDir != "" {
+			if err := dumpUnitJournals(ctx, m, opts, u, data, logf); err != nil {
+				// Journals are diagnostics beside the campaign, not part of
+				// its algebra: a dump failure is narrated, never fatal.
+				logf("campaign %s shard %d/%d: unit %d journals: %v", m.Name, opts.Shard, m.Shards, u, err)
+			}
+		}
 	}
 	return st.Watermark, total, nil
+}
+
+// dumpUnitJournals writes a full trace journal beside the unit reports for
+// every failure the unit's canonical report retained. It re-parses the
+// report bytes (so adopted and freshly-run units journal identically) and
+// re-runs each failing config with capture on — both deterministic, so the
+// journals are as reproducible as the reports they annotate.
+func dumpUnitJournals(ctx context.Context, m *Manifest, opts RunOptions, u int, data []byte, logf func(string, ...any)) error {
+	sw, ex, err := cliutil.ReadAnyReport("unit report", data)
+	if err != nil {
+		return err
+	}
+	jf := cliutil.JournalFlags{Dir: opts.JournalDir}
+	var proto scenario.Protocol
+	switch {
+	case sw != nil:
+		if _, _, proto, err = cliutil.BuildGrid(*m.Grid); err != nil {
+			return err
+		}
+		for _, f := range sw.Failures {
+			name := fmt.Sprintf("unit-%06d-failure-%06d", u, f.Index)
+			path, err := jf.Dump(ctx, name, f.Config, proto)
+			if err != nil {
+				return err
+			}
+			logf("campaign %s: journaled unit %d failure %d -> %s", m.Name, u, f.Index, path)
+		}
+	case ex != nil:
+		eopts, err := m.Explore.Options(m.UnitSeed(u))
+		if err != nil {
+			return err
+		}
+		proto = eopts.Proto
+		for _, f := range ex.Failures {
+			name := fmt.Sprintf("unit-%06d-failure-run%06d", u, f.Run)
+			path, err := jf.Dump(ctx, name, f.Config, proto)
+			if err != nil {
+				return err
+			}
+			logf("campaign %s: journaled unit %d failure at run %d -> %s", m.Name, u, f.Run, path)
+		}
+	}
+	return nil
 }
 
 // unitReport produces unit u's canonical report bytes — re-using an

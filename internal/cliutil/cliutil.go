@@ -216,11 +216,11 @@ func BuildProtocol(name string, n, rounds, coordinator int) (scenario.Protocol, 
 		return scenario.MultiConsensus{Rounds: rounds}, nil
 	case "consensus/multi-majority":
 		return scenario.MultiConsensus{Rounds: rounds, Majority: true}, nil
-	case "qc":
+	case "qc", "qc/psi":
 		return scenario.QC{}, nil
 	case "qc/from-nbac":
 		return scenario.NBACQC{}, nil
-	case "nbac":
+	case "nbac", "nbac/psi-fs":
 		return scenario.NBAC{}, nil
 	case "twopc", "nbac/twopc":
 		if coordinator < 0 || coordinator >= n {

@@ -1,0 +1,245 @@
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"weakestfd/internal/net"
+)
+
+// sampleStream synthesizes a plausible trace stream covering every record
+// shape: message, timer and crash events plus grants and exits.
+func sampleStream(n int) []net.TraceRecord {
+	var out []net.TraceRecord
+	for i := 0; out == nil || len(out) < n; i++ {
+		out = append(out,
+			net.TraceRecord{Op: net.TraceOpEvent, Kind: net.TraceKindMessage, At: int64(10 * i), Seq: uint64(3 * i), From: uint64(i % 4), To: uint64((i + 1) % 4), Instance: "scn", Type: fmt.Sprintf("m%d", i)},
+			net.TraceRecord{Op: net.TraceOpGrant, Task: uint64(i % 5)},
+			net.TraceRecord{Op: net.TraceOpEvent, Kind: net.TraceKindTimer, At: int64(10*i + 5), Seq: uint64(3*i + 1), Tid: uint64(i)},
+			net.TraceRecord{Op: net.TraceOpEvent, Kind: net.TraceKindCrash, At: int64(10*i + 7), Seq: uint64(3*i + 2), To: uint64(i % 4)},
+			net.TraceRecord{Op: net.TraceOpExit, Task: uint64(i % 5)},
+		)
+	}
+	return out[:n]
+}
+
+// capture runs a stream through a recorder and assembles the journal, with
+// the fingerprint computed the way the live digest computes it.
+func capture(t *testing.T, stream []net.TraceRecord, max int) *Journal {
+	t.Helper()
+	rec := NewRecorder(max)
+	h := sha256.New()
+	var buf [64]byte
+	for _, tr := range stream {
+		rec.Record(tr)
+		h.Write(tr.AppendHash(buf[:0]))
+	}
+	return rec.Journal(Meta{
+		Protocol:         "consensus/omega-sigma",
+		Config:           json.RawMessage(`{"n":4,"seed":7}`),
+		TraceFingerprint: hex.EncodeToString(h.Sum(nil)),
+	})
+}
+
+// TestRoundTripByteStability pins the canonical encoding: encode → decode →
+// encode is byte-identity, and decode reproduces the structs exactly.
+func TestRoundTripByteStability(t *testing.T) {
+	j := capture(t, sampleStream(25), KeepAll)
+	first, err := j.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(first)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(j.Meta, back.Meta) || !reflect.DeepEqual(j.Records, back.Records) {
+		t.Fatal("decoded journal differs structurally from the original")
+	}
+	second, err := back.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("encode → decode → encode is not byte-identity:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestRecordConversionRoundTrip: every record shape survives the
+// net → journal → net conversion exactly, so the recomputed hash sees the
+// same bytes the live digest saw.
+func TestRecordConversionRoundTrip(t *testing.T) {
+	for i, tr := range sampleStream(10) {
+		back, err := FromNet(tr).ToNet()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if back != tr {
+			t.Fatalf("record %d: round-trip changed the record: %+v vs %+v", i, back, tr)
+		}
+	}
+}
+
+// TestDecodeRefusesFutureSchema: a journal stamped with a newer schema
+// version is refused at load, not silently misread.
+func TestDecodeRefusesFutureSchema(t *testing.T) {
+	j := capture(t, sampleStream(5), KeepAll)
+	j.Meta.SchemaVersion = Version + 1
+	data, err := j.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("future schema not refused: %v", err)
+	}
+}
+
+// TestVerify: the fingerprint recomputation passes on an intact journal and
+// pins any record mutation.
+func TestVerify(t *testing.T) {
+	j := capture(t, sampleStream(25), KeepAll)
+	if err := j.Verify(); err != nil {
+		t.Fatalf("intact journal failed verification: %v", err)
+	}
+	mut := capture(t, sampleStream(25), KeepAll)
+	mut.Records[12].At++
+	if err := mut.Verify(); err == nil || !strings.Contains(err.Error(), "hash to") {
+		t.Fatalf("mutated journal passed verification: %v", err)
+	}
+	bad := capture(t, sampleStream(5), KeepAll)
+	bad.Records[0].Op = "Z"
+	if err := bad.Verify(); err == nil || !strings.Contains(err.Error(), "unknown record op") {
+		t.Fatalf("mangled op not rejected: %v", err)
+	}
+	tainted := capture(t, sampleStream(5), KeepAll)
+	tainted.Meta.TraceFingerprint = ""
+	tainted.Meta.TaintReason = "wall-clock escape: test"
+	if err := tainted.Verify(); err == nil || !strings.Contains(err.Error(), "tainted") {
+		t.Fatalf("tainted journal not refused: %v", err)
+	}
+}
+
+// TestRingSuffix pins the ring semantics: a wrapped capture keeps the last
+// K records in stream order with FirstIndex advanced, and is refused — as a
+// suffix, not as a divergence — by both verification and replay.
+func TestRingSuffix(t *testing.T) {
+	stream := sampleStream(30)
+	j := capture(t, stream, 10)
+	if j.Meta.Mode != ModeRing || j.Meta.TotalRecords != 30 || j.Meta.FirstIndex != 20 {
+		t.Fatalf("ring meta: %+v", j.Meta)
+	}
+	if len(j.Records) != 10 {
+		t.Fatalf("ring retained %d records, want 10", len(j.Records))
+	}
+	for i, tr := range stream[20:] {
+		if j.Records[i] != FromNet(tr) {
+			t.Fatalf("ring record %d is not stream record %d: %+v", i, 20+i, j.Records[i])
+		}
+	}
+	if j.Complete() {
+		t.Fatal("a wrapped ring capture claims to be complete")
+	}
+	if err := j.Verify(); err == nil || !strings.Contains(err.Error(), "journal is a suffix") {
+		t.Fatalf("suffix verification refusal: %v", err)
+	}
+	if err := j.Replayable(); err == nil || !strings.Contains(err.Error(), "journal is a suffix") {
+		t.Fatalf("suffix replay refusal: %v", err)
+	}
+
+	// An unwrapped ring (capacity never exceeded) is still a complete stream.
+	small := capture(t, stream[:8], 10)
+	if small.Meta.Mode != ModeRing || !small.Complete() {
+		t.Fatalf("unwrapped ring: mode %q, complete %v", small.Meta.Mode, small.Complete())
+	}
+	if err := small.Verify(); err != nil {
+		t.Fatalf("unwrapped ring failed verification: %v", err)
+	}
+}
+
+// TestCheckerDivergence feeds mutated streams through the checker and pins
+// the divergence index at the head, middle and tail of the stream, plus the
+// two length mismatches (overrun and early end).
+func TestCheckerDivergence(t *testing.T) {
+	stream := sampleStream(21)
+	j := capture(t, stream, KeepAll)
+
+	replayThrough := func(chk *Checker, s []net.TraceRecord) {
+		for _, tr := range s {
+			chk.Record(tr)
+		}
+	}
+
+	// A faithful replay matches everything.
+	chk := NewChecker(j)
+	replayThrough(chk, stream)
+	if div := chk.Finish(); div != nil {
+		t.Fatalf("faithful replay diverged: %v", div)
+	}
+	if chk.Matched() != len(stream) {
+		t.Fatalf("matched %d of %d", chk.Matched(), len(stream))
+	}
+
+	for _, at := range []int{0, 10, 20} {
+		mutated := append([]net.TraceRecord(nil), stream...)
+		mutated[at].Seq += 99
+		chk := NewChecker(j)
+		replayThrough(chk, mutated)
+		div := chk.Finish()
+		if div == nil || div.Index != at {
+			t.Fatalf("mutation at %d: divergence %+v", at, div)
+		}
+		if div.Expected == nil || div.Actual == nil || *div.Expected == *div.Actual {
+			t.Fatalf("mutation at %d: expected/actual not captured: %+v", at, div)
+		}
+		rep := div.Report(j, 3)
+		if !strings.Contains(rep, fmt.Sprintf("diverged at record %d", at)) || !strings.Contains(rep, ">>>") {
+			t.Fatalf("mutation at %d: report missing index or marker:\n%s", at, rep)
+		}
+	}
+
+	// The run produced a record past the journal's end.
+	chk = NewChecker(j)
+	replayThrough(chk, append(append([]net.TraceRecord(nil), stream...), stream[0]))
+	if div := chk.Finish(); div == nil || div.Index != len(stream) || div.Expected != nil {
+		t.Fatalf("overrun divergence: %+v", chk.Finish())
+	}
+
+	// The run ended with journal records unconsumed.
+	chk = NewChecker(j)
+	replayThrough(chk, stream[:15])
+	div := chk.Finish()
+	if div == nil || div.Index != 15 || div.Actual != nil || !strings.Contains(div.Reason, "the journal holds 6 more") {
+		t.Fatalf("early-end divergence: %+v", div)
+	}
+}
+
+// TestIsPrefix pins the minimisation acceptance relation.
+func TestIsPrefix(t *testing.T) {
+	stream := sampleStream(20)
+	long := capture(t, stream, KeepAll)
+	short := capture(t, stream[:12], KeepAll)
+	if !IsPrefix(long, short) {
+		t.Fatal("a true prefix was rejected")
+	}
+	if IsPrefix(short, long) {
+		t.Fatal("a longer stream was accepted as a prefix of a shorter one")
+	}
+	if !IsPrefix(long, long) {
+		t.Fatal("a journal is not a prefix of itself")
+	}
+	diverged := capture(t, stream[:12], KeepAll)
+	diverged.Records[5].Task += 7
+	if IsPrefix(long, diverged) {
+		t.Fatal("a diverging stream was accepted as a prefix")
+	}
+	suffix := capture(t, stream, 8)
+	if IsPrefix(long, suffix) || IsPrefix(suffix, short) {
+		t.Fatal("a ring suffix participated in the prefix relation")
+	}
+}

@@ -119,6 +119,17 @@ func WithFreeRunning() Option {
 	return func(n *Network) { n.freeRunning = true }
 }
 
+// WithTraceRecorder attaches rec to the step scheduler's trace stream: every
+// record the trace digest hashes (events, grants, exits — see TraceRecord) is
+// also passed to rec, in hash order, while a trace group is armed. The
+// recorder is observe-only: attaching one cannot perturb the schedule, so a
+// journaled run and a plain run of the same seeded configuration produce the
+// same TraceFingerprint. A no-op in free-running or real-time mode, which
+// have no step trace to record.
+func WithTraceRecorder(rec TraceRecorder) Option {
+	return func(n *Network) { n.traceRec = rec }
+}
+
 // Network is an in-memory asynchronous network of n processes. Create one
 // with NewNetwork, hand each protocol participant its Endpoint, inject
 // crashes with Crash, and Close it when the run is over.
@@ -140,6 +151,7 @@ type Network struct {
 	// state and the dispatcher runs dispatchStep instead of the batch loop.
 	freeRunning bool
 	stepper     *stepper
+	traceRec    TraceRecorder
 
 	q *eventQueue
 
@@ -189,7 +201,7 @@ func NewNetwork(n int, opts ...Option) *Network {
 	nw.cCrashes = nw.metrics.Counter("crashes")
 	nw.q = newEventQueue(n, nw.seed, nw.minDelay, nw.maxDelay, nw.dropRate, nw.realtime)
 	if !nw.freeRunning && !nw.realtime {
-		nw.stepper = newStepper(nw.q)
+		nw.stepper = newStepper(nw.q, nw.traceRec)
 	}
 	nw.instances = make(map[string]*instState)
 	nw.endpoints = make([]Endpoint, n)

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"hash"
 	"sync"
 	"sync/atomic"
@@ -149,7 +150,7 @@ func (t *Task) block(ctx context.Context) {
 // stepper had already committed a grant, consumes the token and hands it
 // straight back so the dispatcher never waits on an escaped task.
 func (t *Task) escape() {
-	t.s.tainted.Store(true)
+	t.s.taint(t)
 	t.mu.Lock()
 	switch t.state {
 	case taskParked, taskReady:
@@ -180,7 +181,7 @@ func (t *Task) exit() {
 	t.state = taskDone
 	t.mu.Unlock()
 	if escaped {
-		t.s.tainted.Store(true)
+		t.s.taint(t)
 		t.s.groupExit(t, false)
 		return
 	}
@@ -278,6 +279,90 @@ type TraceStats struct {
 	Timers   int64
 	Crashes  int64
 	Grants   int64 // task steps granted
+	// TaintReason is why the trace was forfeited, when it was: the first
+	// wall-clock escape that tainted the run, naming the task and process.
+	// Empty for a clean trace (and in free-running mode, which never arms
+	// one). When set, the counters above are zero and the fingerprint is
+	// empty — the reason is the only thing a tainted run can honestly report.
+	TaintReason string
+}
+
+// Trace record ops: the three record types of the step trace, using the same
+// byte the digest encoding leads with.
+const (
+	TraceOpEvent byte = 'E' // one delivered event
+	TraceOpGrant byte = 'G' // one task step grant
+	TraceOpExit  byte = 'X' // one clean task exit
+)
+
+// Trace event kinds for TraceOpEvent records, matching the scheduler's
+// internal event kinds (and the byte the digest encoding uses).
+const (
+	TraceKindMessage = byte(evMessage)
+	TraceKindTimer   = byte(evTimer)
+	TraceKindCrash   = byte(evCrash)
+)
+
+// TraceRecord is one record of the step trace — exactly what the trace digest
+// hashes, in structured form. The stream of TraceRecords a run produces is
+// trace-tier: a pure function of (seed, config) in step mode, byte-identical
+// across runs. Fields beyond Op are populated per record type:
+//
+//   - TraceOpEvent: Kind, At, Seq, then per kind — message: From, To,
+//     Instance, Type; timer: Tid (the run-local lease id); crash: To.
+//   - TraceOpGrant, TraceOpExit: Task (the granted/exiting task's id).
+type TraceRecord struct {
+	Op       byte
+	Kind     byte
+	At       int64
+	Seq      uint64
+	From     uint64
+	To       uint64
+	Instance string
+	Type     string
+	Tid      uint64
+	Task     uint64
+}
+
+// AppendHash appends the record's trace-digest encoding to b — the exact
+// bytes the streaming SHA-256 consumes for this record. Journal verification
+// recomputes fingerprints through this single definition, so the journal and
+// the hash cannot drift apart.
+func (r *TraceRecord) AppendHash(b []byte) []byte {
+	switch r.Op {
+	case TraceOpEvent:
+		b = append(b, TraceOpEvent, r.Kind)
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.At))
+		b = binary.LittleEndian.AppendUint64(b, r.Seq)
+		switch r.Kind {
+		case TraceKindMessage:
+			b = binary.LittleEndian.AppendUint64(b, r.From)
+			b = binary.LittleEndian.AppendUint64(b, r.To)
+			b = binary.LittleEndian.AppendUint64(b, uint64(len(r.Instance)))
+			b = append(b, r.Instance...)
+			b = binary.LittleEndian.AppendUint64(b, uint64(len(r.Type)))
+			b = append(b, r.Type...)
+		case TraceKindTimer:
+			b = binary.LittleEndian.AppendUint64(b, r.Tid)
+		case TraceKindCrash:
+			b = binary.LittleEndian.AppendUint64(b, r.To)
+		}
+	case TraceOpGrant, TraceOpExit:
+		b = append(b, r.Op)
+		b = binary.LittleEndian.AppendUint64(b, r.Task)
+	}
+	return b
+}
+
+// TraceRecorder observes the step trace record-by-record, beside the digest:
+// every record the trace hash sees is passed to Record, in hash order,
+// before delivery/grant takes effect. Calls are serialized by the scheduling
+// token (the dispatcher writes event and grant records, a cleanly exiting
+// task writes its exit record while still holding the token), so
+// implementations need no locking — but Record runs on the scheduler's
+// critical path and must not block.
+type TraceRecorder interface {
+	Record(TraceRecord)
 }
 
 // stepper is the run-to-quiescence scheduler state owned by a step-mode
@@ -299,12 +384,20 @@ type stepper struct {
 	// Trace digest. Writers are the dispatcher (event and grant records) and
 	// cleanly exiting tasks (exit records, written while still holding the
 	// token), so all writes are serialized by the token handoff; no lock.
+	// rec, when non-nil, observes the same serialized record stream.
 	tracing   atomic.Bool
 	finalized atomic.Bool
 	tainted   atomic.Bool
 	digest    hash.Hash
 	buf       [64]byte
 	stats     TraceStats
+	rec       TraceRecorder
+
+	// taintReason is the first escape's description (first-wins: later
+	// escapes are downstream of the first cut). Guarded by taintMu because
+	// escapes happen off the token discipline by definition.
+	taintMu     sync.Mutex
+	taintReason string
 
 	groupMu    sync.Mutex
 	groupLeft  int
@@ -313,14 +406,27 @@ type stepper struct {
 	finalStats TraceStats
 }
 
-func newStepper(q *eventQueue) *stepper {
+func newStepper(q *eventQueue, rec TraceRecorder) *stepper {
 	return &stepper{
 		q:         q,
 		yieldCh:   make(chan struct{}, 1),
 		abort:     make(chan struct{}),
 		digest:    sha256.New(),
 		groupDone: make(chan struct{}),
+		rec:       rec,
 	}
+}
+
+// taint forfeits the trace, recording why (first-wins). The reason names the
+// escaping task and its process — the diagnostic a tainted journal surfaces
+// instead of a confusing divergence.
+func (s *stepper) taint(t *Task) {
+	s.tainted.Store(true)
+	s.taintMu.Lock()
+	if s.taintReason == "" {
+		s.taintReason = fmt.Sprintf("wall-clock escape: task %q (process %d) resumed outside the step discipline (context cancelled or network closed)", t.name, int(t.ep.id))
+	}
+	s.taintMu.Unlock()
 }
 
 func (s *stepper) newTask(ep *Endpoint, name string, group bool) *Task {
@@ -443,9 +549,30 @@ func (s *stepper) groupExit(t *Task, clean bool) {
 		s.final = hex.EncodeToString(s.digest.Sum(nil))
 		s.finalStats = s.stats
 		s.groupMu.Unlock()
+	} else {
+		// A tainted trace keeps nothing but the reason it was forfeited.
+		s.taintMu.Lock()
+		reason := s.taintReason
+		s.taintMu.Unlock()
+		if reason == "" {
+			reason = "trace tainted: a group task exited on an escape path"
+		}
+		s.groupMu.Lock()
+		s.finalStats = TraceStats{TaintReason: reason}
+		s.groupMu.Unlock()
 	}
 	s.finalized.Store(true)
 	close(s.groupDone)
+}
+
+// record hashes one trace record and forwards it to the attached recorder,
+// if any. The digest and the recorder consume the identical record by
+// construction — AppendHash is the single encoding definition.
+func (s *stepper) record(r *TraceRecord) {
+	s.digest.Write(r.AppendHash(s.buf[:0]))
+	if s.rec != nil {
+		s.rec.Record(*r)
+	}
 }
 
 // recordEvent hashes one delivered event into the trace: kind, timestamp,
@@ -457,31 +584,26 @@ func (s *stepper) recordEvent(ev *event) {
 		return
 	}
 	s.stats.Events++
-	b := s.buf[:0]
-	b = append(b, 'E', byte(ev.kind))
-	b = binary.LittleEndian.AppendUint64(b, uint64(ev.at))
-	b = binary.LittleEndian.AppendUint64(b, ev.seq)
+	r := TraceRecord{Op: TraceOpEvent, Kind: byte(ev.kind), At: int64(ev.at), Seq: ev.seq}
 	switch ev.kind {
 	case evMessage:
 		s.stats.Messages++
-		b = binary.LittleEndian.AppendUint64(b, uint64(ev.msg.From))
-		b = binary.LittleEndian.AppendUint64(b, uint64(ev.msg.To))
-		b = binary.LittleEndian.AppendUint64(b, uint64(len(ev.msg.Instance)))
-		b = append(b, ev.msg.Instance...)
-		b = binary.LittleEndian.AppendUint64(b, uint64(len(ev.msg.Type)))
-		b = append(b, ev.msg.Type...)
+		r.From = uint64(ev.msg.From)
+		r.To = uint64(ev.msg.To)
+		r.Instance = ev.msg.Instance
+		r.Type = ev.msg.Type
 	case evTimer:
 		s.stats.Timers++
 		// The run-local lease id, not ev.tgen: gen counts leases of a
 		// globally pooled timer core, so it depends on what earlier networks
 		// in the process did with that core — hashing it would make the
 		// fingerprint process-history-dependent.
-		b = binary.LittleEndian.AppendUint64(b, ev.tid)
+		r.Tid = ev.tid
 	case evCrash:
 		s.stats.Crashes++
-		b = binary.LittleEndian.AppendUint64(b, uint64(ev.msg.To))
+		r.To = uint64(ev.msg.To)
 	}
-	s.digest.Write(b)
+	s.record(&r)
 }
 
 // recordGrant hashes one task step grant. Called only by the dispatcher.
@@ -490,10 +612,7 @@ func (s *stepper) recordGrant(t *Task) {
 		return
 	}
 	s.stats.Grants++
-	b := s.buf[:0]
-	b = append(b, 'G')
-	b = binary.LittleEndian.AppendUint64(b, t.id)
-	s.digest.Write(b)
+	s.record(&TraceRecord{Op: TraceOpGrant, Task: t.id})
 }
 
 // recordExit hashes a clean task exit. Called by the exiting task while it
@@ -502,10 +621,7 @@ func (s *stepper) recordExit(t *Task) {
 	if !s.tracing.Load() || s.finalized.Load() {
 		return
 	}
-	b := s.buf[:0]
-	b = append(b, 'X')
-	b = binary.LittleEndian.AppendUint64(b, t.id)
-	s.digest.Write(b)
+	s.record(&TraceRecord{Op: TraceOpExit, Task: t.id})
 }
 
 // StepMode reports whether this network runs under the deterministic
@@ -560,7 +676,8 @@ func (nw *Network) TraceGroup(n int) {
 // over the (event, grant, exit) record stream up to the last group task's
 // exit — byte-identical across runs of an identical seeded configuration. It
 // is empty when the run was tainted by a wall-clock escape (a timeout cut the
-// run at a nondeterministic point), and immediately empty in free-running
+// run at a nondeterministic point) — the returned stats then carry only
+// TaintReason, naming the escape — and immediately empty in free-running
 // mode or when no trace group was declared.
 func (nw *Network) TraceResult() (string, TraceStats) {
 	s := nw.stepper

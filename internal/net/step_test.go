@@ -2,6 +2,7 @@ package net
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -155,8 +156,18 @@ func TestEscapeTaintsTrace(t *testing.T) {
 	time.Sleep(10 * time.Millisecond) // let it park with no wake pending
 	cancel()
 	fp, st := nw.TraceResult()
-	if fp != "" || st != (TraceStats{}) {
-		t.Fatalf("escaped run kept a trace: %q %+v", fp, st)
+	if fp != "" {
+		t.Fatalf("escaped run kept a fingerprint: %q", fp)
+	}
+	if st.TaintReason == "" {
+		t.Fatal("escaped run surfaced no taint reason")
+	}
+	if !strings.Contains(st.TaintReason, `"waiter"`) || !strings.Contains(st.TaintReason, "process 0") {
+		t.Fatalf("taint reason does not name the escaping task: %q", st.TaintReason)
+	}
+	st.TaintReason = ""
+	if st != (TraceStats{}) {
+		t.Fatalf("escaped run kept trace counters: %+v", st)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"weakestfd/internal/journal"
 	"weakestfd/internal/model"
 )
 
@@ -67,6 +68,14 @@ func Minimize(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, 
 // the schedule never consults bisects away, while anything that perturbs a
 // single delivery or grant is pinned. It requires step mode (the ablation
 // has no trace to hold fixed) and an untainted reference run.
+//
+// When cfg journals the full record stream (Config.Journal == JournalAll),
+// acceptance widens from fingerprint equality to journal-prefix containment:
+// a candidate whose whole record stream is an exact prefix of the reference
+// stream is accepted too. The digest alone cannot express "same schedule,
+// stopped earlier" — only the stored records can — so this is how a timeout
+// parameter or a crash scheduled just before the reference trace's end
+// shrinks away without perturbing a single retained record.
 func MinimizeTrace(ctx context.Context, cfg Config, proto Protocol) (MinimizeResult, error) {
 	return minimize(ctx, cfg, proto, true)
 }
@@ -86,7 +95,16 @@ func minimize(ctx context.Context, cfg Config, proto Protocol, sameTrace bool) (
 				fmt.Errorf("minimize: reference run produced no trace fingerprint (free-running ablation, or a timeout-tainted run)")
 		}
 		want := ref.TraceFingerprint
-		m.accept = func(r *Result) bool { return r.TraceFingerprint == want }
+		if refJ := ref.Journal; refJ != nil && refJ.Complete() {
+			// Full-stream journaling is on: accept byte-identical schedules
+			// and exact schedule prefixes (see the MinimizeTrace doc).
+			m.accept = func(r *Result) bool {
+				return r.TraceFingerprint == want ||
+					(r.Journal != nil && journal.IsPrefix(refJ, r.Journal))
+			}
+		} else {
+			m.accept = func(r *Result) bool { return r.TraceFingerprint == want }
+		}
 	} else {
 		m.accept = func(r *Result) bool { return !r.Verdict.OK }
 	}

@@ -1,0 +1,73 @@
+// Deterministic replay: re-execute a journaled run and hold it to its
+// journal. The step scheduler makes the record stream a pure function of
+// (seed, config), so re-running the journal's embedded config must reproduce
+// the recorded stream record-for-record; the first scheduler decision that
+// differs is a real divergence — a nondeterminism bug, a code change that
+// perturbed the schedule, or a corrupted journal — and is reported precisely
+// rather than as a mysteriously different outcome.
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"weakestfd/internal/journal"
+)
+
+// ReplayResult is the outcome of one replay.
+type ReplayResult struct {
+	// Result is the re-executed run.
+	Result Result
+	// Divergence is the first point where the run departed from the
+	// journal, or nil when every record matched.
+	Divergence *journal.Divergence
+	// Matched is how many records matched (all of them when Divergence is
+	// nil).
+	Matched int
+}
+
+// OK reports a fully matching replay.
+func (r ReplayResult) OK() bool { return r.Divergence == nil }
+
+// Replay re-executes the journal's embedded scenario configuration under
+// proto with a record-by-record checker attached, asserting every scheduler
+// decision — next event, next grant, next exit — against the recorded one.
+//
+// It refuses journals that cannot anchor a replay (tainted runs, ring-mode
+// suffixes, future schema versions are already refused at load) and errors
+// if the replayed run itself escapes to wall-clock (the comparison is then
+// meaningless, not divergent). On a clean full match the replayed run's
+// TraceFingerprint is additionally cross-checked against the journal's —
+// byte-equal by construction, so a mismatch means the journal's meta does
+// not belong to its records.
+func Replay(ctx context.Context, proto Protocol, j *journal.Journal) (ReplayResult, error) {
+	var out ReplayResult
+	if err := j.Replayable(); err != nil {
+		return out, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(j.Meta.Config, &cfg); err != nil {
+		return out, fmt.Errorf("replay: parse journal config: %w", err)
+	}
+	if j.Meta.Protocol != "" && proto.Name() != j.Meta.Protocol {
+		return out, fmt.Errorf("replay: journal records protocol %q, got %q", j.Meta.Protocol, proto.Name())
+	}
+	chk := journal.NewChecker(j)
+	cfg.Journal = 0
+	cfg.Recorder = chk
+	out.Result = FromConfig(cfg).Run(ctx, proto)
+	out.Matched = chk.Matched()
+	if reason := out.Result.TraceSummary.TaintReason; reason != "" {
+		return out, fmt.Errorf("replay: the replayed run escaped to wall-clock, so the comparison is void (%s); raise the timeout and retry", reason)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("replay: cancelled: %w", err)
+	}
+	out.Divergence = chk.Finish()
+	if out.Divergence == nil && out.Result.TraceFingerprint != j.Meta.TraceFingerprint {
+		return out, fmt.Errorf("replay: every record matched but the fingerprints differ (run %s, journal %s): the journal's meta does not belong to its records",
+			out.Result.TraceFingerprint, j.Meta.TraceFingerprint)
+	}
+	return out, nil
+}

@@ -24,6 +24,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
@@ -32,6 +33,7 @@ import (
 
 	"weakestfd/internal/fd"
 	_ "weakestfd/internal/fdimpl" // registers the message-passing "heartbeat" detector class
+	"weakestfd/internal/journal"
 	"weakestfd/internal/model"
 	"weakestfd/internal/net"
 	"weakestfd/internal/trace"
@@ -100,7 +102,27 @@ type Config struct {
 	// environment variable WEAKESTFD_FREE_RUNNING=1 forces the ablation for
 	// every run of the process (the CI outcome-compatibility step uses it).
 	FreeRunning bool
+	// Journal selects trace journaling: 0 (the default) captures nothing,
+	// JournalAll captures the run's full record stream into Result.Journal,
+	// and k > 0 ring-buffers the last k records (cheap always-on capture
+	// that yields a suffix journal once it wraps). Journal bytes are
+	// trace-tier: a pure function of (seed, config) in step mode. Capture is
+	// observe-only — a journaled run keeps the TraceFingerprint of its
+	// unjournaled twin — so, like the ablation toggles, Journal is
+	// deliberately excluded from Key and Result.Fingerprint. Free-running
+	// runs have no step trace and refuse journaling (the run fails with a
+	// setup verdict rather than producing an empty journal).
+	Journal int
+	// Recorder, when non-nil, is attached to the run's step-trace stream
+	// (net.WithTraceRecorder) alongside any Journal capture. It is how
+	// Replay wires its record-by-record checker into a run; programmatic
+	// observers can use it directly. Never serialized, never part of the
+	// config's identity.
+	Recorder net.TraceRecorder `json:"-"`
 }
+
+// JournalAll selects full-stream journaling (Config.Journal).
+const JournalAll = journal.KeepAll
 
 // envFreeRunning forces the free-running ablation process-wide; see
 // Config.FreeRunning.
@@ -205,6 +227,11 @@ func WithSerialBroadcast() Option { return func(c *Config) { c.SerialBroadcast =
 // WithFreeRunning selects the free-running scheduler ablation; see
 // Config.FreeRunning.
 func WithFreeRunning() Option { return func(c *Config) { c.FreeRunning = true } }
+
+// WithJournal captures the run's trace record stream into Result.Journal:
+// k == JournalAll keeps every record, k > 0 ring-buffers the last k. See
+// Config.Journal.
+func WithJournal(k int) Option { return func(c *Config) { c.Journal = k } }
 
 // WithSafetyOnly checks only the perpetual (safety) clauses: agreement and
 // validity, not termination. Use it for runs that are cut short or
@@ -369,8 +396,16 @@ type Result struct {
 	TraceFingerprint string
 	// TraceSummary counts the record mix behind TraceFingerprint (events by
 	// kind, grants) — the exploration's trace-shape signature buckets these.
-	// Zero whenever TraceFingerprint is empty.
+	// When a wall-clock escape tainted the run, the counters are zero and
+	// TraceSummary.TaintReason names the escape (which task on which
+	// process); both are zero under the free-running ablation.
 	TraceSummary net.TraceStats
+	// Journal is the run's captured trace record stream (Config.Journal),
+	// ready to encode to disk; nil when journaling was off or the run
+	// produced no trace group. A tainted run still yields its journal —
+	// with Meta.TaintReason set and no fingerprint — so the capture can be
+	// inspected even though it cannot anchor a replay.
+	Journal *journal.Journal
 }
 
 // Run stands the scenario up, executes the protocol on it, tears everything
@@ -398,6 +433,31 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	}
 	if cfg.FreeRunning || envFreeRunning {
 		netOpts = append(netOpts, net.WithFreeRunning())
+	}
+	// Journaling (and replay checking) observes the step-trace stream, which
+	// the free-running ablation does not have: refuse up front with a
+	// verdict naming the conflict, rather than returning an empty journal a
+	// replay would then "diverge" on at record 0.
+	var jrec *journal.Recorder
+	if cfg.Journal != 0 || cfg.Recorder != nil {
+		if cfg.FreeRunning || envFreeRunning {
+			res.Verdict = model.Fail("scenario journal: the free-running ablation has no step trace to journal or replay; drop WithJournal/Config.Recorder or run in step mode")
+			res.Wall = time.Since(start)
+			return res
+		}
+		var rec net.TraceRecorder
+		if cfg.Journal != 0 {
+			jrec = journal.NewRecorder(cfg.Journal)
+			rec = jrec
+		}
+		if cfg.Recorder != nil {
+			if rec != nil {
+				rec = teeRecorder{jrec, cfg.Recorder}
+			} else {
+				rec = cfg.Recorder
+			}
+		}
+		netOpts = append(netOpts, net.WithTraceRecorder(rec))
 	}
 	nw := net.NewNetwork(cfg.N, netOpts...)
 	defer nw.Close()
@@ -507,6 +567,18 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	}
 	if stepTrace {
 		res.TraceFingerprint, res.TraceSummary = nw.TraceResult()
+		if jrec != nil {
+			if res.TraceSummary.TaintReason != "" {
+				// A wall-clock escape means the runners exited without the
+				// token, so the dispatcher may still be delivering — and
+				// recording. Quiesce it before reading the capture: Close is
+				// idempotent and waits for the dispatcher goroutine. (A clean
+				// finalization needs no such barrier — the last exiting task
+				// holds the token, and recording stops at finalization.)
+				nw.Close()
+			}
+			res.Journal = res.buildJournal(jrec)
+		}
 	}
 
 	res.Pattern = nw.Pattern().Clone()
@@ -525,6 +597,44 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	}
 	res.Wall = time.Since(start)
 	return res
+}
+
+// teeRecorder fans one trace stream out to two recorders (journal capture
+// plus a caller-supplied observer). Calls stay serialized — the tee runs on
+// the same token-serialized path as any single recorder.
+type teeRecorder struct{ a, b net.TraceRecorder }
+
+func (t teeRecorder) Record(r net.TraceRecord) {
+	t.a.Record(r)
+	t.b.Record(r)
+}
+
+// buildJournal assembles the captured record stream into a self-contained
+// journal: the config is embedded with its journaling knobs zeroed (a
+// journal reproduces the plain run; replay attaches its own checker), and
+// the trace integrity fields come from the finished run.
+func (r *Result) buildJournal(rec *journal.Recorder) *journal.Journal {
+	cc := r.Config.Clone()
+	cc.Journal = 0
+	cc.Recorder = nil
+	cfgJSON, err := json.Marshal(cc)
+	if err != nil {
+		// Config is plain data; this cannot fail. Keep the journal usable
+		// for inspection even if it somehow does.
+		cfgJSON = nil
+	}
+	st := r.TraceSummary
+	return rec.Journal(journal.Meta{
+		Protocol:         r.Protocol,
+		Config:           cfgJSON,
+		TraceFingerprint: r.TraceFingerprint,
+		TaintReason:      st.TaintReason,
+		Events:           st.Events,
+		Messages:         st.Messages,
+		Timers:           st.Timers,
+		Crashes:          st.Crashes,
+		Grants:           st.Grants,
+	})
 }
 
 // Fingerprint renders the run's scheduling-independent content canonically:
