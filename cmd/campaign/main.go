@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"weakestfd/internal/campaign"
@@ -123,6 +124,7 @@ func runShard(args []string) int {
 		shard    = fs.Int("shard", 1, "shard to run (1-based)")
 		workers  = fs.Int("workers", 0, "worker goroutines per unit (0 = GOMAXPROCS); does not affect results")
 		journals = fs.String("journals", "", "directory to dump full trace journals of retained unit failures into (replay them with cmd/replay); does not affect unit reports")
+		progress = fs.Duration("progress", 0, "JSONL progress interval on stderr (0 = off); units are the progress unit")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -132,13 +134,22 @@ func runShard(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var unitsDone, unitsTotal atomic.Int64
+	stopProgress := cliutil.StartProgress(os.Stderr, *progress, func() cliutil.ProgressLine {
+		return cliutil.ProgressLine{Tool: "campaign", Done: unitsDone.Load(), Total: unitsTotal.Load()}
+	})
 	done, total, err := campaign.RunShard(ctx, campaign.RunOptions{
 		Dir:        *dir,
 		Shard:      *shard,
 		Workers:    *workers,
 		Log:        os.Stderr,
 		JournalDir: *journals,
+		OnUnit: func(done, total int) {
+			unitsDone.Store(int64(done))
+			unitsTotal.Store(int64(total))
+		},
 	})
+	stopProgress()
 	switch {
 	case err != nil && ctx.Err() != nil:
 		fmt.Fprintf(os.Stderr, "campaign: shard %d cancelled at %d/%d units; rerun to resume\n", *shard, done, total)

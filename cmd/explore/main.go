@@ -83,7 +83,7 @@ func run() int {
 		corpusIn      = flag.String("corpus-in", "", "seed corpus file (a -corpus-out file or any explore report)")
 		corpusOut     = flag.String("corpus-out", "", "serialize the final corpus state here (atomic write)")
 		out           = flag.String("out", "", "report path (default stdout)")
-		progress      = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
+		progress      = flag.Duration("progress", 0, "JSONL progress interval on stderr (0 = off)")
 	)
 	var prof cliutil.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -194,27 +194,12 @@ func run() int {
 			}
 		},
 	}
-	if *progress > 0 {
-		stopProgress := make(chan struct{})
-		defer close(stopProgress)
-		go func() {
-			start := time.Now()
-			t := time.NewTicker(*progress)
-			defer t.Stop()
-			for {
-				select {
-				case <-stopProgress:
-					return
-				case <-t.C:
-					d := done.Load()
-					fmt.Fprintf(os.Stderr, "explore: %d/%d runs (%d failing), %.0f runs/s\n",
-						d, *runs, failed.Load(), float64(d)/time.Since(start).Seconds())
-				}
-			}
-		}()
-	}
+	stopProgress := cliutil.StartProgress(os.Stderr, *progress, func() cliutil.ProgressLine {
+		return cliutil.ProgressLine{Tool: "explore", Done: done.Load(), Total: int64(*runs), Failed: failed.Load()}
+	})
 
 	rep, err := explore.Explore(ctx, opts)
+	stopProgress()
 	if err != nil {
 		return usageErr("%v", err)
 	}

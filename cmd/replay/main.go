@@ -9,12 +9,18 @@
 // first scheduler decision that differs, printing the record index,
 // expected vs actual, and a window of surrounding journal context.
 //
-// Two offline modes need no re-execution:
+// Three offline modes need no re-execution:
 //
 //	replay -verify <journal>   recompute the SHA-256 over the records and
 //	                           cross-check the recorded trace fingerprint
+//	replay -stats <journal>    recompute the probe fold over the records and
+//	                           assert it equals the live capture in the meta
 //	replay -diff <a> <b>       compare two journals, reporting the first
 //	                           meta or record difference
+//
+// Every mode that loads a single journal prints a header first: protocol,
+// schema, capture mode, the per-kind record counters of the recorded trace,
+// and the taint reason when the run escaped to wall-clock.
 //
 // And -record produces journals without needing a retained failure: it
 // runs one scenario point with full capture and writes the journal —
@@ -49,6 +55,7 @@ import (
 
 	"weakestfd/internal/cliutil"
 	"weakestfd/internal/journal"
+	"weakestfd/internal/probe"
 	"weakestfd/internal/scenario"
 )
 
@@ -60,6 +67,7 @@ func run() int {
 	var (
 		verify      = flag.Bool("verify", false, "verify the journal offline: recompute the record hash against the recorded trace fingerprint (no re-execution)")
 		diff        = flag.Bool("diff", false, "compare two journals, reporting the first meta or record difference (no re-execution)")
+		stats       = flag.Bool("stats", false, "recompute the probe fold offline from the journal's records, assert it matches the recorded live capture, and print it (no re-execution)")
 		record      = flag.Bool("record", false, "run one scenario point with full capture and write its journal (-proto/-n/-seed/..., -o)")
 		window      = flag.Int("window", 5, "journal context records shown around a divergence")
 		rounds      = flag.Int("rounds", 8, "instances per run (consensus/multi; not stored in the journal meta)")
@@ -75,6 +83,7 @@ func run() int {
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: replay [flags] <journal>")
 		fmt.Fprintln(os.Stderr, "       replay -verify <journal>")
+		fmt.Fprintln(os.Stderr, "       replay -stats <journal>")
 		fmt.Fprintln(os.Stderr, "       replay -diff <a> <b>")
 		fmt.Fprintln(os.Stderr, "       replay -record [-proto P -n N -seed S ...] -o <journal>")
 		flag.PrintDefaults()
@@ -83,14 +92,14 @@ func run() int {
 	args := flag.Args()
 
 	modes := 0
-	for _, m := range []bool{*verify, *diff, *record} {
+	for _, m := range []bool{*verify, *diff, *stats, *record} {
 		if m {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		return usageErr("-verify, -diff and -record are mutually exclusive")
+		return usageErr("-verify, -diff, -stats and -record are mutually exclusive")
 	case *record:
 		if len(args) != 0 || *out == "" {
 			return usageErr("-record wants no positional arguments and a -o path")
@@ -106,6 +115,11 @@ func run() int {
 			return usageErr("-verify wants exactly one journal, got %d", len(args))
 		}
 		return runVerify(args[0])
+	case *stats:
+		if len(args) != 1 {
+			return usageErr("-stats wants exactly one journal, got %d", len(args))
+		}
+		return runStats(args[0])
 	default:
 		if len(args) != 1 {
 			return usageErr("want exactly one journal, got %d (see -h)", len(args))
@@ -121,6 +135,7 @@ func runReplay(path string, window, rounds, coordinator int) int {
 	if err != nil {
 		return usageErr("%v", err)
 	}
+	printHeader(path, j)
 	if err := j.Replayable(); err != nil {
 		return usageErr("%s: %v", path, err)
 	}
@@ -209,6 +224,75 @@ func runRecord(protoName string, n, rounds, coordinator int, seed int64, delays,
 	}
 	fmt.Printf("replay: recorded %d records -> %s (verdict: %s, fingerprint %s)\n",
 		len(res.Journal.Records), out, verdictWord(res.Verdict.OK), res.Journal.Meta.TraceFingerprint)
+	return 0
+}
+
+// printHeader summarises a loaded journal before any mode acts on it: the
+// protocol, schema and capture mode, the per-kind record counters of the
+// recorded trace, and — when the run escaped to wall-clock — the taint
+// reason, so a refused replay still tells the reader what the journal holds.
+func printHeader(path string, j *journal.Journal) {
+	m := j.Meta
+	mode := m.Mode
+	if mode == "" {
+		mode = "full"
+	}
+	fmt.Printf("replay: %s: proto=%s schema=%d mode=%s records=%d (events=%d messages=%d timers=%d crashes=%d grants=%d)\n",
+		path, m.Protocol, m.SchemaVersion, mode, len(j.Records), m.Events, m.Messages, m.Timers, m.Crashes, m.Grants)
+	if m.TaintReason != "" {
+		fmt.Printf("replay: %s: tainted: %s\n", path, m.TaintReason)
+	}
+}
+
+// runStats recomputes the probe fold offline — a pure fold over the
+// journal's records, no re-execution — asserts it equals the live capture
+// stored in the journal's meta, and prints the probes. The equality is the
+// point: it proves the journal and the analyzer agree on what the recorded
+// schedule did.
+func runStats(path string) int {
+	j, err := journal.ReadFile(path)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	printHeader(path, j)
+	live := j.Meta.Probes
+	if live == nil {
+		if j.Meta.SchemaVersion < 2 {
+			return usageErr("%s: journal predates probe capture (schema %d); re-record it with a current build", path, j.Meta.SchemaVersion)
+		}
+		return usageErr("%s: journal carries no live probe capture to check against", path)
+	}
+	stream, err := j.RecomputeProbes()
+	if err != nil {
+		return usageErr("%s: %v", path, err)
+	}
+	recomputed, err := json.Marshal(stream)
+	if err != nil {
+		return usageErr("%s: encode recomputed probes: %v", path, err)
+	}
+	recorded, err := json.Marshal(live.Stream)
+	if err != nil {
+		return usageErr("%s: encode recorded probes: %v", path, err)
+	}
+	if string(recomputed) != string(recorded) {
+		fmt.Fprintf(os.Stderr, "replay: %s: offline probe fold differs from the live capture\n  recorded:   %s\n  recomputed: %s\n", path, recorded, recomputed)
+		return 1
+	}
+	fmt.Printf("replay: %s: offline probe fold over %d records matches the live capture\n", path, stream.Records)
+	fmt.Printf("  stream: events=%d messages=%d timers=%d crashes=%d grants=%d exits=%d decisions=%d\n",
+		stream.Events, stream.Messages, stream.Timers, stream.Crashes, stream.Grants, stream.Exits, stream.Decisions)
+	fmt.Printf("  message_delay:     %s\n", probe.Summary(&stream.MessageDelay))
+	fmt.Printf("  quiescence_gap:    %s\n", probe.Summary(&stream.QuiescenceGap))
+	fmt.Printf("  decision_latency:  %s\n", probe.Summary(&stream.DecisionLatency))
+	fmt.Printf("  decision_depth:    %s\n", probe.Summary(&stream.DecisionDepth))
+	fmt.Printf("  crash_to_decision: %s\n", probe.Summary(&stream.CrashToDecision))
+	for _, p := range stream.PerProcess {
+		fmt.Printf("  p%d: grants=%d sends=%d deliveries=%d\n", p.Proc, p.Grants, p.Sends, p.Deliveries)
+	}
+	if d := live.Detection; d != nil {
+		fmt.Printf("  detection (live capture): crashes=%d detected=%d missed=%d latency %s\n",
+			d.Crashes, d.Detected, d.Missed, probe.Summary(&d.Latency))
+	}
 	return 0
 }
 

@@ -72,7 +72,8 @@ func run() int {
 		gridFile    = flag.String("grid", "", "JSON grid-spec file; explicit flags override its keys")
 		out         = flag.String("out", "", "report path (default stdout)")
 		minimize    = flag.Bool("minimize", false, "shrink the first retained failure to a minimal reproducer")
-		progress    = flag.Duration("progress", 0, "progress interval on stderr (0 = off)")
+		probes      = flag.Bool("probes", def.Probes, "fold per-run trace probes into the report's aggregates (step mode only)")
+		progress    = flag.Duration("progress", 0, "JSONL progress interval on stderr (0 = off)")
 	)
 	var prof cliutil.ProfileFlags
 	prof.Register(flag.CommandLine)
@@ -105,6 +106,7 @@ func run() int {
 		"psi-switch": func() { sp.PsiSwitch = *psiSwitch }, "safety-only": func() { sp.SafetyOnly = *safetyOnly },
 		"timeout": func() { sp.Timeout = *timeout }, "shard": func() { sp.Shard = *shard },
 		"workers": func() { sp.Workers = *workers }, "keep": func() { sp.Keep = *keep },
+		"probes": func() { sp.Probes = *probes },
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if apply, ok := overlay[f.Name]; ok {
@@ -133,27 +135,14 @@ func run() int {
 			passed.Add(1)
 		}
 	}
-	if *progress > 0 {
-		stopProgress := make(chan struct{})
-		defer close(stopProgress)
-		go func() {
-			start := time.Now()
-			t := time.NewTicker(*progress)
-			defer t.Stop()
-			for {
-				select {
-				case <-stopProgress:
-					return
-				case <-t.C:
-					d := done.Load()
-					fmt.Fprintf(os.Stderr, "sweep: %d/%d runs (%d passed, %d failed), %.0f runs/s\n",
-						d, hi-lo, passed.Load(), d-passed.Load(), float64(d)/time.Since(start).Seconds())
-				}
-			}
-		}()
-	}
+	stopProgress := cliutil.StartProgress(os.Stderr, *progress, func() cliutil.ProgressLine {
+		d := done.Load()
+		ok := passed.Load()
+		return cliutil.ProgressLine{Tool: "sweep", Done: d, Total: int64(hi - lo), Passed: ok, Failed: d - ok}
+	})
 
 	res := scenario.Sweep(ctx, base, grid, p)
+	stopProgress()
 
 	rep := cliutil.SweepReport{
 		SchemaVersion:   cliutil.ReportSchemaVersion,
@@ -172,6 +161,7 @@ func run() int {
 		Cancelled:       res.Cancelled,
 		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
 		RunsPerSec:      res.RunsPerSec,
+		Probes:          res.Probes,
 	}
 	for _, d := range res.Detectors {
 		rep.Detectors = append(rep.Detectors, cliutil.DetectorReport(d))

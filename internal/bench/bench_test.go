@@ -266,6 +266,22 @@ func BenchmarkConsensusJournaled(b *testing.B) {
 	}
 }
 
+// BenchmarkConsensusProbed prices the streaming probe analyzer: the same
+// traced scenario run with and without the probe fold riding the recorder
+// tee. The committed consensus_n10_probe_overhead datapoint is the n=10
+// probed/baseline ratio (the baseline is the ConsensusJournaled one).
+func BenchmarkConsensusProbed(b *testing.B) {
+	for _, n := range []int{10, 50} {
+		n := n
+		b.Run(fmt.Sprintf("baseline/n=%d", n), func(b *testing.B) {
+			benchScenarioConsensus(b, n)
+		})
+		b.Run(fmt.Sprintf("probed/n=%d", n), func(b *testing.B) {
+			benchScenarioConsensus(b, n, scenario.WithProbes())
+		})
+	}
+}
+
 // multiConsensusRounds is the instance count of the amortised workload
 // benchmark: one cluster stood up, multiConsensusRounds back-to-back
 // consensus instances run on it.
@@ -523,6 +539,14 @@ func TestEmitBenchJSON(t *testing.T) {
 		benchScenarioConsensus(b, 50, scenario.WithJournal(scenario.JournalAll))
 	})
 	journalOverhead := float64(jFull10.NsPerOp()) / float64(jBase10.NsPerOp())
+	// The probe fold overhead against the same baseline: the analyzer does
+	// integer bucketing per record on the serialized recorder path, cheaper
+	// than the journal's per-record struct capture, so its ceiling is
+	// tighter.
+	pFull10 := add("ConsensusProbed/probed/n=10", func(b *testing.B) {
+		benchScenarioConsensus(b, 10, scenario.WithProbes())
+	})
+	probeOverhead := float64(pFull10.NsPerOp()) / float64(jBase10.NsPerOp())
 	mc := add(fmt.Sprintf("MultiConsensus/virtual/n=5/rounds=%d", multiConsensusRounds), benchMultiConsensus)
 	mcRoundsPerSec := float64(multiConsensusRounds) / (float64(mc.NsPerOp()) / 1e9)
 	sweep := sweepThroughput(5, 1500)
@@ -581,6 +605,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		SpeedupN10      float64       `json:"consensus_n10_virtual_vs_realtime_speedup"`
 		StepOverheadN10 float64       `json:"consensus_n10_step_vs_freerunning_overhead"`
 		JournalOverhead float64       `json:"consensus_n10_journal_overhead"`
+		ProbeOverhead   float64       `json:"consensus_n10_probe_overhead"`
 		SweepRuns       int           `json:"scenario_sweep_runs"`
 		SweepRunsSec    float64       `json:"scenario_sweep_runs_per_sec"`
 		Sweep100Runs    int           `json:"scenario_sweep_n100_runs"`
@@ -598,6 +623,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		SpeedupN10:      speedup,
 		StepOverheadN10: stepOverhead,
 		JournalOverhead: journalOverhead,
+		ProbeOverhead:   probeOverhead,
 		SweepRuns:       sweep.Runs,
 		SweepRunsSec:    sweep.RunsPerSec,
 		Sweep100Runs:    sweep100.Runs,
@@ -628,5 +654,9 @@ func TestEmitBenchJSON(t *testing.T) {
 	t.Logf("consensus n=10 journal capture overhead: %.2fx", journalOverhead)
 	if journalOverhead > 1.5 {
 		t.Errorf("journal capture overhead %.2fx exceeds the 1.5x emit-time ceiling", journalOverhead)
+	}
+	t.Logf("consensus n=10 probe fold overhead: %.2fx", probeOverhead)
+	if probeOverhead > 1.2 {
+		t.Errorf("probe fold overhead %.2fx exceeds the 1.2x ceiling", probeOverhead)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"weakestfd/internal/cliutil"
 	"weakestfd/internal/explore"
+	"weakestfd/internal/probe"
 )
 
 // Merging is a fold with no order: every combinator here unions by a
@@ -189,6 +190,12 @@ type MergedSweep struct {
 	Cancelled int      `json:"cancelled"`
 	// Detectors sums the per-class columns across reports, sorted by spec.
 	Detectors []cliutil.DetectorReport `json:"detectors,omitempty"`
+	// Probes merges the shards' probe aggregates — element-wise histogram
+	// addition, commutative and associative, with double-count refusal
+	// supplied by the range-disjointness check above, so the merged
+	// aggregate is a pure function of the covered index set. Either every
+	// input carries an aggregate or none does; a mix is refused.
+	Probes *probe.Agg `json:"probes,omitempty"`
 	// Failures are deduplicated by result fingerprint (the minimised
 	// identity of the failing behaviour), keeping the lowest grid index per
 	// fingerprint, sorted by index.
@@ -310,6 +317,17 @@ func mergeSweeps(reports []*cliutil.SweepReport) (*MergedSweep, error) {
 		out.Passed += r.Passed
 		out.Faulted += r.Faulted
 		out.Cancelled += r.Cancelled
+		if (r.Probes != nil) != (first.Probes != nil) {
+			return nil, fmt.Errorf("merge: some sweep reports carry probe aggregates and some do not; re-run the shards with a uniform probes setting")
+		}
+		if r.Probes != nil {
+			if out.Probes == nil {
+				out.Probes = &probe.Agg{SchemaVersion: r.Probes.SchemaVersion}
+			}
+			if err := out.Probes.Merge(r.Probes); err != nil {
+				return nil, fmt.Errorf("merge: %v", err)
+			}
+		}
 		for _, d := range r.Detectors {
 			agg, ok := detectors[d.Spec]
 			if !ok {
@@ -320,6 +338,14 @@ func mergeSweeps(reports []*cliutil.SweepReport) (*MergedSweep, error) {
 			agg.Passed += d.Passed
 			agg.Faulted += d.Faulted
 			agg.Cancelled += d.Cancelled
+			if d.Probes != nil {
+				if agg.Probes == nil {
+					agg.Probes = &probe.Agg{SchemaVersion: d.Probes.SchemaVersion}
+				}
+				if err := agg.Probes.Merge(d.Probes); err != nil {
+					return nil, fmt.Errorf("merge: detector %s: %v", d.Spec, err)
+				}
+			}
 		}
 		for _, f := range r.Failures {
 			old, seen := failures[f.Fingerprint]
@@ -534,8 +560,17 @@ func (m *Merged) Canonical() string {
 		fmt.Fprintf(&b, "  proto=%s n=%d grid_size=%d reports=%d complete=%t ranges=%v\n",
 			s.Proto, s.N, s.GridSize, s.Reports, s.Complete, s.Ranges)
 		fmt.Fprintf(&b, "  runs=%d passed=%d faulted=%d cancelled=%d\n", s.Runs, s.Passed, s.Faulted, s.Cancelled)
+		if p := s.Probes; p != nil {
+			fmt.Fprintf(&b, "  probes runs=%d messages[%s] decision_latency[%s] detection_latency[%s] crashes=%d detected=%d missed=%d\n",
+				p.Runs, probe.Summary(&p.Messages), probe.Summary(&p.DecisionLatency), probe.Summary(&p.DetectionLatency),
+				p.CrashesSeen, p.Detected, p.Missed)
+		}
 		for _, d := range s.Detectors {
 			fmt.Fprintf(&b, "  detector %s: runs=%d passed=%d faulted=%d cancelled=%d\n", d.Spec, d.Runs, d.Passed, d.Faulted, d.Cancelled)
+			if p := d.Probes; p != nil {
+				fmt.Fprintf(&b, "    probes messages[%s] detection_latency[%s] detected=%d/%d\n",
+					probe.Summary(&p.Messages), probe.Summary(&p.DetectionLatency), p.Detected, p.CrashesSeen)
+			}
 		}
 		for _, f := range s.Failures {
 			fmt.Fprintf(&b, "  failure index=%d violations=%v\n", f.Index, f.Violations)

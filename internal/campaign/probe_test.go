@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"weakestfd/internal/cliutil"
+	"weakestfd/internal/probe"
+	"weakestfd/internal/scenario"
+)
+
+// TestSweepCampaignProbes is the acceptance check for probe aggregation at
+// campaign scale: a probed, detector-axis sweep campaign split across two
+// shards merges to byte-identical overall and per-detector-class probe
+// aggregates as a direct in-process sweep of the same grid — shard count
+// and merge order must not leak into the analytics.
+func TestSweepCampaignProbes(t *testing.T) {
+	// Slow links push the decision past the crash, so the crash lands inside
+	// the trace and the detection join has something to measure.
+	grid := &cliutil.GridSpec{
+		Proto: "consensus", N: 4, Seeds: "1-6",
+		Detectors: "omega-sigma,perfect",
+		Delays:    "1ms:10ms",
+		Crashes:   "-;3@2ms", Timeout: "30s", Keep: 2,
+		Probes: true,
+	}
+	dir := t.TempDir()
+	m := &Manifest{Name: "probecamp", Kind: KindSweep, Units: 4, Shards: 2, Grid: grid}
+	if err := Plan(dir, m); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	runShardOK(t, dir, 1)
+	runShardOK(t, dir, 2)
+	merged, err := MergeDir(dir)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	s := merged.Sweep
+	if s == nil || !s.Complete {
+		t.Fatalf("merged sweep incomplete: %+v", s)
+	}
+	if s.Probes == nil {
+		t.Fatal("merged probed campaign carries no probe aggregate")
+	}
+
+	base, g, proto, err := cliutil.BuildGrid(*grid)
+	if err != nil {
+		t.Fatalf("build grid: %v", err)
+	}
+	direct := scenario.Sweep(context.Background(), base, g, proto)
+	if got, want := marshal(t, s.Probes), marshal(t, direct.Probes); got != want {
+		t.Fatalf("merged aggregate diverges from the direct sweep\nmerged: %s\ndirect: %s", got, want)
+	}
+	if len(s.Detectors) != len(direct.Detectors) {
+		t.Fatalf("detector counts: %d merged vs %d direct", len(s.Detectors), len(direct.Detectors))
+	}
+	for i, d := range s.Detectors {
+		if got, want := marshal(t, d.Probes), marshal(t, direct.Detectors[i].Probes); got != want {
+			t.Fatalf("detector %s aggregate diverges\nmerged: %s\ndirect: %s", d.Spec, got, want)
+		}
+	}
+	if s.Probes.DetectionLatency.Count == 0 {
+		t.Fatalf("crash schedule produced no detection-latency samples: %+v", s.Probes)
+	}
+
+	// Merge order must not change the bytes: refold the unit reports in
+	// reverse and compare canonical renderings.
+	inputs, err := DirInputs(dir)
+	if err != nil {
+		t.Fatalf("dir inputs: %v", err)
+	}
+	for i, j := 0, len(inputs)-1; i < j; i, j = i+1, j-1 {
+		inputs[i], inputs[j] = inputs[j], inputs[i]
+	}
+	reversed, err := MergeReports(inputs)
+	if err != nil {
+		t.Fatalf("reversed merge: %v", err)
+	}
+	if reversed.Canonical() != merged.Canonical() {
+		t.Fatalf("merge is order-dependent:\n--- forward ---\n%s\n--- reversed ---\n%s",
+			merged.Canonical(), reversed.Canonical())
+	}
+	if !strings.Contains(merged.Canonical(), "probes runs=") {
+		t.Fatalf("canonical rendering omits the probe block:\n%s", merged.Canonical())
+	}
+}
+
+// TestMergeRefusesProbedMix: shard reports must agree on whether probes
+// were captured — folding a probed shard with an unprobed one would
+// silently undercount, so the merge refuses instead.
+func TestMergeRefusesProbedMix(t *testing.T) {
+	mkSweep := func(lo, hi int, agg *probe.Agg) Input {
+		return Input{Name: "r", Sweep: &cliutil.SweepReport{
+			SchemaVersion: cliutil.ReportSchemaVersion, GridFingerprint: "fp",
+			Proto: "consensus", N: 4, GridSize: 10, IndexLo: lo, IndexHi: hi,
+			Runs: hi - lo, Passed: hi - lo, Probes: agg,
+		}}
+	}
+	_, err := MergeReports([]Input{mkSweep(0, 6, probe.NewAgg()), mkSweep(6, 10, nil)})
+	if err == nil || !strings.Contains(err.Error(), "probe") {
+		t.Fatalf("probed/unprobed mix: err=%v", err)
+	}
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(data)
+}

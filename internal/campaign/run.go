@@ -115,6 +115,11 @@ type RunOptions struct {
 	// re-run the failing config with capture on — deterministic, so the
 	// journal records the retained failure's exact schedule.
 	JournalDir string
+	// OnUnit, when non-nil, is called after every completed (or adopted)
+	// unit with the shard's cumulative done count and its unit total — the
+	// hook cmd/campaign's -progress emitter snapshots. Called from the
+	// shard loop goroutine, between units.
+	OnUnit func(done, total int)
 }
 
 // RunShard executes (or resumes — the operation is the same) the pending
@@ -167,6 +172,9 @@ func RunShard(ctx context.Context, opts RunOptions) (done, total int, err error)
 			verb = "adopted"
 		}
 		logf("campaign %s shard %d/%d: %s unit %d (%d/%d)", m.Name, opts.Shard, m.Shards, verb, u, st.Watermark, total)
+		if opts.OnUnit != nil {
+			opts.OnUnit(st.Watermark, total)
+		}
 		if opts.JournalDir != "" {
 			if err := dumpUnitJournals(ctx, m, opts, u, data, logf); err != nil {
 				// Journals are diagnostics beside the campaign, not part of
@@ -286,6 +294,7 @@ func runSweepUnit(ctx context.Context, m *Manifest, opts RunOptions, u int) ([]b
 		Faulted:         res.Faulted,
 		Cancelled:       res.Cancelled,
 	}
+	rep.Probes = res.Probes
 	for _, d := range res.Detectors {
 		rep.Detectors = append(rep.Detectors, cliutil.DetectorReport(d))
 	}

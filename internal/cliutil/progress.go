@@ -1,0 +1,75 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress is the shared machine-readable progress protocol of the long-running
+// CLIs: cmd/sweep, cmd/explore and cmd/campaign all emit the same JSONL shape
+// on stderr when -progress is set, one object per line per tick, so a driver
+// script watches any of them with the same three lines of parsing. stdout
+// stays reserved for the report artifact.
+
+// ProgressLine is one progress tick. Tool names the emitting command; Done
+// and Total count the tool's unit of work (runs for sweep/explore, campaign
+// units for campaign; Total is 0 when unknown). Passed/Failed/Novel are
+// tool-specific counters, omitted when not meaningful. ElapsedS and PerSec
+// are filled by the emitter from its own clock.
+type ProgressLine struct {
+	Tool   string `json:"tool"`
+	Done   int64  `json:"done"`
+	Total  int64  `json:"total,omitempty"`
+	Passed int64  `json:"passed,omitempty"`
+	Failed int64  `json:"failed,omitempty"`
+	Novel  int64  `json:"novel,omitempty"`
+	// ElapsedS is seconds since the emitter started; PerSec is Done/ElapsedS.
+	ElapsedS float64 `json:"elapsed_s"`
+	PerSec   float64 `json:"per_sec,omitempty"`
+}
+
+// StartProgress emits one JSON line to w every interval, built from snap()
+// (called on the emitter goroutine; the snapshot must read its counters
+// atomically). It returns a stop function that halts the ticker, emits one
+// final line — so a consumer always sees the terminal counts — and waits for
+// the goroutine to exit. A non-positive interval is a no-op with a no-op stop.
+func StartProgress(w io.Writer, interval time.Duration, snap func() ProgressLine) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	emit := func() {
+		line := snap()
+		line.ElapsedS = time.Since(start).Seconds()
+		if line.ElapsedS > 0 {
+			line.PerSec = float64(line.Done) / line.ElapsedS
+		}
+		data, err := json.Marshal(line)
+		if err != nil {
+			return // a ProgressLine always marshals; keep the tick silent if not
+		}
+		fmt.Fprintf(w, "%s\n", data)
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				emit()
+			case <-done:
+				emit()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}

@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer serializes writes: the emitter goroutine and the test both
+// touch the buffer.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestStartProgressEmitsFinalLine: stop() always flushes one terminal line,
+// so a consumer sees the final counts even when the run outpaces the ticker;
+// every line is one standalone JSON object with the shared shape.
+func TestStartProgressEmitsFinalLine(t *testing.T) {
+	var buf lockedBuffer
+	var done int64
+	stop := StartProgress(&buf, time.Hour, func() ProgressLine {
+		return ProgressLine{Tool: "sweep", Done: done, Total: 10, Passed: done}
+	})
+	done = 7
+	stop()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly the final line, got %d: %q", len(lines), buf.String())
+	}
+	var line ProgressLine
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil {
+		t.Fatalf("final line is not JSON: %v: %q", err, lines[0])
+	}
+	if line.Tool != "sweep" || line.Done != 7 || line.Total != 10 || line.Passed != 7 {
+		t.Fatalf("final line %+v, want the terminal snapshot", line)
+	}
+}
+
+// TestStartProgressZeroInterval: a non-positive interval disables emission
+// entirely — the no-op stop must also write nothing.
+func TestStartProgressZeroInterval(t *testing.T) {
+	var buf lockedBuffer
+	stop := StartProgress(&buf, 0, func() ProgressLine {
+		t.Fatal("snapshot taken with progress disabled")
+		return ProgressLine{}
+	})
+	stop()
+	if buf.String() != "" {
+		t.Fatalf("disabled progress wrote %q", buf.String())
+	}
+}

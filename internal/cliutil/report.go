@@ -10,6 +10,7 @@ import (
 
 	"weakestfd/internal/explore"
 	"weakestfd/internal/model"
+	"weakestfd/internal/probe"
 	"weakestfd/internal/scenario"
 )
 
@@ -61,8 +62,13 @@ type SweepReport struct {
 	ElapsedMS       float64          `json:"elapsed_ms,omitempty"`
 	RunsPerSec      float64          `json:"runs_per_sec,omitempty"`
 	Detectors       []DetectorReport `json:"detectors,omitempty"`
-	Failures        []FailureReport  `json:"failures,omitempty"`
-	Minimized       *MinimizedReport `json:"minimized,omitempty"`
+	// Probes is the sweep-wide probe aggregate (-probes): mergeable
+	// histograms of per-run message cost, decision latency and detection
+	// latency, byte-stable per (grid, shard) and summed across shards by
+	// campaign merge.
+	Probes    *probe.Agg       `json:"probes,omitempty"`
+	Failures  []FailureReport  `json:"failures,omitempty"`
+	Minimized *MinimizedReport `json:"minimized,omitempty"`
 }
 
 // DetectorReport is one detector spec's share of a sweep — the per-class
@@ -73,6 +79,9 @@ type DetectorReport struct {
 	Passed    int    `json:"passed"`
 	Faulted   int    `json:"faulted"`
 	Cancelled int    `json:"cancelled"`
+	// Probes is the spec's probe aggregate (-probes): the per-class
+	// detection-latency vs message-cost comparison column.
+	Probes *probe.Agg `json:"probes,omitempty"`
 }
 
 // FailureReport pins one failing grid point: its global row-major index (the
@@ -234,6 +243,17 @@ func ReadAnyReport(kind string, data []byte) (*SweepReport, *ExploreReport, erro
 		if err := json.Unmarshal(data, &r); err != nil {
 			return nil, nil, fmt.Errorf("%s: parse sweep report: %w", kind, err)
 		}
+		// The probe blocks version independently of the report envelope —
+		// gate them the same way, so a report written by a newer probe
+		// schema is refused rather than silently misaggregated.
+		if err := r.Probes.CheckVersion(kind); err != nil {
+			return nil, nil, err
+		}
+		for i := range r.Detectors {
+			if err := r.Detectors[i].Probes.CheckVersion(kind); err != nil {
+				return nil, nil, err
+			}
+		}
 		return &r, nil, nil
 	case sniff.Budget != nil:
 		var r ExploreReport
@@ -269,6 +289,7 @@ type GridSpec struct {
 	Shard         string  `json:"shard"`
 	Workers       int     `json:"workers"`
 	Keep          int     `json:"keep"`
+	Probes        bool    `json:"probes,omitempty"`
 }
 
 // BuildGrid turns the spec into the Sweep inputs: the base scenario, the
@@ -330,6 +351,7 @@ func BuildGrid(sp GridSpec) (*scenario.Scenario, scenario.Grid, scenario.Protoco
 		return nil, grid, nil, fmt.Errorf("shard: %v", err)
 	}
 	grid.Workers = sp.Workers
+	grid.Probes = sp.Probes
 	// The CLI has no compatibility baggage: 0 means "retain none", unlike
 	// the library's historical 0 → 8 default.
 	grid.KeepFailures = sp.Keep

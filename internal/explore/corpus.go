@@ -40,8 +40,17 @@ func SpaceFingerprint(opts Options) string {
 	for i, c := range opts.Classes {
 		classes[i] = c.String()
 	}
-	return fmt.Sprintf("explore{proto=%s;base=%s;classes=%s;runs=%d;batch=%d;minimize=%d;depth=%t;trace=%t}",
-		proto, base.Key(), strings.Join(classes, ","), opts.Runs, batch, minimize, opts.DepthSignal, opts.TraceSignal)
+	// The trace signal renders as its signature depth, not a boolean:
+	// "probes" marks the probe-deepened shapes (runs carry Config.Probes and
+	// traceShape folds probe statistics in), which partition behaviours more
+	// finely than the plain counters did — a different search space, so a
+	// different fingerprint.
+	traceTag := "false"
+	if opts.TraceSignal {
+		traceTag = "probes"
+	}
+	return fmt.Sprintf("explore{proto=%s;base=%s;classes=%s;runs=%d;batch=%d;minimize=%d;depth=%t;trace=%s}",
+		proto, base.Key(), strings.Join(classes, ","), opts.Runs, batch, minimize, opts.DepthSignal, traceTag)
 }
 
 // Corpus persistence: the exploration's full resumable state — corpus

@@ -324,7 +324,13 @@ func Explore(ctx context.Context, opts Options) (*Report, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i] = scenario.FromConfig(jobs[i].cfg).Run(ctx, opts.Proto)
+				cfg := jobs[i].cfg
+				// Trace-signal explorations run every config with the probe
+				// analyzer attached, so traceShape can fold probe statistics
+				// into the signature. Observe-only and excluded from
+				// Config.Key, so corpus and tried-set identity are unchanged.
+				cfg.Probes = cfg.Probes || opts.TraceSignal
+				results[i] = scenario.FromConfig(cfg).Run(ctx, opts.Proto)
 				if opts.OnRun != nil {
 					opts.OnRun(rep.Runs+rep.Cancelled+i+1, &results[i])
 				}

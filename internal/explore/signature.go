@@ -61,13 +61,37 @@ func SignatureOf(res *scenario.Result, withDepth, withTrace bool) string {
 // pinned trace (the free-running ablation, timeout-tainted runs) render "~":
 // one territory, deliberately not subdivided, because their schedule suffix
 // is exactly the part the scheduler could not pin.
+//
+// When the run carried the probe analyzer (trace-signal explorations set
+// Config.Probes on every run), the shape deepens with the probe fold's
+// summary statistics on the same log4 scale: worst decision latency and
+// decision depth, worst inter-event quiescence gap, worst crash-to-decision
+// distance, and the per-process grant skew (max − min grants) — how the
+// schedule was *distributed*, which raw counters cannot see. All of it is
+// trace-tier, so the deepened signature stays byte-reproducible per seed.
 func traceShape(res *scenario.Result) string {
 	if res.TraceFingerprint == "" {
 		return "~"
 	}
 	st := res.TraceSummary
-	return fmt.Sprintf("e%d/m%d/g%d",
+	shape := fmt.Sprintf("e%d/m%d/g%d",
 		logBucket(uint64(st.Events)), logBucket(uint64(st.Messages)), logBucket(uint64(st.Grants)))
+	if p := res.Probes; p != nil {
+		s := &p.Stream
+		var skew int64
+		if len(s.PerProcess) > 0 {
+			lo, hi := s.PerProcess[0].Grants, s.PerProcess[0].Grants
+			for _, pp := range s.PerProcess[1:] {
+				lo, hi = min(lo, pp.Grants), max(hi, pp.Grants)
+			}
+			skew = hi - lo
+		}
+		shape += fmt.Sprintf("/dl%d/dd%d/q%d/cd%d/k%d",
+			logBucket(uint64(s.DecisionLatency.Max)), logBucket(uint64(s.DecisionDepth.Max)),
+			logBucket(uint64(s.QuiescenceGap.Max)), logBucket(uint64(s.CrashToDecision.Max)),
+			logBucket(uint64(skew)))
+	}
+	return shape
 }
 
 // BehaviourOf is the pure behaviour part of the signature — what the run

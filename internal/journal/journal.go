@@ -49,12 +49,17 @@ import (
 	"os"
 
 	"weakestfd/internal/net"
+	"weakestfd/internal/probe"
 )
 
 // Version is the journal schema version this build reads and writes. Loaders
 // reject journals stamped with a newer version — the records they would
 // silently misread are exactly the ones a newer writer added fields to.
-const Version = 1
+// Version 2 added the observational record fields (sent, proc, group) and the
+// probe block in the meta; version-1 journals still load, verify and replay
+// (the checker masks fields their writer could not have known), but offline
+// probe recomputation refuses them — the fields it folds are not there.
+const Version = 2
 
 // KeepAll selects full-mode capture (every record) when passed as a
 // recorder's ring size; positive sizes keep the last K records.
@@ -94,6 +99,12 @@ type Meta struct {
 	Timers   int64 `json:"timers"`
 	Crashes  int64 `json:"crashes"`
 	Grants   int64 `json:"grants"`
+	// Probes is the run's live-captured probe block (schema v2+): the fold
+	// of the very record stream this journal stores, kept so replay -stats
+	// can recompute the stream probes offline and assert equality, and so
+	// the detection join (which needs the suspect history, not stored here)
+	// survives alongside the records.
+	Probes *probe.Probes `json:"probes,omitempty"`
 }
 
 // Modes of Meta.Mode.
@@ -117,6 +128,12 @@ type Record struct {
 	Type     string `json:"type,omitempty"`
 	Tid      uint64 `json:"tid,omitempty"`
 	Task     uint64 `json:"task,omitempty"`
+	// Sent, Proc and Group are the schema-v2 observational fields (message
+	// enqueue time; granting/exiting task's process; trace-group exit flag).
+	// They ride outside the trace hash, so Verify is version-independent.
+	Sent  int64  `json:"sent,omitempty"`
+	Proc  uint64 `json:"proc,omitempty"`
+	Group bool   `json:"group,omitempty"`
 }
 
 // opNames / kindNames map the net-level record bytes to journal strings.
@@ -144,6 +161,7 @@ func FromNet(tr net.TraceRecord) Record {
 		case net.TraceKindMessage:
 			r.From, r.To = tr.From, tr.To
 			r.Instance, r.Type = tr.Instance, tr.Type
+			r.Sent = tr.SentAt
 		case net.TraceKindTimer:
 			r.Tid = tr.Tid
 		case net.TraceKindCrash:
@@ -151,6 +169,8 @@ func FromNet(tr net.TraceRecord) Record {
 		}
 	case net.TraceOpGrant, net.TraceOpExit:
 		r.Task = tr.Task
+		r.Proc = tr.Proc
+		r.Group = tr.Group
 	}
 	return r
 }
@@ -176,6 +196,7 @@ func (r Record) ToNet() (net.TraceRecord, error) {
 			tr.Kind = net.TraceKindMessage
 			tr.From, tr.To = r.From, r.To
 			tr.Instance, tr.Type = r.Instance, r.Type
+			tr.SentAt = r.Sent
 		case "timer":
 			tr.Kind = net.TraceKindTimer
 			tr.Tid = r.Tid
@@ -188,6 +209,8 @@ func (r Record) ToNet() (net.TraceRecord, error) {
 		tr.At, tr.Seq = r.At, r.Seq
 	} else {
 		tr.Task = r.Task
+		tr.Proc = r.Proc
+		tr.Group = r.Group
 	}
 	return tr, nil
 }
@@ -327,6 +350,34 @@ func (j *Journal) Verify() error {
 		return fmt.Errorf("journal records hash to %s, but the recorded trace fingerprint is %s: the journal and the trace digest did not see the same stream", got, j.Meta.TraceFingerprint)
 	}
 	return nil
+}
+
+// RecomputeProbes folds the journal's stored record stream through the
+// probe analyzer — the offline twin of live capture, no re-execution. It
+// refuses journals that cannot anchor the fold: tainted runs (the stream
+// was cut at a wall-clock point), ring suffixes (the fold needs the whole
+// stream) and schema-v1 journals (their records lack the sent/proc/group
+// fields the fold consumes; re-record with this build).
+func (j *Journal) RecomputeProbes() (probe.StreamProbes, error) {
+	var none probe.StreamProbes
+	if j.Meta.TaintReason != "" {
+		return none, fmt.Errorf("journal records a tainted run; its stream was cut by wall-clock and has no well-defined probes: %s", j.Meta.TaintReason)
+	}
+	if !j.Complete() {
+		return none, j.suffixErr("probe recomputation")
+	}
+	if j.Meta.SchemaVersion < 2 {
+		return none, fmt.Errorf("journal schema_version %d predates the probe fields (sent/proc/group landed in 2); re-record the run to compute probes offline", j.Meta.SchemaVersion)
+	}
+	a := probe.NewAnalyzer(0)
+	for i := range j.Records {
+		tr, err := j.Records[i].ToNet()
+		if err != nil {
+			return none, fmt.Errorf("record %d: %w", i, err)
+		}
+		a.Record(tr)
+	}
+	return a.Finish(), nil
 }
 
 // Replayable reports whether the journal can anchor a replay, with a

@@ -29,14 +29,15 @@ const (
 // lease generation it was scheduled under. A crash event reuses msg.To as the
 // crashing process.
 type event struct {
-	at   int64
-	seq  uint64
-	kind eventKind
-	tgen uint64
-	tid  uint64 // run-local timer lease id (see eventQueue.leases)
-	msg  Message
-	tm   *timerCore
-	box  *mailbox
+	at     int64
+	seq    uint64
+	kind   eventKind
+	tgen   uint64
+	tid    uint64 // run-local timer lease id (see eventQueue.leases)
+	sentAt int64  // message events: the enqueue-time base (at - sentAt is the drawn delay)
+	msg    Message
+	tm     *timerCore
+	box    *mailbox
 }
 
 // splitmix64 is the cheap, statistically solid PRNG used to draw message
@@ -198,9 +199,10 @@ func (q *eventQueue) pushMessage(msg Message, box *mailbox) bool {
 		q.mu.Unlock()
 		return false
 	}
-	at := q.base() + q.drawDelay()
+	base := q.base()
+	at := base + q.drawDelay()
 	q.seq++
-	q.heapPush(event{at: at, seq: q.seq, kind: evMessage, msg: msg, box: box})
+	q.heapPush(event{at: at, seq: q.seq, kind: evMessage, sentAt: base, msg: msg, box: box})
 	q.mu.Unlock()
 	q.poke(q.notify)
 	return true
@@ -239,7 +241,7 @@ func (q *eventQueue) pushBroadcast(tmpl Message, boxes []mailbox) (enqueued int,
 		m := tmpl
 		m.To = model.ProcessID(i)
 		m.SentAt = tmpl.SentAt + model.Time(i)
-		q.heap = append(q.heap, event{at: at, seq: q.seq, kind: evMessage, msg: m, box: &boxes[i]})
+		q.heap = append(q.heap, event{at: at, seq: q.seq, kind: evMessage, sentAt: base, msg: m, box: &boxes[i]})
 	}
 	enqueued = len(q.heap) - start
 	if enqueued > 0 {

@@ -311,6 +311,17 @@ const (
 //   - TraceOpEvent: Kind, At, Seq, then per kind — message: From, To,
 //     Instance, Type; timer: Tid (the run-local lease id); crash: To.
 //   - TraceOpGrant, TraceOpExit: Task (the granted/exiting task's id).
+//
+// SentAt, Proc and Group are observational extras for streaming analyzers
+// (internal/probe): they are fully determined by the hashed fields plus the
+// seeded schedule, so they ride outside AppendHash — the digest encoding, and
+// with it every recorded fingerprint, is unchanged by their existence.
+//
+//   - SentAt (message events): the virtual time the message was enqueued, so
+//     At-SentAt is the delay the seeded RNG actually drew for this delivery.
+//   - Proc (grants and exits): the process id owning the granted/exiting task.
+//   - Group (exits): whether the exiting task belongs to the trace group —
+//     i.e. whether this exit is a protocol runner's decision point.
 type TraceRecord struct {
 	Op       byte
 	Kind     byte
@@ -322,6 +333,9 @@ type TraceRecord struct {
 	Type     string
 	Tid      uint64
 	Task     uint64
+	SentAt   int64
+	Proc     uint64
+	Group    bool
 }
 
 // AppendHash appends the record's trace-digest encoding to b — the exact
@@ -592,6 +606,7 @@ func (s *stepper) recordEvent(ev *event) {
 		r.To = uint64(ev.msg.To)
 		r.Instance = ev.msg.Instance
 		r.Type = ev.msg.Type
+		r.SentAt = ev.sentAt
 	case evTimer:
 		s.stats.Timers++
 		// The run-local lease id, not ev.tgen: gen counts leases of a
@@ -612,7 +627,7 @@ func (s *stepper) recordGrant(t *Task) {
 		return
 	}
 	s.stats.Grants++
-	s.record(&TraceRecord{Op: TraceOpGrant, Task: t.id})
+	s.record(&TraceRecord{Op: TraceOpGrant, Task: t.id, Proc: uint64(t.ep.id)})
 }
 
 // recordExit hashes a clean task exit. Called by the exiting task while it
@@ -621,7 +636,7 @@ func (s *stepper) recordExit(t *Task) {
 	if !s.tracing.Load() || s.finalized.Load() {
 		return
 	}
-	s.record(&TraceRecord{Op: TraceOpExit, Task: t.id})
+	s.record(&TraceRecord{Op: TraceOpExit, Task: t.id, Proc: uint64(t.ep.id), Group: t.group})
 }
 
 // StepMode reports whether this network runs under the deterministic

@@ -1,0 +1,217 @@
+package probe
+
+import (
+	"encoding/json"
+	"testing"
+
+	"weakestfd/internal/model"
+)
+
+// TestHistogramBuckets pins the bucketing contract: bucket 0 holds exactly
+// the zero value, bucket k > 0 holds [2^(k-1), 2^k), and the dense vector is
+// trimmed to the highest occupied bucket.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count != 9 {
+		t.Fatalf("count %d, want 9", h.Count)
+	}
+	if h.Min != 0 || h.Max != 1024 {
+		t.Fatalf("min/max %d/%d, want 0/1024", h.Min, h.Max)
+	}
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for i, c := range h.Buckets {
+		if c != want[i] {
+			t.Fatalf("bucket %d holds %d, want %d (buckets %v)", i, c, want[i], h.Buckets)
+		}
+	}
+	if len(h.Buckets) != 12 {
+		t.Fatalf("buckets not trimmed to highest occupied: len %d, want 12", len(h.Buckets))
+	}
+	// Quantiles return bucket upper bounds, clamped to the true max.
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d, want 0", q)
+	}
+	// p50 of 9 samples targets the 4th observation; the cumulative count
+	// crosses 4 in bucket 2, whose upper bound is 3.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3 (upper bound of bucket 2)", q)
+	}
+	if q := h.Quantile(1); q != 1024 {
+		t.Fatalf("p100 = %d, want the clamped max 1024", q)
+	}
+}
+
+// TestHistogramNegativeClamps: virtual-time arithmetic can produce negative
+// deltas only through misuse; the histogram clamps them to zero before any
+// bookkeeping rather than corrupting the bucket index.
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if len(h.Buckets) != 1 || h.Buckets[0] != 1 {
+		t.Fatalf("negative observation landed in %v, want bucket 0", h.Buckets)
+	}
+	if h.Min != 0 || h.Sum != 0 {
+		t.Fatalf("min/sum %d/%d, want 0/0 (clamped before bookkeeping)", h.Min, h.Sum)
+	}
+}
+
+func encodeJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(data)
+}
+
+// TestHistogramMergeCommutes: merge is element-wise addition, so any merge
+// order yields byte-identical encodings — the property campaign's
+// order-independent fold rests on.
+func TestHistogramMergeCommutes(t *testing.T) {
+	build := func(vals ...int64) Histogram {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	// Build each operand fresh: a struct copy would alias the Buckets slice
+	// and Merge mutates in place.
+	ab := build(1, 5, 900)
+	ab.Merge(build(0, 2, 64))
+	ba := build(0, 2, 64)
+	ba.Merge(build(1, 5, 900))
+	if got, want := encodeJSON(t, ab), encodeJSON(t, ba); got != want {
+		t.Fatalf("merge is order-dependent:\n  a+b: %s\n  b+a: %s", got, want)
+	}
+	if ab.Count != 6 || ab.Sum != 1+5+900+0+2+64 {
+		t.Fatalf("merged counters wrong: %+v", ab)
+	}
+}
+
+func synthProbes(messages int64, latencies ...int64) *Probes {
+	p := &Probes{SchemaVersion: Version}
+	p.Stream.Messages = messages
+	for _, l := range latencies {
+		p.Stream.DecisionLatency.Observe(l)
+	}
+	p.Detection = &DetectionProbes{Crashes: 1, Detected: 1}
+	p.Detection.Latency.Observe(latencies[0])
+	return p
+}
+
+// TestAggMergeAlgebra pins the merge algebra the campaign layer assumes:
+// commutative and associative byte-for-byte, with a schema-version mismatch
+// refused rather than silently mixed.
+func TestAggMergeAlgebra(t *testing.T) {
+	mk := func(ps ...*Probes) *Agg {
+		a := NewAgg()
+		for _, p := range ps {
+			a.Add(p)
+		}
+		return a
+	}
+	x := synthProbes(10, 100, 200)
+	y := synthProbes(900, 5)
+	z := synthProbes(64, 1<<20)
+
+	ab := mk(x, y)
+	if err := ab.Merge(mk(z)); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	bc := mk(z)
+	if err := bc.Merge(mk(x, y)); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if got, want := encodeJSON(t, ab), encodeJSON(t, bc); got != want {
+		t.Fatalf("agg merge is order-dependent:\n  (x+y)+z: %s\n  z+(x+y): %s", got, want)
+	}
+	if ab.Runs != 3 {
+		t.Fatalf("merged runs %d, want 3", ab.Runs)
+	}
+	if got, want := encodeJSON(t, ab), encodeJSON(t, mk(x, y, z)); got != want {
+		t.Fatalf("merge does not equal the direct fold:\n  merged: %s\n  direct: %s", got, want)
+	}
+
+	future := NewAgg()
+	future.SchemaVersion = Version + 1
+	if err := NewAgg().Merge(future); err == nil {
+		t.Fatal("merging mismatched schema versions was accepted")
+	}
+	if err := future.CheckVersion("test"); err == nil {
+		t.Fatal("future schema version passed CheckVersion")
+	}
+}
+
+// TestProbesEncodeStable: Encode is canonical — equal values encode
+// byte-identically, and Equal is exactly encoding equality.
+func TestProbesEncodeStable(t *testing.T) {
+	a := synthProbes(10, 100, 200)
+	b := synthProbes(10, 100, 200)
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if string(ea) != string(eb) {
+		t.Fatalf("equal probes encode differently:\n  %s\n  %s", ea, eb)
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal is false for identical probes")
+	}
+	b.Stream.Messages++
+	if a.Equal(b) {
+		t.Fatal("Equal is true for differing probes")
+	}
+}
+
+// TestDetectionFrom pins the suspect-history join on a hand-built history:
+// process 2 crashes at tick 50; the first containing sample after the last
+// omitting one is the detection point.
+func TestDetectionFrom(t *testing.T) {
+	pattern := model.NewFailurePattern(4)
+	pattern.Crash(2, 50)
+	set := func(ids ...model.ProcessID) model.ProcessSet {
+		return model.NewProcessSet(ids...)
+	}
+	samples := []model.Sample{
+		{Process: 0, Time: 10, Value: set()},       // before the crash: nothing suspected
+		{Process: 1, Time: 60, Value: set()},       // after the crash, not yet detected
+		{Process: 0, Time: 70, Value: set(2)},      // first stable suspicion: latency 20
+		{Process: 1, Time: 90, Value: set(2)},      // stays suspected
+		{Process: 2, Time: 95, Value: set()},       // the crashed process never self-suspects; ignored
+		{Process: 3, Time: 99, Value: "not-a-set"}, // foreign sample kinds are skipped
+	}
+	d := DetectionFrom(pattern, []uint64{2}, samples)
+	if d.Crashes != 1 || d.Detected != 1 || d.Missed != 0 {
+		t.Fatalf("counters %+v, want 1 crash detected", d)
+	}
+	if d.Latency.Max != 20 {
+		t.Fatalf("latency %d, want 20 ticks (crash 50 -> sample 70)", d.Latency.Max)
+	}
+
+	// A crash nothing ever suspects is missed, not silently dropped.
+	pattern2 := model.NewFailurePattern(4)
+	pattern2.Crash(1, 30)
+	d2 := DetectionFrom(pattern2, []uint64{1}, samples)
+	if d2.Crashes != 1 || d2.Detected != 0 || d2.Missed != 1 {
+		t.Fatalf("undetected crash counted as %+v, want missed", d2)
+	}
+
+	// A late unsuspicion re-anchors the join: suspicion must be *stable*.
+	flappy := []model.Sample{
+		{Process: 0, Time: 60, Value: set(2)}, // suspected...
+		{Process: 1, Time: 80, Value: set()},  // ...then cleared: not stable yet
+		{Process: 0, Time: 95, Value: set(2)}, // stable from here
+	}
+	d3 := DetectionFrom(pattern, []uint64{2}, flappy)
+	if d3.Detected != 1 || d3.Latency.Max != 45 {
+		t.Fatalf("flappy join gave %+v, want detection at tick 95 (latency 45)", d3)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"weakestfd/internal/journal"
 	"weakestfd/internal/model"
 	"weakestfd/internal/net"
+	"weakestfd/internal/probe"
 	"weakestfd/internal/trace"
 )
 
@@ -113,6 +114,18 @@ type Config struct {
 	// runs have no step trace and refuse journaling (the run fails with a
 	// setup verdict rather than producing an empty journal).
 	Journal int
+	// Probes attaches the streaming probe analyzer (internal/probe) to the
+	// run's step-trace stream and publishes its fold as Result.Probes: log-
+	// bucketed virtual-time histograms, per-process grant/delivery vectors,
+	// decision depth and failure-detection latency. Probes are trace-tier —
+	// a pure function of (seed, config) in step mode — and observe-only (a
+	// probed run keeps the TraceFingerprint of its unprobed twin), so like
+	// Journal the flag is deliberately excluded from Key and
+	// Result.Fingerprint. Free-running runs have no step trace and refuse
+	// probes the same way they refuse journaling. Journaled runs compute
+	// probes implicitly, so every journal carries its live capture for
+	// replay -stats to recompute against.
+	Probes bool
 	// Recorder, when non-nil, is attached to the run's step-trace stream
 	// (net.WithTraceRecorder) alongside any Journal capture. It is how
 	// Replay wires its record-by-record checker into a run; programmatic
@@ -232,6 +245,10 @@ func WithFreeRunning() Option { return func(c *Config) { c.FreeRunning = true } 
 // k == JournalAll keeps every record, k > 0 ring-buffers the last k. See
 // Config.Journal.
 func WithJournal(k int) Option { return func(c *Config) { c.Journal = k } }
+
+// WithProbes attaches the streaming probe analyzer to the run; see
+// Config.Probes.
+func WithProbes() Option { return func(c *Config) { c.Probes = true } }
 
 // WithSafetyOnly checks only the perpetual (safety) clauses: agreement and
 // validity, not termination. Use it for runs that are cut short or
@@ -406,6 +423,13 @@ type Result struct {
 	// with Meta.TaintReason set and no fingerprint — so the capture can be
 	// inspected even though it cannot anchor a replay.
 	Journal *journal.Journal
+	// Probes is the streaming probe fold over the run's record stream
+	// (Config.Probes, implied by Config.Journal != 0): byte-stable per
+	// (seed, config) in step mode, like TraceFingerprint. Nil when probes
+	// were off, the run produced no trace group, or a wall-clock escape
+	// tainted the trace (a tainted record stream pins nothing, so its fold
+	// is not published).
+	Probes *probe.Probes
 }
 
 // Run stands the scenario up, executes the protocol on it, tears everything
@@ -434,28 +458,37 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	if cfg.FreeRunning || envFreeRunning {
 		netOpts = append(netOpts, net.WithFreeRunning())
 	}
-	// Journaling (and replay checking) observes the step-trace stream, which
-	// the free-running ablation does not have: refuse up front with a
-	// verdict naming the conflict, rather than returning an empty journal a
-	// replay would then "diverge" on at record 0.
+	// Journaling, probes and replay checking all observe the step-trace
+	// stream, which the free-running ablation does not have: refuse up front
+	// with a verdict naming the conflict, rather than returning an empty
+	// journal a replay would then "diverge" on at record 0, or an empty
+	// probe fold that would masquerade as a quiet run.
 	var jrec *journal.Recorder
-	if cfg.Journal != 0 || cfg.Recorder != nil {
+	var analyzer *probe.Analyzer
+	if cfg.Journal != 0 || cfg.Recorder != nil || cfg.Probes {
 		if cfg.FreeRunning || envFreeRunning {
-			res.Verdict = model.Fail("scenario journal: the free-running ablation has no step trace to journal or replay; drop WithJournal/Config.Recorder or run in step mode")
+			res.Verdict = model.Fail("scenario trace: the free-running ablation has no step trace to journal, probe or replay; drop WithJournal/WithProbes/Config.Recorder or run in step mode")
 			res.Wall = time.Since(start)
 			return res
 		}
-		var rec net.TraceRecorder
+		var recs []net.TraceRecorder
 		if cfg.Journal != 0 {
 			jrec = journal.NewRecorder(cfg.Journal)
-			rec = jrec
+			recs = append(recs, jrec)
+		}
+		if cfg.Probes || cfg.Journal != 0 {
+			// A journaled run computes probes even without Config.Probes, so
+			// every journal's Meta carries the live capture replay -stats
+			// recomputes against.
+			analyzer = probe.NewAnalyzer(cfg.N)
+			recs = append(recs, analyzer)
 		}
 		if cfg.Recorder != nil {
-			if rec != nil {
-				rec = teeRecorder{jrec, cfg.Recorder}
-			} else {
-				rec = cfg.Recorder
-			}
+			recs = append(recs, cfg.Recorder)
+		}
+		rec := recs[0]
+		for _, r := range recs[1:] {
+			rec = teeRecorder{rec, r}
 		}
 		netOpts = append(netOpts, net.WithTraceRecorder(rec))
 	}
@@ -567,16 +600,24 @@ func (s *Scenario) Run(ctx context.Context, proto Protocol) Result {
 	}
 	if stepTrace {
 		res.TraceFingerprint, res.TraceSummary = nw.TraceResult()
-		if jrec != nil {
-			if res.TraceSummary.TaintReason != "" {
-				// A wall-clock escape means the runners exited without the
-				// token, so the dispatcher may still be delivering — and
-				// recording. Quiesce it before reading the capture: Close is
-				// idempotent and waits for the dispatcher goroutine. (A clean
-				// finalization needs no such barrier — the last exiting task
-				// holds the token, and recording stops at finalization.)
-				nw.Close()
+		tainted := res.TraceSummary.TaintReason != ""
+		if tainted && (jrec != nil || analyzer != nil) {
+			// A wall-clock escape means the runners exited without the
+			// token, so the dispatcher may still be delivering — and
+			// recording. Quiesce it before reading any capture: Close is
+			// idempotent and waits for the dispatcher goroutine. (A clean
+			// finalization needs no such barrier — the last exiting task
+			// holds the token, and recording stops at finalization.)
+			nw.Close()
+		}
+		if analyzer != nil && !tainted {
+			p := &probe.Probes{SchemaVersion: probe.Version, Stream: analyzer.Finish()}
+			if hist != nil {
+				p.Detection = probe.DetectionFrom(nw.Pattern(), p.Stream.CrashedProcs, hist.Samples())
 			}
+			res.Probes = p
+		}
+		if jrec != nil {
 			res.Journal = res.buildJournal(jrec)
 		}
 	}
@@ -617,6 +658,7 @@ func (r *Result) buildJournal(rec *journal.Recorder) *journal.Journal {
 	cc := r.Config.Clone()
 	cc.Journal = 0
 	cc.Recorder = nil
+	cc.Probes = false
 	cfgJSON, err := json.Marshal(cc)
 	if err != nil {
 		// Config is plain data; this cannot fail. Keep the journal usable
@@ -634,6 +676,7 @@ func (r *Result) buildJournal(rec *journal.Recorder) *journal.Journal {
 		Timers:           st.Timers,
 		Crashes:          st.Crashes,
 		Grants:           st.Grants,
+		Probes:           r.Probes,
 	})
 }
 

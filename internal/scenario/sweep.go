@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"weakestfd/internal/fd"
+	"weakestfd/internal/probe"
 )
 
 // DelayRange is one delay distribution of a sweep grid.
@@ -103,6 +104,12 @@ type Grid struct {
 	// that; runs abandoned because the sweep's context was cancelled are
 	// not reported.
 	OnRun func(index int, res *Result)
+	// Probes enables the streaming probe analyzer (Config.Probes) on every
+	// grid point and folds each run's fold into SweepResult.Probes and the
+	// per-detector aggregates. Observe-only and trace-tier, like the config
+	// flag it sets: it never changes a run's schedule or identity, so —
+	// like Shard and Workers — it is excluded from Fingerprint.
+	Probes bool
 }
 
 // seedCount is the length of the seed axis (0 = fall back to the base seed).
@@ -235,7 +242,14 @@ type SweepResult struct {
 	// axis. This is the sweep's cross-detector comparison table: which
 	// class (at which quality) solved the problem on how many points.
 	Detectors []DetectorCount
-	Elapsed   time.Duration
+	// Probes aggregates every executed run's probe fold (Grid.Probes):
+	// mergeable histograms of per-run message cost, decision latency and
+	// failure-detection latency. Folded in grid order after the workers
+	// join, so it is byte-stable whenever the runs are; nil when Grid.Probes
+	// was off. Shard aggregates merge commutatively (element-wise histogram
+	// addition), which is how campaign merge folds them.
+	Probes  *probe.Agg
+	Elapsed time.Duration
 	// RunsPerSec is the sweep's wall-clock throughput over executed runs.
 	RunsPerSec float64
 }
@@ -252,6 +266,10 @@ type DetectorCount struct {
 	Passed    int
 	Faulted   int
 	Cancelled int
+	// Probes aggregates the spec's runs' probe folds (Grid.Probes) — the
+	// per-class detection-latency and message-cost comparison the sweep
+	// report surfaces; nil when probes were off.
+	Probes *probe.Agg
 }
 
 // AllPassed reports whether every grid point executed and passed.
@@ -297,6 +315,10 @@ func Sweep(ctx context.Context, base *Scenario, grid Grid, proto Protocol) Sweep
 	passed := make([]bool, hi-lo)
 	faulted := make([]bool, hi-lo)
 	failed := make([]*Result, hi-lo)
+	var probed []*probe.Probes
+	if grid.Probes {
+		probed = make([]*probe.Probes, hi-lo)
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -307,7 +329,9 @@ func Sweep(ctx context.Context, base *Scenario, grid Grid, proto Protocol) Sweep
 				if ctx.Err() != nil {
 					continue // handed out but never started: Cancelled
 				}
-				res := FromConfig(grid.ConfigAt(baseCfg, i)).Run(ctx, proto)
+				cfg := grid.ConfigAt(baseCfg, i)
+				cfg.Probes = cfg.Probes || grid.Probes
+				res := FromConfig(cfg).Run(ctx, proto)
 				if !res.Verdict.OK && ctx.Err() != nil {
 					// The run was in flight when the sweep was cancelled:
 					// its failure is the cancellation echoing through the
@@ -320,6 +344,9 @@ func Sweep(ctx context.Context, base *Scenario, grid Grid, proto Protocol) Sweep
 				} else {
 					faulted[i-lo] = true
 					failed[i-lo] = &res
+				}
+				if probed != nil {
+					probed[i-lo] = res.Probes
 				}
 				if grid.OnRun != nil {
 					grid.OnRun(i, &res)
@@ -345,12 +372,27 @@ submit:
 			out.Detectors[d].Spec = spec.String()
 		}
 	}
+	if grid.Probes {
+		out.Probes = probe.NewAgg()
+		for d := range out.Detectors {
+			out.Detectors[d].Probes = probe.NewAgg()
+		}
+	}
 	var scrap DetectorCount // increment sink when the grid has no detector axis
 	for j := range passed {
 		det := &scrap
 		if d, ok := grid.detectorIndexAt(lo + j); ok {
 			det = &out.Detectors[d]
 			det.Runs++
+		}
+		if probed != nil && probed[j] != nil {
+			// Fold in grid order, single goroutine: the aggregate is
+			// byte-stable whenever the runs are. (A tainted or cancelled
+			// run contributes nothing — its fold was never published.)
+			out.Probes.Add(probed[j])
+			if det.Probes != nil {
+				det.Probes.Add(probed[j])
+			}
 		}
 		switch {
 		case passed[j]:
